@@ -1,0 +1,185 @@
+//! Abstract syntax tree for AAScript.
+
+use std::rc::Rc;
+
+/// A full script: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A function definition (named or anonymous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Block,
+}
+
+/// The two syntactic iterator forms supported by `for ... in`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterKind {
+    /// `pairs(t)` — every key/value in deterministic key order.
+    Pairs,
+    /// `ipairs(t)` — `1..#t` array entries.
+    Ipairs,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::enum_variant_names)]
+pub enum Stmt {
+    /// `local name = expr` (expr optional → nil).
+    Local(String, Option<Expr>),
+    /// `target = expr` where target is a name or index chain.
+    Assign(Target, Expr),
+    /// An expression evaluated for its side effects (must be a call).
+    ExprStmt(Expr),
+    /// `if cond then block {elseif cond then block} [else block] end`.
+    If(Vec<(Expr, Block)>, Option<Block>),
+    /// `while cond do block end`.
+    While(Expr, Block),
+    /// `repeat block until cond`.
+    Repeat(Block, Expr),
+    /// `for var = start, stop [, step] do block end`.
+    NumericFor {
+        /// Loop variable.
+        var: String,
+        /// Start expression.
+        start: Expr,
+        /// Stop expression (inclusive).
+        stop: Expr,
+        /// Step expression (default 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for k, v in pairs(t) do block end` (and `ipairs`).
+    GenericFor {
+        /// Key (or index) variable.
+        k: String,
+        /// Value variable (optional).
+        v: Option<String>,
+        /// Which iterator.
+        kind: IterKind,
+        /// The table expression.
+        expr: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `function name(...) body end` or `function a.b.c(...) ... end`.
+    FuncDecl {
+        /// Assignment target for the function value.
+        target: Target,
+        /// The function itself.
+        def: Rc<FuncDef>,
+    },
+    /// `local function name(...) body end`.
+    LocalFunc {
+        /// Local name bound to the function.
+        name: String,
+        /// The function itself.
+        def: Rc<FuncDef>,
+    },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A plain variable.
+    Name(String),
+    /// `obj[key]` / `obj.key`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^`
+    Pow,
+    /// `..`
+    Concat,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+    /// `#`
+    Len,
+}
+
+/// One entry in a table constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableItem {
+    /// `value` — appended at the next array index.
+    Positional(Expr),
+    /// `name = value`.
+    Named(String, Expr),
+    /// `[key] = value`.
+    Keyed(Expr, Expr),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `nil`
+    Nil,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number literal.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// A variable reference.
+    Var(String),
+    /// `expr[expr]` / `expr.name`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `f(args)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `obj:method(args)` — sugar for `obj.method(obj, args)`.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `{ ... }` table constructor.
+    TableCtor(Vec<TableItem>),
+    /// `function(...) body end`.
+    Func(Rc<FuncDef>),
+}

@@ -1,0 +1,87 @@
+//! Error types for compilation and execution of AAScript programs.
+
+use core::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compile-time error (lexing or parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A runtime error raised while executing a handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The handler exceeded its instruction budget and was terminated —
+    /// the sandbox's first protection (paper §III.B).
+    BudgetExhausted,
+    /// Call stack grew beyond the configured depth.
+    StackOverflow,
+    /// A value of the wrong type was used (e.g. arithmetic on a table).
+    TypeError(String),
+    /// An undefined variable, field, or handler was referenced.
+    Undefined(String),
+    /// Anything else (bad argument counts, invalid table keys, ...).
+    Other(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            RuntimeError::StackOverflow => write!(f, "call stack overflow"),
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::Undefined(m) => write!(f, "undefined: {m}"),
+            RuntimeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError {
+            pos: Pos { line: 3, col: 7 },
+            message: "unexpected `end`".into(),
+        };
+        assert_eq!(e.to_string(), "compile error at 3:7: unexpected `end`");
+        assert_eq!(
+            RuntimeError::BudgetExhausted.to_string(),
+            "instruction budget exhausted"
+        );
+        assert_eq!(
+            RuntimeError::TypeError("x".into()).to_string(),
+            "type error: x"
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Tokenizer for AAScript source text (a Lua-style grammar).
+
+use crate::error::{CompileError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names
+    /// An identifier.
+    Name(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal (unescaped).
+    Str(String),
+
+    // Keywords
+    /// `and`
+    And,
+    /// `break`
+    Break,
+    /// `do`
+    Do,
+    /// `else`
+    Else,
+    /// `elseif`
+    Elseif,
+    /// `end`
+    End,
+    /// `false`
+    False,
+    /// `for`
+    For,
+    /// `function`
+    Function,
+    /// `if`
+    If,
+    /// `in`
+    In,
+    /// `local`
+    Local,
+    /// `nil`
+    Nil,
+    /// `not`
+    Not,
+    /// `or`
+    Or,
+    /// `return`
+    Return,
+    /// `then`
+    Then,
+    /// `true`
+    True,
+    /// `while`
+    While,
+    /// `repeat`
+    Repeat,
+    /// `until`
+    Until,
+
+    // Symbols
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `#`
+    Hash,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    Concat,
+
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed numbers, unterminated strings or
+/// block comments, and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($pos:expr, $($arg:tt)*) => {
+            return Err(CompileError { pos: $pos, message: format!($($arg)*) })
+        };
+    }
+
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, c: char| {
+        *i += 1;
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+
+        // Whitespace
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, c);
+            continue;
+        }
+
+        // Comments: `--` line or `--[[ ... ]]` block
+        if c == '-' && bytes.get(i + 1) == Some(&'-') {
+            if bytes.get(i + 2) == Some(&'[') && bytes.get(i + 3) == Some(&'[') {
+                advance(&mut i, &mut line, &mut col, '-');
+                advance(&mut i, &mut line, &mut col, '-');
+                advance(&mut i, &mut line, &mut col, '[');
+                advance(&mut i, &mut line, &mut col, '[');
+                loop {
+                    if i >= bytes.len() {
+                        err!(pos, "unterminated block comment");
+                    }
+                    if bytes[i] == ']' && bytes.get(i + 1) == Some(&']') {
+                        advance(&mut i, &mut line, &mut col, ']');
+                        advance(&mut i, &mut line, &mut col, ']');
+                        break;
+                    }
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+            } else {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+            }
+            continue;
+        }
+
+        // Identifiers and keywords
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                let ch = bytes[i];
+                advance(&mut i, &mut line, &mut col, ch);
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let tok = match word.as_str() {
+                "and" => Tok::And,
+                "break" => Tok::Break,
+                "do" => Tok::Do,
+                "else" => Tok::Else,
+                "elseif" => Tok::Elseif,
+                "end" => Tok::End,
+                "false" => Tok::False,
+                "for" => Tok::For,
+                "function" => Tok::Function,
+                "if" => Tok::If,
+                "in" => Tok::In,
+                "local" => Tok::Local,
+                "nil" => Tok::Nil,
+                "not" => Tok::Not,
+                "or" => Tok::Or,
+                "return" => Tok::Return,
+                "then" => Tok::Then,
+                "true" => Tok::True,
+                "while" => Tok::While,
+                "repeat" => Tok::Repeat,
+                "until" => Tok::Until,
+                _ => Tok::Name(word),
+            };
+            out.push(Spanned { tok, pos });
+            continue;
+        }
+
+        // Numbers: decimal with optional fraction and exponent; 0x hex ints.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && matches!(bytes.get(i + 1), Some('x') | Some('X')) {
+                advance(&mut i, &mut line, &mut col, '0');
+                advance(&mut i, &mut line, &mut col, 'x');
+                let hstart = i;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+                if hstart == i {
+                    err!(pos, "malformed hex literal");
+                }
+                let hex: String = bytes[hstart..i].iter().collect();
+                let v = u64::from_str_radix(&hex, 16)
+                    .map_err(|_| CompileError {
+                        pos,
+                        message: "hex literal out of range".into(),
+                    })?;
+                out.push(Spanned {
+                    tok: Tok::Num(v as f64),
+                    pos,
+                });
+                continue;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                let ch = bytes[i];
+                advance(&mut i, &mut line, &mut col, ch);
+            }
+            if i < bytes.len() && bytes[i] == '.' && bytes.get(i + 1) != Some(&'.') {
+                advance(&mut i, &mut line, &mut col, '.');
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+            }
+            if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                advance(&mut i, &mut line, &mut col, 'e');
+                if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+                let estart = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    let ch = bytes[i];
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+                if estart == i {
+                    err!(pos, "malformed exponent");
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let v: f64 = text.parse().map_err(|_| CompileError {
+                pos,
+                message: format!("malformed number `{text}`"),
+            })?;
+            out.push(Spanned {
+                tok: Tok::Num(v),
+                pos,
+            });
+            continue;
+        }
+
+        // Strings
+        if c == '"' || c == '\'' {
+            let quote = c;
+            advance(&mut i, &mut line, &mut col, c);
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    err!(pos, "unterminated string");
+                }
+                let ch = bytes[i];
+                if ch == quote {
+                    advance(&mut i, &mut line, &mut col, ch);
+                    break;
+                }
+                if ch == '\n' {
+                    err!(pos, "unterminated string (newline)");
+                }
+                if ch == '\\' {
+                    advance(&mut i, &mut line, &mut col, ch);
+                    if i >= bytes.len() {
+                        err!(pos, "unterminated escape");
+                    }
+                    let esc = bytes[i];
+                    let decoded = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '\\' => '\\',
+                        '"' => '"',
+                        '\'' => '\'',
+                        other => err!(Pos { line, col }, "unknown escape `\\{other}`"),
+                    };
+                    s.push(decoded);
+                    advance(&mut i, &mut line, &mut col, esc);
+                } else {
+                    s.push(ch);
+                    advance(&mut i, &mut line, &mut col, ch);
+                }
+            }
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                pos,
+            });
+            continue;
+        }
+
+        // Symbols
+        let two = |a: char| bytes.get(i + 1) == Some(&a);
+        let (tok, width) = match c {
+            '+' => (Tok::Plus, 1),
+            '-' => (Tok::Minus, 1),
+            '*' => (Tok::Star, 1),
+            '/' => (Tok::Slash, 1),
+            '%' => (Tok::Percent, 1),
+            '^' => (Tok::Caret, 1),
+            '#' => (Tok::Hash, 1),
+            '=' if two('=') => (Tok::Eq, 2),
+            '=' => (Tok::Assign, 1),
+            '~' if two('=') => (Tok::Ne, 2),
+            '<' if two('=') => (Tok::Le, 2),
+            '<' => (Tok::Lt, 1),
+            '>' if two('=') => (Tok::Ge, 2),
+            '>' => (Tok::Gt, 1),
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            '{' => (Tok::LBrace, 1),
+            '}' => (Tok::RBrace, 1),
+            '[' => (Tok::LBracket, 1),
+            ']' => (Tok::RBracket, 1),
+            ';' => (Tok::Semi, 1),
+            ':' => (Tok::Colon, 1),
+            ',' => (Tok::Comma, 1),
+            '.' if two('.') => (Tok::Concat, 2),
+            '.' => (Tok::Dot, 1),
+            other => err!(pos, "unexpected character `{other}`"),
+        };
+        for _ in 0..width {
+            let ch = bytes[i];
+            advance(&mut i, &mut line, &mut col, ch);
+        }
+        out.push(Spanned { tok, pos });
+    }
+
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_names() {
+        assert_eq!(
+            toks("local x = nil"),
+            vec![
+                Tok::Local,
+                Tok::Name("x".into()),
+                Tok::Assign,
+                Tok::Nil,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Num(42.0), Tok::Eof]);
+        assert_eq!(toks("3.5"), vec![Tok::Num(3.5), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Num(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-1"), vec![Tok::Num(0.25), Tok::Eof]);
+        assert_eq!(toks("0xFF"), vec![Tok::Num(255.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn number_dot_dot_is_concat_not_fraction() {
+        assert_eq!(
+            toks("1..2"),
+            vec![Tok::Num(1.0), Tok::Concat, Tok::Num(2.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\nb" 'c\'d'"#),
+            vec![Tok::Str("a\nb".into()), Tok::Str("c'd".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a -- comment\nb --[[ block\nover lines ]] c"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Name("b".into()),
+                Tok::Name("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a == b ~= c <= d >= e < f > g"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Eq,
+                Tok::Name("b".into()),
+                Tok::Ne,
+                Tok::Name("c".into()),
+                Tok::Le,
+                Tok::Name("d".into()),
+                Tok::Ge,
+                Tok::Name("e".into()),
+                Tok::Lt,
+                Tok::Name("f".into()),
+                Tok::Gt,
+                Tok::Name("g".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("x\n  y").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("1e").is_err());
+        assert!(lex("--[[ never closed").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+}

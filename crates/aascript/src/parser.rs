@@ -1,0 +1,666 @@
+//! Recursive-descent parser for AAScript.
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::lexer::{lex, Spanned, Tok};
+use std::rc::Rc;
+
+/// Parses `src` into a [`Block`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position.
+pub fn parse(src: &str) -> Result<Block, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let block = p.block()?;
+    p.expect(Tok::Eof)?;
+    Ok(block)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), CompileError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> CompileError {
+        CompileError {
+            pos: self.pos(),
+            message,
+        }
+    }
+
+    fn name(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Name(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    /// Does the current token end a block?
+    fn block_ends(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::End | Tok::Else | Tok::Elseif | Tok::Eof | Tok::Until
+        )
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        let mut stmts = Vec::new();
+        loop {
+            while self.eat(Tok::Semi) {}
+            if self.block_ends() {
+                break;
+            }
+            let stmt = self.statement()?;
+            let is_terminal = matches!(stmt, Stmt::Return(_) | Stmt::Break);
+            stmts.push(stmt);
+            if is_terminal {
+                while self.eat(Tok::Semi) {}
+                break;
+            }
+        }
+        Ok(Block { stmts })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Tok::Local => {
+                self.bump();
+                if self.eat(Tok::Function) {
+                    let name = self.name()?;
+                    let def = self.func_body()?;
+                    return Ok(Stmt::LocalFunc { name, def });
+                }
+                let name = self.name()?;
+                let init = if self.eat(Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Local(name, init))
+            }
+            Tok::If => {
+                self.bump();
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                self.expect(Tok::Then)?;
+                let body = self.block()?;
+                arms.push((cond, body));
+                let mut else_body = None;
+                loop {
+                    match self.peek().clone() {
+                        Tok::Elseif => {
+                            self.bump();
+                            let c = self.expr()?;
+                            self.expect(Tok::Then)?;
+                            let b = self.block()?;
+                            arms.push((c, b));
+                        }
+                        Tok::Else => {
+                            self.bump();
+                            else_body = Some(self.block()?);
+                            self.expect(Tok::End)?;
+                            break;
+                        }
+                        Tok::End => {
+                            self.bump();
+                            break;
+                        }
+                        other => return Err(self.err(format!("expected elseif/else/end, found {other:?}"))),
+                    }
+                }
+                Ok(Stmt::If(arms, else_body))
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(Tok::Do)?;
+                let body = self.block()?;
+                self.expect(Tok::End)?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::Repeat => {
+                self.bump();
+                let body = self.block()?;
+                self.expect(Tok::Until)?;
+                let cond = self.expr()?;
+                Ok(Stmt::Repeat(body, cond))
+            }
+            Tok::For => {
+                self.bump();
+                let first = self.name()?;
+                if self.eat(Tok::Assign) {
+                    let start = self.expr()?;
+                    self.expect(Tok::Comma)?;
+                    let stop = self.expr()?;
+                    let step = if self.eat(Tok::Comma) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(Tok::Do)?;
+                    let body = self.block()?;
+                    self.expect(Tok::End)?;
+                    return Ok(Stmt::NumericFor {
+                        var: first,
+                        start,
+                        stop,
+                        step,
+                        body,
+                    });
+                }
+                let second = if self.eat(Tok::Comma) {
+                    Some(self.name()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::In)?;
+                let iter_name = self.name()?;
+                let kind = match iter_name.as_str() {
+                    "pairs" => IterKind::Pairs,
+                    "ipairs" => IterKind::Ipairs,
+                    other => {
+                        return Err(self.err(format!(
+                            "generic for supports pairs/ipairs, found `{other}`"
+                        )))
+                    }
+                };
+                self.expect(Tok::LParen)?;
+                let expr = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Do)?;
+                let body = self.block()?;
+                self.expect(Tok::End)?;
+                Ok(Stmt::GenericFor {
+                    k: first,
+                    v: second,
+                    kind,
+                    expr,
+                    body,
+                })
+            }
+            Tok::Function => {
+                self.bump();
+                // function Name{.Name} [: Name] (...) ... end
+                let base = self.name()?;
+                let mut target = Target::Name(base.clone());
+                let mut expr_so_far = Expr::Var(base);
+                while self.eat(Tok::Dot) {
+                    let field = self.name()?;
+                    target = Target::Index(
+                        Box::new(expr_so_far.clone()),
+                        Box::new(Expr::Str(field.clone())),
+                    );
+                    expr_so_far = Expr::Index(
+                        Box::new(expr_so_far),
+                        Box::new(Expr::Str(field)),
+                    );
+                }
+                let def = self.func_body()?;
+                Ok(Stmt::FuncDecl { target, def })
+            }
+            Tok::Return => {
+                self.bump();
+                if self.block_ends() || *self.peek() == Tok::Semi {
+                    Ok(Stmt::Return(None))
+                } else {
+                    Ok(Stmt::Return(Some(self.expr()?)))
+                }
+            }
+            Tok::Break => {
+                self.bump();
+                Ok(Stmt::Break)
+            }
+            _ => {
+                // Assignment or call statement.
+                let e = self.suffixed_expr()?;
+                if self.eat(Tok::Assign) {
+                    let target = match e {
+                        Expr::Var(n) => Target::Name(n),
+                        Expr::Index(obj, key) => Target::Index(obj, key),
+                        _ => return Err(self.err("invalid assignment target".into())),
+                    };
+                    let value = self.expr()?;
+                    Ok(Stmt::Assign(target, value))
+                } else {
+                    match e {
+                        Expr::Call(..) | Expr::MethodCall(..) => Ok(Stmt::ExprStmt(e)),
+                        _ => Err(self.err("expression statements must be calls".into())),
+                    }
+                }
+            }
+        }
+    }
+
+    fn func_body(&mut self) -> Result<Rc<FuncDef>, CompileError> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                params.push(self.name()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let body = self.block()?;
+        self.expect(Tok::End)?;
+        Ok(Rc::new(FuncDef { params, body }))
+    }
+
+    // ---- Expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(Tok::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(Tok::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.concat_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.concat_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn concat_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        if self.eat(Tok::Concat) {
+            // Right associative.
+            let rhs = self.concat_expr()?;
+            Ok(Expr::Bin(BinOp::Concat, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let op = match self.peek() {
+            Tok::Not => Some(UnOp::Not),
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Hash => Some(UnOp::Len),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            Ok(Expr::Un(op, Box::new(operand)))
+        } else {
+            self.pow_expr()
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, CompileError> {
+        let base = self.suffixed_expr()?;
+        if self.eat(Tok::Caret) {
+            // Right associative, binds tighter than unary on the right.
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    /// A primary expression followed by any chain of `.name`, `[expr]`,
+    /// `(args)`, and `:method(args)` suffixes.
+    fn suffixed_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek().clone() {
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.name()?;
+                    e = Expr::Index(Box::new(e), Box::new(Expr::Str(field)));
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let key = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(key));
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let args = self.call_args()?;
+                    e = Expr::Call(Box::new(e), args);
+                }
+                Tok::Colon => {
+                    self.bump();
+                    let method = self.name()?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.call_args()?;
+                    e = Expr::MethodCall(Box::new(e), method, args);
+                }
+                Tok::Str(s) => {
+                    // Lua shorthand: f "literal".
+                    self.bump();
+                    e = Expr::Call(Box::new(e), vec![Expr::Str(s)]);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        let mut args = Vec::new();
+        if self.eat(Tok::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            Tok::Nil => {
+                self.bump();
+                Ok(Expr::Nil)
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Name(n) => {
+                self.bump();
+                Ok(Expr::Var(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.eat(Tok::RBrace) {
+                    let item = match self.peek().clone() {
+                        Tok::LBracket => {
+                            self.bump();
+                            let key = self.expr()?;
+                            self.expect(Tok::RBracket)?;
+                            self.expect(Tok::Assign)?;
+                            let value = self.expr()?;
+                            TableItem::Keyed(key, value)
+                        }
+                        Tok::Name(n) if self.toks[self.i + 1].tok == Tok::Assign => {
+                            self.bump();
+                            self.bump();
+                            let value = self.expr()?;
+                            TableItem::Named(n, value)
+                        }
+                        _ => TableItem::Positional(self.expr()?),
+                    };
+                    items.push(item);
+                    if !self.eat(Tok::Comma) && !self.eat(Tok::Semi) {
+                        self.expect(Tok::RBrace)?;
+                        break;
+                    }
+                }
+                Ok(Expr::TableCtor(items))
+            }
+            Tok::Function => {
+                self.bump();
+                let def = self.func_body()?;
+                Ok(Expr::Func(def))
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_local_and_assign() {
+        let b = parse("local x = 1\nx = x + 1").unwrap();
+        assert_eq!(b.stmts.len(), 2);
+        assert!(matches!(&b.stmts[0], Stmt::Local(n, Some(_)) if n == "x"));
+        assert!(matches!(&b.stmts[1], Stmt::Assign(Target::Name(n), _) if n == "x"));
+    }
+
+    #[test]
+    fn parses_fig5_password_handler() {
+        // The paper's Fig. 5 example, verbatim modulo whitespace.
+        let src = r#"
+            AA = {NodeId = 27,
+                  IP = "131.94.130.118",
+                  Password = "3053482032"}
+            function onGet(caller, password)
+                if (password == AA.Password) then
+                    return AA.NodeId
+                end
+                return nil
+            end
+        "#;
+        let b = parse(src).unwrap();
+        assert_eq!(b.stmts.len(), 2);
+        assert!(matches!(&b.stmts[1], Stmt::FuncDecl { target: Target::Name(n), .. } if n == "onGet"));
+    }
+
+    #[test]
+    fn precedence_and_or() {
+        // a or b and c  ==  a or (b and c)
+        let b = parse("x = a or b and c").unwrap();
+        let Stmt::Assign(_, Expr::Bin(BinOp::Or, _, rhs)) = &b.stmts[0] else {
+            panic!("expected or at top");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn precedence_arith_vs_cmp() {
+        // 1 + 2 < 3 * 4  ==  (1+2) < (3*4)
+        let b = parse("x = 1 + 2 < 3 * 4").unwrap();
+        let Stmt::Assign(_, Expr::Bin(BinOp::Lt, l, r)) = &b.stmts[0] else {
+            panic!("expected < at top");
+        };
+        assert!(matches!(**l, Expr::Bin(BinOp::Add, _, _)));
+        assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn concat_is_right_associative() {
+        let b = parse(r#"x = "a" .. "b" .. "c""#).unwrap();
+        let Stmt::Assign(_, Expr::Bin(BinOp::Concat, _, rhs)) = &b.stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Concat, _, _)));
+    }
+
+    #[test]
+    fn method_call_sugar() {
+        let b = parse("obj:poke(1, 2)").unwrap();
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::ExprStmt(Expr::MethodCall(_, m, args)) if m == "poke" && args.len() == 2
+        ));
+    }
+
+    #[test]
+    fn numeric_and_generic_for() {
+        let b = parse("for i = 1, 10, 2 do x = i end").unwrap();
+        assert!(matches!(&b.stmts[0], Stmt::NumericFor { step: Some(_), .. }));
+        let b = parse("for k, v in pairs(t) do x = k end").unwrap();
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::GenericFor { kind: IterKind::Pairs, v: Some(_), .. }
+        ));
+        let b = parse("for i in ipairs(t) do x = i end").unwrap();
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::GenericFor { kind: IterKind::Ipairs, v: None, .. }
+        ));
+        assert!(parse("for k in custom(t) do end").is_err());
+    }
+
+    #[test]
+    fn table_constructors() {
+        let b = parse(r#"t = {1, 2, name = "x", [5] = true}"#).unwrap();
+        let Stmt::Assign(_, Expr::TableCtor(items)) = &b.stmts[0] else {
+            panic!();
+        };
+        assert_eq!(items.len(), 4);
+        assert!(matches!(items[0], TableItem::Positional(_)));
+        assert!(matches!(&items[2], TableItem::Named(n, _) if n == "name"));
+        assert!(matches!(items[3], TableItem::Keyed(_, _)));
+    }
+
+    #[test]
+    fn nested_function_targets() {
+        let b = parse("function a.b.c(x) return x end").unwrap();
+        assert!(matches!(&b.stmts[0], Stmt::FuncDecl { target: Target::Index(..), .. }));
+    }
+
+    #[test]
+    fn repeat_until() {
+        let b = parse("repeat x = x + 1 until x > 3").unwrap();
+        assert!(matches!(&b.stmts[0], Stmt::Repeat(_, _)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("local = 3").is_err());
+        assert!(parse("if x then").is_err());
+        assert!(parse("x +").is_err());
+        assert!(parse("3 = x").is_err());
+        assert!(parse("x").is_err(), "bare non-call expression statement");
+        assert!(parse("end").is_err());
+    }
+
+    #[test]
+    fn return_must_end_block() {
+        assert!(parse("return 1\nx = 2").is_err());
+        assert!(parse("if a then return 1 end\nx = 2").is_ok());
+        assert!(parse("return").is_ok());
+        assert!(parse("return;").is_ok());
+    }
+
+    #[test]
+    fn call_string_shorthand() {
+        let b = parse(r#"f "hello""#).unwrap();
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::ExprStmt(Expr::Call(_, args)) if args.len() == 1
+        ));
+    }
+}

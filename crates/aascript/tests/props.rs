@@ -1,0 +1,132 @@
+//! Property-based tests: the sandbox never panics, always terminates within
+//! its budget, and evaluates arithmetic consistently with Rust.
+
+use aascript::{eval_script, RuntimeError, Script, SharedSandbox, Value};
+use proptest::prelude::*;
+
+/// A generator of random (often invalid) source text built from language
+/// fragments — exercises lexer/parser error paths.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("local x = 1".to_string()),
+        Just("if x then".to_string()),
+        Just("end".to_string()),
+        Just("return".to_string()),
+        Just("function f()".to_string()),
+        Just("x = x + 1".to_string()),
+        Just("while true do".to_string()),
+        Just("{1, 2}".to_string()),
+        Just("\"str".to_string()),
+        Just("..".to_string()),
+        Just("for i = 1, 10 do".to_string()),
+        "[a-z]{1,6}",
+        "[0-9]{1,4}",
+        Just("~= == <= >=".to_string()),
+    ]
+}
+
+/// A generator of arithmetic expressions with a parallel Rust evaluation.
+#[derive(Debug, Clone)]
+enum Arith {
+    Num(i32),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn to_src(&self) -> String {
+        match self {
+            Arith::Num(n) => format!("({n})"),
+            Arith::Add(a, b) => format!("({} + {})", a.to_src(), b.to_src()),
+            Arith::Sub(a, b) => format!("({} - {})", a.to_src(), b.to_src()),
+            Arith::Mul(a, b) => format!("({} * {})", a.to_src(), b.to_src()),
+        }
+    }
+
+    fn eval(&self) -> f64 {
+        match self {
+            Arith::Num(n) => *n as f64,
+            Arith::Add(a, b) => a.eval() + b.eval(),
+            Arith::Sub(a, b) => a.eval() - b.eval(),
+            Arith::Mul(a, b) => a.eval() * b.eval(),
+        }
+    }
+}
+
+fn arith() -> impl Strategy<Value = Arith> {
+    let leaf = (-1000i32..1000).prop_map(Arith::Num);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// Compiling arbitrary fragment soup either succeeds or returns a
+    /// CompileError — never panics.
+    #[test]
+    fn compile_never_panics(frags in proptest::collection::vec(fragment(), 0..12)) {
+        let src = frags.join("\n");
+        let _ = Script::compile(&src);
+    }
+
+    /// Instantiating any compilable fragment soup under a small budget
+    /// terminates (possibly with an error) — never hangs or panics.
+    #[test]
+    fn execution_always_terminates(frags in proptest::collection::vec(fragment(), 0..10)) {
+        let src = frags.join("\n");
+        if let Ok(script) = Script::compile(&src) {
+            let sandbox = SharedSandbox::new();
+            let _ = script.instantiate(&sandbox, 5_000);
+        }
+    }
+
+    /// Arithmetic matches Rust float semantics exactly.
+    #[test]
+    fn arithmetic_matches_rust(e in arith()) {
+        let src = format!("function main() return {} end", e.to_src());
+        let aa = eval_script(&src, 1_000_000).unwrap();
+        let got = aa.invoke("main", &[], 1_000_000).unwrap().as_num().unwrap();
+        prop_assert_eq!(got, e.eval());
+    }
+
+    /// Loops of any requested length either finish or exhaust the budget;
+    /// the interpreter never exceeds (budget) steps of work.
+    #[test]
+    fn budget_bounds_loop_work(iters in 0u32..10_000) {
+        let src = format!(
+            "function main()\nlocal s = 0\nfor i = 1, {iters} do s = s + 1 end\nreturn s\nend"
+        );
+        let aa = eval_script(&src, 1_000_000).unwrap();
+        match aa.invoke("main", &[], 20_000) {
+            Ok(v) => {
+                // Finished within budget: result must be exact.
+                prop_assert_eq!(v.as_num().unwrap(), iters as f64);
+            }
+            Err(RuntimeError::BudgetExhausted) => {
+                // Must only happen for loops long enough to plausibly burn
+                // 20k steps (each iteration costs a handful).
+                prop_assert!(iters > 2_000, "tiny loop {} exhausted budget", iters);
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Table round-trip: anything stored under a string key is read back.
+    #[test]
+    fn table_store_roundtrip(key in "[a-zA-Z_][a-zA-Z0-9_]{0,8}", val in -1e9f64..1e9) {
+        let src = format!(
+            "AA = {{}}\nfunction set(v) AA[\"{key}\"] = v end\nfunction get() return AA[\"{key}\"] end"
+        );
+        let aa = eval_script(&src, 100_000).unwrap();
+        aa.invoke("set", &[Value::Num(val)], 10_000).unwrap();
+        let got = aa.invoke("get", &[], 10_000).unwrap().as_num().unwrap();
+        prop_assert_eq!(got, val);
+    }
+}

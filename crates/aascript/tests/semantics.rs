@@ -1,0 +1,342 @@
+//! A battery of language-semantics tests pinning AAScript to its intended
+//! (Lua-5.1-style) behaviour: scoping, closures, evaluation order,
+//! truthiness, and the table border.
+
+use aascript::{display_value, eval_script, RuntimeError, Value};
+
+fn run_main(src: &str) -> Value {
+    let aa = eval_script(src, 1_000_000).expect("script runs");
+    aa.invoke("main", &[], 1_000_000).expect("main runs")
+}
+
+fn num(src: &str) -> f64 {
+    run_main(src).as_num().expect("number result")
+}
+
+fn text(src: &str) -> String {
+    display_value(&run_main(src))
+}
+
+#[test]
+fn local_shadows_global() {
+    assert_eq!(
+        num(r#"
+            x = 1
+            function main()
+                local x = 2
+                return x
+            end
+        "#),
+        2.0
+    );
+}
+
+#[test]
+fn global_assignment_inside_function_is_visible_outside() {
+    assert_eq!(
+        num(r#"
+            function set() y = 7 end
+            function main()
+                set()
+                return y
+            end
+        "#),
+        7.0
+    );
+}
+
+#[test]
+fn block_scopes_do_not_leak_locals() {
+    assert_eq!(
+        text(r#"
+            function main()
+                if true then
+                    local hidden = 1
+                end
+                return tostring(hidden)
+            end
+        "#),
+        "nil"
+    );
+}
+
+#[test]
+fn loop_variable_is_fresh_per_iteration() {
+    // Closures captured per iteration must see their own `i`.
+    assert_eq!(
+        num(r#"
+            function main()
+                local fns = {}
+                for i = 1, 3 do
+                    table.insert(fns, function() return i end)
+                end
+                return fns[1]() * 100 + fns[2]() * 10 + fns[3]()
+            end
+        "#),
+        123.0
+    );
+}
+
+#[test]
+fn two_closures_share_one_upvalue() {
+    assert_eq!(
+        num(r#"
+            function pair()
+                local n = 0
+                local inc = function() n = n + 1 end
+                local get = function() return n end
+                return {inc = inc, get = get}
+            end
+            function main()
+                local p = pair()
+                p.inc()
+                p.inc()
+                return p.get()
+            end
+        "#),
+        2.0
+    );
+}
+
+#[test]
+fn and_or_return_operands_not_booleans() {
+    assert_eq!(text(r#"function main() return nil or "fallback" end"#), "fallback");
+    assert_eq!(text(r#"function main() return 1 and "second" end"#), "second");
+    assert_eq!(text(r#"function main() return false and crash() end"#), "false");
+    assert_eq!(text(r#"function main() return 7 or crash() end"#), "7");
+}
+
+#[test]
+fn short_circuit_prevents_side_effects() {
+    assert_eq!(
+        num(r#"
+            calls = 0
+            function bump() calls = calls + 1
+            return true end
+            function main()
+                local _ = false and bump()
+                local _ = true or bump()
+                return calls
+            end
+        "#),
+        0.0
+    );
+}
+
+#[test]
+fn argument_evaluation_is_left_to_right() {
+    assert_eq!(
+        text(r#"
+            log = ""
+            function mark(s) log = log .. s
+            return s end
+            function take(a, b, c) return log end
+            function main()
+                return take(mark("a"), mark("b"), mark("c"))
+            end
+        "#),
+        "abc"
+    );
+}
+
+#[test]
+fn missing_arguments_are_nil_extra_ignored() {
+    assert_eq!(
+        text(r#"
+            function f(a, b) return tostring(a) .. "/" .. tostring(b) end
+            function main() return f(1) end
+        "#),
+        "1/nil"
+    );
+    assert_eq!(
+        num(r#"
+            function f(a) return a end
+            function main() return f(5, 6, 7) end
+        "#),
+        5.0
+    );
+}
+
+#[test]
+fn numeric_for_edge_cases() {
+    // Zero iterations when start > stop with positive step.
+    assert_eq!(
+        num("function main()\nlocal n = 0\nfor i = 5, 1 do n = n + 1 end\nreturn n end"),
+        0.0
+    );
+    // Fractional steps.
+    assert_eq!(
+        num("function main()\nlocal n = 0\nfor i = 0, 1, 0.25 do n = n + 1 end\nreturn n end"),
+        5.0
+    );
+}
+
+#[test]
+fn table_border_semantics() {
+    assert_eq!(num("function main()\nlocal t = {1, 2, 3}\nreturn #t end"), 3.0);
+    // Setting t[5] does not extend the border past the hole.
+    assert_eq!(
+        num("function main()\nlocal t = {1, 2}\nt[5] = 9\nreturn #t end"),
+        2.0
+    );
+    // Removing the border element shrinks it.
+    assert_eq!(
+        num("function main()\nlocal t = {1, 2, 3}\nt[3] = nil\nreturn #t end"),
+        2.0
+    );
+}
+
+#[test]
+fn string_length_and_comparison() {
+    assert_eq!(num(r#"function main() return #"hello" end"#), 5.0);
+    assert_eq!(
+        text(r#"function main() return tostring("abc" < "abd") end"#),
+        "true"
+    );
+}
+
+#[test]
+fn nested_function_declarations_on_tables() {
+    assert_eq!(
+        num(r#"
+            ns = {inner = {}}
+            function ns.inner.f(x) return x + 1 end
+            function main() return ns.inner.f(41) end
+        "#),
+        42.0
+    );
+}
+
+#[test]
+fn repeat_body_runs_at_least_once() {
+    assert_eq!(
+        num("function main()\nlocal n = 0\nrepeat n = n + 1 until true\nreturn n end"),
+        1.0
+    );
+}
+
+#[test]
+fn break_only_exits_innermost_loop() {
+    assert_eq!(
+        num(r#"
+            function main()
+                local n = 0
+                for i = 1, 3 do
+                    for j = 1, 10 do
+                        if j == 2 then break end
+                        n = n + 1
+                    end
+                end
+                return n
+            end
+        "#),
+        3.0
+    );
+}
+
+#[test]
+fn return_inside_loop_exits_function() {
+    assert_eq!(
+        num(r#"
+            function main()
+                for i = 1, 100 do
+                    if i == 7 then return i end
+                end
+                return -1
+            end
+        "#),
+        7.0
+    );
+}
+
+#[test]
+fn pairs_iterates_deterministically_sorted() {
+    // BTreeMap order: integer keys first (by value), then strings (lex).
+    assert_eq!(
+        text(r#"
+            function main()
+                local t = {z = 1, a = 2, [10] = 3, [2] = 4}
+                local order = ""
+                for k, v in pairs(t) do
+                    order = order .. tostring(k) .. ";"
+                end
+                return order
+            end
+        "#),
+        "2;10;a;z;"
+    );
+}
+
+#[test]
+fn mutating_during_pairs_is_safe_snapshot() {
+    assert_eq!(
+        num(r#"
+            function main()
+                local t = {a = 1, b = 2}
+                local n = 0
+                for k, v in pairs(t) do
+                    t[k .. "x"] = 9 -- grows the table mid-walk
+                    n = n + 1
+                end
+                return n
+            end
+        "#),
+        2.0
+    );
+}
+
+#[test]
+fn nan_comparisons_are_false() {
+    assert_eq!(
+        text(r#"
+            function main()
+                local nan = 0 / 0
+                return tostring(nan < 1) .. tostring(nan >= 1) .. tostring(nan == nan)
+            end
+        "#),
+        "falsefalsefalse"
+    );
+}
+
+#[test]
+fn division_by_zero_yields_infinity() {
+    assert_eq!(num("function main() return 1 / 0 end"), f64::INFINITY);
+    assert_eq!(num("function main() return -1 / 0 end"), f64::NEG_INFINITY);
+}
+
+#[test]
+fn deep_recursion_is_stopped_cleanly() {
+    let aa = eval_script(
+        "function f(n) if n == 0 then return 0 end\nreturn f(n - 1) end",
+        1_000_000,
+    )
+    .unwrap();
+    // Shallow recursion fine…
+    assert!(aa.invoke("f", &[Value::Num(50.0)], 1_000_000).is_ok());
+    // …deep recursion rejected without blowing the Rust stack.
+    let err = aa.invoke("f", &[Value::Num(100_000.0)], 100_000_000).unwrap_err();
+    assert!(matches!(
+        err,
+        RuntimeError::StackOverflow | RuntimeError::BudgetExhausted
+    ));
+}
+
+#[test]
+fn self_method_chains() {
+    assert_eq!(
+        num(r#"
+            acc = {total = 0}
+            function acc.add(self, x)
+                self.total = self.total + x
+                return self
+            end
+            function main()
+                acc:add(1)
+                acc:add(2)
+                acc:add(39)
+                return acc.total
+            end
+        "#),
+        42.0
+    );
+}

@@ -1,0 +1,72 @@
+//! # pastry — a from-scratch Pastry DHT
+//!
+//! The structured-overlay substrate of the RBAY reproduction (paper §II.B):
+//! 128-bit NodeIds derived from SHA-1, base-16 prefix routing in
+//! `⌈log₁₆ N⌉` expected hops, leaf sets for the final routing step and for
+//! failure repair, and a site-scoped routing mode used by RBAY's
+//! administrative isolation.
+//!
+//! The protocol core ([`PastryNode`]) is sans-I/O: it emits messages through
+//! the [`Net`] trait and surfaces application payloads through
+//! [`PastryApp`], so the same code runs over the deterministic [`simnet`]
+//! simulator (see [`SimNet`]) or any other transport.
+//!
+//! ```
+//! use pastry::{NodeId, NodeInfo, PastryNode};
+//! use simnet::{NodeAddr, SiteId};
+//!
+//! let mut nodes: Vec<PastryNode> = (0..32)
+//!     .map(|i| PastryNode::new(NodeInfo {
+//!         id: NodeId::hash_of(format!("node:{i}").as_bytes()),
+//!         addr: NodeAddr(i),
+//!         site: SiteId(0),
+//!     }))
+//!     .collect();
+//! // Seed converged routing state (the protocol join is also available).
+//! pastry::seed_overlay(&mut nodes, |_, _| 0.0);
+//! assert!(nodes.iter().all(|n| n.is_joined()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod id;
+mod node;
+pub mod sha1;
+mod state;
+
+pub use bootstrap::seed_overlay;
+pub use id::{NodeId, BITS_PER_DIGIT, DIGIT_BASE, ID_DIGITS};
+pub use node::{Net, PastryApp, PastryMsg, PastryNode, PastryStats};
+pub use state::{LeafSet, NodeInfo, RoutingTable, LEAF_SET_SIDE};
+
+use simnet::{Context, MessageSize, SiteId};
+
+/// Adapter implementing [`Net`] over a [`simnet::Context`], so protocol code
+/// can run inside simulation actors. RTT hints come from the topology.
+pub struct SimNet<'a, 'c, A> {
+    ctx: &'a mut Context<'c, PastryMsg<A>>,
+}
+
+impl<'a, 'c, A> SimNet<'a, 'c, A> {
+    /// Wraps a simulation context.
+    pub fn new(ctx: &'a mut Context<'c, PastryMsg<A>>) -> Self {
+        SimNet { ctx }
+    }
+
+    /// The wrapped context.
+    pub fn ctx(&mut self) -> &mut Context<'c, PastryMsg<A>> {
+        self.ctx
+    }
+}
+
+impl<'a, 'c, A: MessageSize> Net<A> for SimNet<'a, 'c, A> {
+    fn send(&mut self, to: simnet::NodeAddr, msg: PastryMsg<A>) {
+        self.ctx.send(to, msg);
+    }
+
+    fn rtt_ms(&self, a: SiteId, b: SiteId) -> f64 {
+        self.ctx.topology().rtt_ms(a, b)
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal SHA-1 implementation.
+//!
+//! Pastry derives 128-bit node identifiers from a secure hash of the node's
+//! address, and RBAY derives tree identifiers from `SHA-1(topic ++ creator)`
+//! (paper §II.B). SHA-1's collision weaknesses do not matter here — it is
+//! used purely to spread identifiers uniformly over the ring — so we keep the
+//! paper's choice and implement it in-repo rather than pulling a dependency.
+
+/// Computes the 20-byte SHA-1 digest of `data`.
+///
+/// ```
+/// let d = pastry::sha1::sha1(b"abc");
+/// assert_eq!(d[0], 0xa9);
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Pad: message ++ 0x80 ++ zeros ++ 64-bit big-endian bit length.
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// The first 128 bits of the SHA-1 digest of `data`, as a big-endian `u128`.
+/// This is how Pastry NodeIds and Scribe TreeIds are formed.
+pub fn sha1_u128(data: &[u8]) -> u128 {
+    let d = sha1(data);
+    let mut b = [0u8; 16];
+    b.copy_from_slice(&d[..16]);
+    u128::from_be_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn exactly_block_boundary_lengths() {
+        // 55, 56, 63, 64, 65 bytes exercise every padding branch.
+        for len in [55usize, 56, 63, 64, 65] {
+            let data = vec![0x61u8; len];
+            let d = sha1(&data);
+            assert_eq!(d.len(), 20);
+            // Digest differs from neighbours (sanity against padding bugs).
+            let d2 = sha1(&vec![0x61u8; len + 1]);
+            assert_ne!(d, d2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn u128_truncation_is_prefix() {
+        let full = sha1(b"rbay");
+        let t = sha1_u128(b"rbay");
+        assert_eq!(t.to_be_bytes()[..], full[..16]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # rbay-baselines — comparison systems from the paper's evaluation
+//!
+//! * [`PastStore`] — the PAST-style passive key-value baseline of the
+//!   Fig. 8c memory comparison: per attribute, only a NodeId list, no
+//!   handlers.
+//! * [`CentralPlane`] — the Ganglia-style centralized hierarchy of paper
+//!   §II.A / Fig. 3a: one master polling per-site cluster heads. Used by
+//!   the ablation benches to demonstrate the central bottleneck and
+//!   staleness RBAY's decentralized trees avoid.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod central;
+mod past;
+
+pub use central::{CentralMsg, CentralNode, CentralPlane, CentralQueryRecord, Role};
+pub use past::PastStore;

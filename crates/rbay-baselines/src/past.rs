@@ -1,0 +1,112 @@
+//! A PAST-style passive key-value store, the memory baseline of Fig. 8c.
+//!
+//! PAST (Rowstron & Druschel, SOSP'01) stores immutable values against
+//! keys with no per-entry behaviour. The paper compares RBAY's
+//! active-attribute memory footprint against "Past nodes [where] only the
+//! NodeId is saved, which returns the same list of NodeIds upon a get
+//! request" (§IV.B.3). This module reproduces exactly that baseline.
+
+use pastry::NodeId;
+use std::collections::BTreeMap;
+
+/// A passive attribute store: each attribute maps to the NodeIds holding
+/// it. `get` returns the same list unconditionally — no handlers, no
+/// policy.
+///
+/// ```
+/// use rbay_baselines::PastStore;
+/// use pastry::NodeId;
+///
+/// let mut store = PastStore::new();
+/// store.put("GPU", NodeId(27));
+/// assert_eq!(store.get("GPU"), &[NodeId(27)]);
+/// assert!(store.get("TPU").is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PastStore {
+    entries: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl PastStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PastStore::default()
+    }
+
+    /// Registers `node` under `attr`.
+    pub fn put(&mut self, attr: &str, node: NodeId) {
+        let list = self.entries.entry(attr.to_owned()).or_default();
+        if !list.contains(&node) {
+            list.push(node);
+        }
+    }
+
+    /// The unconditional NodeId list for `attr` (the PAST `get`).
+    pub fn get(&self, attr: &str) -> &[NodeId] {
+        self.entries.get(attr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Removes `node` from `attr`, dropping the entry when empty.
+    pub fn remove(&mut self, attr: &str, node: NodeId) {
+        if let Some(list) = self.entries.get_mut(attr) {
+            list.retain(|n| *n != node);
+            if list.is_empty() {
+                self.entries.remove(attr);
+            }
+        }
+    }
+
+    /// Number of stored attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes — the quantity plotted against
+    /// RBAY's AA footprint in Fig. 8c.
+    pub fn size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| k.len() + std::mem::size_of::<NodeId>() * v.len() + 48)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let mut s = PastStore::new();
+        s.put("GPU", NodeId(1));
+        s.put("GPU", NodeId(2));
+        s.put("GPU", NodeId(1)); // duplicate ignored
+        assert_eq!(s.get("GPU"), &[NodeId(1), NodeId(2)]);
+        assert_eq!(s.get("missing"), &[] as &[NodeId]);
+        s.remove("GPU", NodeId(1));
+        assert_eq!(s.get("GPU"), &[NodeId(2)]);
+        s.remove("GPU", NodeId(2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn size_grows_linearly_with_attributes() {
+        let mut s = PastStore::new();
+        for i in 0..100 {
+            s.put(&format!("attr{i}"), NodeId(i as u128));
+        }
+        let at_100 = s.size_bytes();
+        for i in 100..200 {
+            s.put(&format!("attr{i}"), NodeId(i as u128));
+        }
+        let at_200 = s.size_bytes();
+        let per_attr_1 = at_100 as f64 / 100.0;
+        let per_attr_2 = (at_200 - at_100) as f64 / 100.0;
+        assert!((per_attr_1 - per_attr_2).abs() / per_attr_1 < 0.2, "roughly linear");
+    }
+}

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: the hot primitives under the figures —
+//! routing decisions, AA handler invocation, query parsing, aggregate
+//! merging, and SHA-1 id hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastry::{seed_overlay, NodeId, NodeInfo, PastryNode};
+use scribe::AggValue;
+use simnet::{NodeAddr, SiteId};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pastry_next_hop");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut nodes: Vec<PastryNode> = (0..n)
+            .map(|i| {
+                PastryNode::new(NodeInfo {
+                    id: NodeId::hash_of(format!("n{i}").as_bytes()),
+                    addr: NodeAddr(i as u32),
+                    site: SiteId((i % 8) as u16),
+                })
+            })
+            .collect();
+        seed_overlay(&mut nodes, |_, _| 0.0);
+        let node = &nodes[0];
+        let keys: Vec<NodeId> = (0..64)
+            .map(|k| NodeId::hash_of(format!("key{k}").as_bytes()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(node.next_hop(keys[i], None))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aa_invocation(c: &mut Criterion) {
+    let sandbox = aascript::SharedSandbox::new();
+    let script = aascript::Script::compile(
+        r#"
+        AA = {Password = "3053482032"}
+        function onGet(caller, password)
+            if password == AA.Password then
+                return true
+            end
+            return nil
+        end
+    "#,
+    )
+    .unwrap();
+    let aa = script.instantiate(&sandbox, 10_000).unwrap();
+    let args = [
+        aascript::Value::str("joe"),
+        aascript::Value::str("3053482032"),
+    ];
+    c.bench_function("aa_onget_password_check", |b| {
+        b.iter(|| black_box(aa.invoke("onGet", &args, 10_000).unwrap()))
+    });
+    c.bench_function("aa_instantiate", |b| {
+        b.iter(|| black_box(script.instantiate(&sandbox, 10_000).unwrap()))
+    });
+}
+
+fn bench_query_parse(c: &mut Criterion) {
+    let q = r#"SELECT 4 FROM "Virginia", "Tokyo" WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% AND GPU = true GROUPBY CPU_utilization DESC;"#;
+    c.bench_function("query_parse_composite", |b| {
+        b.iter(|| black_box(rbay_query::parse_query(black_box(q)).unwrap()))
+    });
+}
+
+fn bench_aggregate_merge(c: &mut Criterion) {
+    let values: Vec<AggValue> = (0..64).map(AggValue::Count).collect();
+    c.bench_function("aggregate_merge_64_children", |b| {
+        b.iter(|| black_box(AggValue::merge_all(values.iter())))
+    });
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let data = vec![0xABu8; 64];
+    c.bench_function("sha1_64B_nodeid", |b| {
+        b.iter(|| black_box(pastry::sha1::sha1_u128(black_box(&data))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routing, bench_aa_invocation, bench_query_parse, bench_aggregate_merge, bench_sha1
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Runs every experiment harness in sequence (the whole evaluation
+//! section in one command) by re-executing the sibling binaries.
+//!
+//! ```sh
+//! cargo run --release -p rbay-bench --bin all_experiments -- --seed 42 --scale 1
+//! ```
+
+use rbay_bench::HarnessOpts;
+use std::process::Command;
+
+const BINS: [&str; 11] = [
+    "table2",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablation_central",
+    "ablation_aggregation",
+    "churn",
+    "openloop",
+];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("==================== {bin} ====================");
+        let status = Command::new(bin_dir.join(bin))
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--scale")
+            .arg(opts.scale.to_string())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p rbay-bench`)");
+                failures.push(bin);
+            }
+        }
+        println!();
+    }
+    if !failures.is_empty() {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("all {} experiments completed", BINS.len());
+}

@@ -1,0 +1,51 @@
+//! Fig. 10: average query latency and standard deviation for users in
+//! every locale, as the number of requesting sites grows 1 → 8.
+//!
+//! Expectations (paper §IV.C): latency rises roughly linearly from 1 to 5
+//! sites, then plateaus for 6–8 sites (the max-RTT site is already
+//! included); local-site discovery stays under ~200 ms; multi-site
+//! searches land around 600 ms.
+
+use rbay_bench::{build_ec2_federation, measure_query_latencies, stats, HarnessOpts};
+use rbay_workloads::{aws8_site_names, QueryGen};
+use simnet::topology::AWS8_SITE_NAMES;
+use simnet::SiteId;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let nodes_per_site = opts.scaled_nodes(100, 12);
+    let queries_per_cell = opts.scaled(25, 5);
+
+    println!(
+        "Fig. 10: avg ± stddev of composite-query latency (ms) vs requesting sites"
+    );
+    println!(
+        "({} nodes/site, {} queries per cell)\n",
+        nodes_per_site, queries_per_cell
+    );
+    let mut fed = build_ec2_federation(nodes_per_site, opts.seed);
+    let mut qg = QueryGen::new(opts.seed ^ 0xF00D, aws8_site_names(), 5).focus_popular(7, 15);
+
+    print!("{:<14}", "locale");
+    for n in 1..=8 {
+        print!("{:>16}", format!("{n}-site"));
+    }
+    println!();
+    for (s, name) in AWS8_SITE_NAMES.iter().enumerate() {
+        print!("{name:<14}");
+        for n_sites in 1..=8usize {
+            let lats = measure_query_latencies(
+                &mut fed,
+                &mut qg,
+                SiteId(s as u16),
+                n_sites,
+                queries_per_cell,
+            );
+            match stats(&lats) {
+                Some(st) => print!("{:>16}", format!("{:.0}±{:.0}", st.mean, st.stddev)),
+                None => print!("{:>16}", "-"),
+            }
+        }
+        println!();
+    }
+}

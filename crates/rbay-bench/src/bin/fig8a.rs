@@ -1,0 +1,110 @@
+//! Fig. 8a: scalability with the number of nodes.
+//!
+//! Paper setup (§IV.B.1): 10,000 RBAY agents with 10 attributes each (10%
+//! exposed), 1,000 atomic queries each asking for one unique attribute;
+//! the plotted quantity is the average number of DHT hops per query as the
+//! datacenter size grows exponentially. Expectation: hops grow linearly in
+//! log(N) — `O(log N)` routing.
+
+use pastry::{seed_overlay, NodeId, NodeInfo, PastryApp, PastryMsg, PastryNode, SimNet};
+use rbay_bench::{stats, HarnessOpts};
+use simnet::{Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, SiteId, Topology};
+
+#[derive(Debug, Clone, Copy)]
+struct Probe(#[allow(dead_code)] u64);
+impl MessageSize for Probe {}
+
+#[derive(Default)]
+struct HopRecorder {
+    hops: Vec<u16>,
+}
+impl PastryApp<Probe> for HopRecorder {
+    fn deliver<N: pastry::Net<Probe>>(
+        &mut self,
+        _node: &mut PastryNode,
+        _net: &mut N,
+        _key: NodeId,
+        _payload: Probe,
+        hops: u16,
+    ) {
+        self.hops.push(hops);
+    }
+    fn receive_direct<N: pastry::Net<Probe>>(
+        &mut self,
+        _node: &mut PastryNode,
+        _net: &mut N,
+        _from: NodeAddr,
+        _payload: Probe,
+    ) {
+    }
+}
+
+struct Agent {
+    node: PastryNode,
+    app: HopRecorder,
+}
+
+impl Actor for Agent {
+    type Msg = PastryMsg<Probe>;
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeAddr, msg: Self::Msg) {
+        let Agent { node, app } = self;
+        let mut net = SimNet::new(ctx);
+        node.on_message(&mut net, app, from, msg);
+    }
+}
+
+fn avg_hops(n_nodes: usize, n_queries: usize, seed: u64) -> (f64, f64) {
+    let topo = Topology::single_site(n_nodes, 0.5);
+    let mut sim = Simulation::new(topo, seed, |addr| Agent {
+        node: PastryNode::new(NodeInfo {
+            id: NodeId::hash_of(format!("agent:{}", addr.0).as_bytes()),
+            addr,
+            site: SiteId(0),
+        }),
+        app: HopRecorder::default(),
+    });
+    let mut nodes: Vec<PastryNode> = sim
+        .actors()
+        .map(|(_, a)| PastryNode::new(a.node.info()))
+        .collect();
+    seed_overlay(&mut nodes, |_, _| 0.0);
+    for (i, n) in nodes.into_iter().enumerate() {
+        sim.actor_mut(NodeAddr(i as u32)).node = n;
+    }
+    // Each query targets one unique attribute key from a random source.
+    for q in 0..n_queries {
+        let key = NodeId::hash_of(format!("attr:{seed}:{q}").as_bytes());
+        let src = NodeAddr(((q * 7919 + seed as usize) % n_nodes) as u32);
+        sim.schedule_call(SimTime::ZERO, src, move |a, ctx| {
+            let Agent { node, app } = a;
+            let mut net = SimNet::new(ctx);
+            node.route(&mut net, app, key, Probe(q as u64), None);
+        });
+    }
+    sim.run_until_idle();
+    let hops: Vec<f64> = sim
+        .actors()
+        .flat_map(|(_, a)| a.app.hops.iter().map(|h| *h as f64))
+        .collect();
+    let s = stats(&hops).expect("queries delivered");
+    (s.mean, s.max)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let queries = opts.scaled(1_000, 100);
+    println!("Fig. 8a: average DHT hops per atomic query vs datacenter size");
+    println!("({queries} queries per point; expectation: linear in log16 N)\n");
+    println!("{:>8} {:>12} {:>10} {:>10}", "nodes", "log16(N)", "avg hops", "max hops");
+    for &n in &[10usize, 50, 100, 500, 1_000, 5_000, 10_000] {
+        let n = opts.scaled_nodes(n, 4);
+        let (mean, max) = avg_hops(n, queries, opts.seed);
+        println!(
+            "{:>8} {:>12.2} {:>10.2} {:>10.0}",
+            n,
+            (n as f64).log(16.0),
+            mean,
+            max
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 9: CDFs of composite-query latency for users in Virginia,
+//! Singapore, and São Paulo, as the location predicate grows from the
+//! local site to all eight sites.
+//!
+//! Paper setup (§IV.C): eight EC2 sites federated into one pool; every
+//! site issues composite queries (three attributes, one instance type,
+//! password-checked `onGet`); the location predicate varies from 1 to 8
+//! sites. Expectations: single-site queries complete locally (<200 ms);
+//! multi-site latency is bounded by the RTT to the farthest requested
+//! site; Singapore users see the highest multi-site latencies.
+
+use rbay_bench::{build_ec2_federation, measure_query_latencies, print_cdf_row, HarnessOpts};
+use rbay_workloads::{aws8_site_names, QueryGen};
+use simnet::SiteId;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let nodes_per_site = opts.scaled_nodes(100, 12);
+    let queries_per_cell = opts.scaled(30, 5);
+
+    println!(
+        "Fig. 9: composite-query latency CDFs ({} nodes/site, {} queries per point)\n",
+        nodes_per_site, queries_per_cell
+    );
+    let mut fed = build_ec2_federation(nodes_per_site, opts.seed);
+    let mut qg = QueryGen::new(opts.seed ^ 0x5151, aws8_site_names(), 5).focus_popular(7, 15);
+
+    // Virginia (site 0), Singapore (site 4), São Paulo (site 7).
+    for (name, site) in [("Virginia", 0u16), ("Singapore", 4), ("SaoPaulo", 7)] {
+        println!("--- users in {name} ---");
+        for n_sites in 1..=8usize {
+            let mut lats = measure_query_latencies(
+                &mut fed,
+                &mut qg,
+                SiteId(site),
+                n_sites,
+                queries_per_cell,
+            );
+            print_cdf_row(&format!("{name} {n_sites}-site"), &mut lats);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,316 @@
+//! # rbay-bench — harnesses regenerating the paper's tables and figures
+//!
+//! One binary per experiment:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2` | Table II — inter-site RTT matrix |
+//! | `fig8a` | Fig. 8a — hops vs number of nodes |
+//! | `fig8b` | Fig. 8b — forwarding load balance across NodeIds |
+//! | `fig8c` | Fig. 8c — AA memory vs the PAST baseline |
+//! | `fig9` | Fig. 9 — per-user query-latency CDFs (Virginia, Singapore, São Paulo) |
+//! | `fig10` | Fig. 10 — average latency ± stddev vs number of requesting sites |
+//! | `fig11` | Fig. 11 — tree construction (onSubscribe) and command delivery (onDeliver) latency |
+//! | `ablation_central` | §II.A argument — central master load vs RBAY's decentralized trees |
+//! | `ablation_aggregation` | design ablation — aggregation interval vs root-view staleness |
+//! | `churn` | §VI future work — query success/recall/latency under node churn |
+//! | `openloop` | §IV.A arrival process — concurrent queries at a fixed rate, conflicts + backoff |
+//!
+//! Every binary accepts `--seed <n>` and `--scale <f>` (scales node and
+//! query counts; `--scale 1` matches the defaults used in
+//! `EXPERIMENTS.md`; larger scales approach the paper's full 16,000-agent
+//! setup). Output is plain aligned text, one row per plotted point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rbay_core::{Federation, QueryId, RbayConfig, RbayEvent};
+use rbay_workloads::{populate_ec2_federation, QueryGen, ScenarioConfig, WORKLOAD_PASSWORD};
+use simnet::{NodeAddr, SimDuration, SiteId, Topology};
+
+/// Common command-line options of every harness.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// RNG seed.
+    pub seed: u64,
+    /// Size multiplier for node/query counts.
+    pub scale: f64,
+    /// Overrides the multiplier for *node* counts only (so a 16,000-agent
+    /// overlay can be validated without multiplying query counts too).
+    pub node_scale: Option<f64>,
+}
+
+impl HarnessOpts {
+    /// Parses `--seed <n>` and `--scale <f>` from `std::env::args`.
+    /// Unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts {
+            seed: 42,
+            scale: 1.0,
+            node_scale: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    opts.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                    i += 2;
+                }
+                "--scale" => {
+                    opts.scale = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                    i += 2;
+                }
+                "--node-scale" => {
+                    opts.node_scale = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--node-scale needs a number")),
+                    );
+                    i += 2;
+                }
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+        }
+        opts
+    }
+
+    /// Scales a count, keeping at least `min`.
+    pub fn scaled(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(min)
+    }
+
+    /// Scales a *node* count: uses `--node-scale` when given, else
+    /// `--scale`.
+    pub fn scaled_nodes(&self, base: usize, min: usize) -> usize {
+        let s = self.node_scale.unwrap_or(self.scale);
+        ((base as f64 * s) as usize).max(min)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: <bin> [--seed N] [--scale F] [--node-scale F]");
+    std::process::exit(2);
+}
+
+/// Basic statistics over a latency sample.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes summary statistics (`None` for an empty sample).
+pub fn stats(xs: &[f64]) -> Option<Stats> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    Some(Stats {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: xs.iter().cloned().fold(0.0, f64::max),
+    })
+}
+
+/// The `p`-quantile (0..=1) of a sorted sample, by linear interpolation.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Builds the eight-site EC2 federation populated with the paper's
+/// workload, maintenance already run so tree aggregates are warm.
+pub fn build_ec2_federation(nodes_per_site: usize, seed: u64) -> Federation {
+    build_ec2_federation_with(nodes_per_site, seed, true)
+}
+
+/// Like [`build_ec2_federation`] but with administrative isolation
+/// switchable: `site_isolation = false` reproduces the Fig. 11 deployment
+/// where per-site trees rendezvous on the global ring.
+pub fn build_ec2_federation_with(
+    nodes_per_site: usize,
+    seed: u64,
+    site_isolation: bool,
+) -> Federation {
+    let cfg = RbayConfig {
+        commit_results: false, // measurement queries release their finds
+        site_isolation,
+        ..RbayConfig::default()
+    };
+    let mut fed = Federation::with_config(Topology::aws_ec2_8_sites(nodes_per_site), seed, cfg);
+    let scenario = ScenarioConfig {
+        extra_attrs_per_node: 5,
+        ..ScenarioConfig::default()
+    };
+    populate_ec2_federation(&mut fed, seed ^ 0xA5A5, &scenario);
+    fed.run_maintenance(5, SimDuration::from_millis(250));
+    fed.settle();
+    fed
+}
+
+/// Runs `queries_per_cell` composite queries from `home` with a location
+/// predicate spanning `n_sites`, returning per-query latencies (ms).
+/// Satisfied and timed-out queries alike contribute: the paper reports
+/// user-observed latency.
+pub fn measure_query_latencies(
+    fed: &mut Federation,
+    qg: &mut QueryGen,
+    home: SiteId,
+    n_sites: usize,
+    queries_per_cell: usize,
+) -> Vec<f64> {
+    let homes = fed.sim().topology().nodes_of_site(home);
+    let mut out = Vec::with_capacity(queries_per_cell);
+    for i in 0..queries_per_cell {
+        let origin = homes[2 + (i % (homes.len() - 2))];
+        let text = qg.composite(home, n_sites, 1);
+        let id: QueryId = fed
+            .issue_query(origin, &text, Some(WORKLOAD_PASSWORD))
+            .expect("generated query parses");
+        fed.settle();
+        let rec = fed.query_record(origin, id).expect("record exists");
+        if let Some(done) = rec.completed_at {
+            out.push(done.saturating_since(rec.issued_at).as_millis_f64());
+        }
+        // Space queries out so reservations lapse between measurements.
+        let horizon = fed.sim().now() + SimDuration::from_millis(2_500);
+        fed.run_until(horizon);
+    }
+    out
+}
+
+/// Collects every node's `Subscribed` latencies, grouped by site (Fig. 11
+/// onSubscribe).
+pub fn subscribe_latencies_by_site(fed: &Federation) -> Vec<Vec<f64>> {
+    let topo = fed.sim().topology();
+    let mut per_site = vec![Vec::new(); topo.site_count()];
+    for i in 0..topo.node_count() as u32 {
+        let n = NodeAddr(i);
+        let site = topo.site_of(n).0 as usize;
+        for ev in fed.events(n) {
+            if let RbayEvent::Subscribed {
+                requested_at,
+                attached_at,
+                ..
+            } = ev
+            {
+                per_site[site]
+                    .push(attached_at.saturating_since(*requested_at).as_millis_f64());
+            }
+        }
+    }
+    per_site
+}
+
+/// Collects admin-delivery latencies per site for the given command ids
+/// (Fig. 11 onDeliver).
+pub fn delivery_latencies_by_site(fed: &Federation, cmd_ids: &[u64]) -> Vec<Vec<f64>> {
+    let topo = fed.sim().topology();
+    let mut per_site = vec![Vec::new(); topo.site_count()];
+    for i in 0..topo.node_count() as u32 {
+        let n = NodeAddr(i);
+        let site = topo.site_of(n).0 as usize;
+        for ev in fed.events(n) {
+            if let RbayEvent::AdminDelivered {
+                cmd_id,
+                issued_at,
+                delivered_at,
+            } = ev
+            {
+                if cmd_ids.contains(cmd_id) {
+                    per_site[site]
+                        .push(delivered_at.saturating_since(*issued_at).as_millis_f64());
+                }
+            }
+        }
+    }
+    per_site
+}
+
+/// Prints a labelled CDF line: selected percentiles of a sample.
+pub fn print_cdf_row(label: &str, xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        println!("{label:<24} (no samples)");
+        return;
+    }
+    println!(
+        "{label:<24} n={:<5} p10={:>8.1} p25={:>8.1} p50={:>8.1} p75={:>8.1} p90={:>8.1} p99={:>8.1}",
+        xs.len(),
+        percentile(xs, 0.10),
+        percentile(xs, 0.25),
+        percentile(xs, 0.50),
+        percentile(xs, 0.75),
+        percentile(xs, 0.90),
+        percentile(xs, 0.99),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(stats(&[]).is_none());
+    }
+
+    #[test]
+    fn small_ec2_federation_answers_measurement_queries() {
+        let mut fed = build_ec2_federation(8, 3);
+        let mut qg = QueryGen::new(4, rbay_workloads::aws8_site_names(), 5);
+        let lats = measure_query_latencies(&mut fed, &mut qg, SiteId(0), 2, 3);
+        assert_eq!(lats.len(), 3, "every query completes");
+        assert!(lats.iter().all(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn subscribe_latencies_cover_every_site() {
+        let fed = build_ec2_federation(6, 5);
+        let per_site = subscribe_latencies_by_site(&fed);
+        assert_eq!(per_site.len(), 8);
+        assert!(per_site.iter().all(|s| !s.is_empty()));
+    }
+}

@@ -1,0 +1,181 @@
+//! The simulation actor embedding a full RBAY node: Pastry routing state,
+//! Scribe trees, and the RBAY application host. Also drains the host's
+//! deferred operation queue after every dispatch.
+
+use crate::host::{split_timer_token, Op, RbayHost};
+use crate::types::RbayPayload;
+use pastry::{PastryMsg, PastryNode, SimNet};
+use scribe::{ScribeApp, ScribeLayer, ScribeMsg};
+use simnet::{Actor, Context, NodeAddr, TimerToken};
+
+/// The message type on the wire: Pastry framing around Scribe framing
+/// around RBAY payloads.
+pub type RbayMsg = PastryMsg<ScribeMsg<RbayPayload>>;
+
+/// One complete RBAY node.
+#[derive(Debug)]
+pub struct RbayNode {
+    /// DHT routing state.
+    pub pastry: PastryNode,
+    /// Tree state.
+    pub scribe: ScribeLayer,
+    /// Application state.
+    pub host: RbayHost,
+}
+
+impl RbayNode {
+    /// Executes every queued host operation, with full access to the
+    /// routing layers. Operations may enqueue further operations (e.g. a
+    /// RemoteProbe handler queues probes); the loop runs until quiescence.
+    pub fn drain_ops(&mut self, ctx: &mut Context<'_, RbayMsg>) {
+        let RbayNode {
+            pastry,
+            scribe,
+            host,
+        } = self;
+        while let Some(op) = host.ops.pop_front() {
+            let mut net = SimNet::new(ctx);
+            match op {
+                Op::Subscribe { topic, scope } => {
+                    scribe.subscribe(pastry, &mut net, host, topic, scope);
+                    scribe.set_local_value(topic, host.tree_local_value());
+                    // If the tree was already attached the subscribe was a
+                    // no-op; drop any pending-join marker so the loss-retry
+                    // logic does not re-join after a later unsubscribe.
+                    if scribe
+                        .topic(topic)
+                        .is_some_and(|st| st.is_root || st.parent.is_some())
+                    {
+                        host.sub_requested.remove(&topic);
+                    }
+                }
+                Op::Unsubscribe { topic } => {
+                    scribe.unsubscribe::<RbayPayload, _>(pastry, &mut net, topic);
+                }
+                Op::Probe {
+                    topic,
+                    scope,
+                    payload,
+                } => {
+                    scribe.probe_root(pastry, &mut net, host, topic, scope, payload);
+                }
+                Op::Anycast {
+                    topic,
+                    scope,
+                    payload,
+                } => {
+                    scribe.anycast(pastry, &mut net, host, topic, scope, payload);
+                }
+                Op::Multicast {
+                    topic,
+                    scope,
+                    payload,
+                } => {
+                    scribe.multicast(pastry, &mut net, host, topic, scope, payload);
+                }
+                Op::Direct { to, payload } => {
+                    scribe.send_direct(&mut net, to, payload);
+                }
+                Op::Timer { delay, token } => {
+                    ctx.set_timer(delay, token);
+                }
+            }
+        }
+    }
+
+    /// Runs one maintenance round: AA `onTimer`/membership checks, an
+    /// aggregation tick pushing tree aggregates one level rootward, and
+    /// (when enabled) heartbeat-based failure detection over the node's
+    /// overlay neighbours.
+    pub fn maintenance_round(&mut self, ctx: &mut Context<'_, RbayMsg>) {
+        self.host.now = ctx.now();
+        self.host.maintenance();
+        // Re-join any tree whose JOIN traffic was lost in flight.
+        {
+            let scribe = &self.scribe;
+            self.host.retry_pending_subscriptions(|t| {
+                scribe
+                    .topic(t)
+                    .is_some_and(|st| st.is_root || st.parent.is_some())
+            });
+        }
+        // Refresh this node's contribution to every subscribed tree (the
+        // aggregate attribute may have changed since the last round).
+        let fresh = self.host.tree_local_value();
+        let subscribed: Vec<scribe::TopicId> = self
+            .scribe
+            .topics()
+            .filter(|(_, st)| st.subscribed)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in subscribed {
+            self.scribe.set_local_value(t, fresh.clone());
+        }
+        {
+            let mut net = SimNet::new(ctx);
+            self.scribe
+                .aggregate_tick::<RbayPayload, _>(&mut self.pastry, &mut net);
+        }
+        if self.host.cfg.failure_detection {
+            // Probe the leaf set plus tree parents/children — the peers
+            // whose failure this node must react to.
+            let mut peers: Vec<simnet::NodeAddr> =
+                self.pastry.leaf_set().members().map(|e| e.addr).collect();
+            for (_, st) in self.scribe.topics() {
+                peers.extend(st.children.iter().copied());
+                peers.extend(st.parent);
+            }
+            peers.sort();
+            peers.dedup();
+            self.host.heartbeat_round(&peers);
+            self.repair_failures(ctx);
+        }
+        self.drain_ops(ctx);
+    }
+
+    /// Runs Pastry and Scribe repairs for peers the failure detector just
+    /// declared dead.
+    fn repair_failures(&mut self, ctx: &mut Context<'_, RbayMsg>) {
+        let dead = std::mem::take(&mut self.host.newly_failed);
+        for addr in dead {
+            {
+                let mut net = SimNet::new(ctx);
+                self.pastry.handle_failure(&mut net, addr);
+            }
+            let mut net = SimNet::new(ctx);
+            self.scribe
+                .handle_failure(&mut self.pastry, &mut net, &mut self.host, addr);
+        }
+    }
+}
+
+impl Actor for RbayNode {
+    type Msg = RbayMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RbayMsg>, from: NodeAddr, msg: RbayMsg) {
+        self.host.now = ctx.now();
+        {
+            let RbayNode {
+                pastry,
+                scribe,
+                host,
+            } = self;
+            let mut net = SimNet::new(ctx);
+            let mut app = ScribeApp {
+                layer: scribe,
+                host,
+            };
+            pastry.on_message(&mut net, &mut app, from, msg);
+        }
+        self.drain_ops(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, RbayMsg>, token: TimerToken) {
+        self.host.now = ctx.now();
+        let (seq, attempt, kind) = split_timer_token(token);
+        if kind != 0 {
+            self.host.on_query_timer(seq, attempt, kind);
+        }
+        self.drain_ops(ctx);
+    }
+}

@@ -1,0 +1,654 @@
+//! The query engine: the five-step protocol of the paper's Fig. 7, driven
+//! from the issuing node.
+//!
+//! 1. Probe the root of every anchor tree (per target site) for its size.
+//! 2. Collect the sizes.
+//! 3. Anycast into the smallest tree with a `k`-slot buffer.
+//! 4. Tree members check predicates and `onGet`, reserve themselves, and
+//!    fill slots until `k` are found or the tree is exhausted.
+//! 5. Commit the chosen nodes; release the rest. Conflicts retry under
+//!    truncated exponential backoff.
+
+use crate::host::{
+    query_timer_token, Op, RbayHost, TIMER_KIND_RETRY, TIMER_KIND_TIMEOUT,
+};
+use crate::types::{
+    Candidate, QueryId, QueryPending, QueryRecord, RbayEvent, RbayPayload, SearchState,
+};
+use rbay_query::{AttrValue, FromClause, Query, SortDir};
+use simnet::{SimDuration, SiteId};
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+/// Orders two optional sort keys: present before absent, numbers and
+/// strings by their natural order, mixed kinds by canonical text.
+fn cmp_keys(a: &Option<AttrValue>, b: &Option<AttrValue>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Greater,
+        (Some(_), None) => Ordering::Less,
+        (Some(x), Some(y)) => match (x, y) {
+            (AttrValue::Num(p), AttrValue::Num(q)) => {
+                p.partial_cmp(q).unwrap_or(Ordering::Equal)
+            }
+            (AttrValue::Str(p), AttrValue::Str(q)) => p.cmp(q),
+            _ => x.canonical().cmp(&y.canonical()),
+        },
+    }
+}
+
+impl RbayHost {
+    /// Resolves a FROM clause to site ids. Unknown site names are ignored.
+    pub fn resolve_sites(&self, from: &FromClause) -> Vec<SiteId> {
+        match from {
+            FromClause::AllSites => (0..self.site_names.len() as u16).map(SiteId).collect(),
+            FromClause::Sites(names) => names
+                .iter()
+                .filter_map(|n| {
+                    self.site_names
+                        .iter()
+                        .position(|s| s.eq_ignore_ascii_case(n))
+                        .map(|i| SiteId(i as u16))
+                })
+                .collect(),
+        }
+    }
+
+    /// Issues a query from this node (protocol step 1). Returns its id.
+    /// Results arrive asynchronously; read them from
+    /// [`RbayHost::queries`] after the simulation settles.
+    pub fn issue_query(&mut self, query: Query, password: Option<String>) -> QueryId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = QueryId::new(self.addr, seq);
+        let query = Rc::new(query);
+        let anchor_trees: Vec<String> =
+            query.anchors().map(|p| self.naming.tree_for(p)).collect();
+        let record = QueryRecord {
+            id,
+            query: Rc::clone(&query),
+            anchor_trees,
+            password,
+            issued_at: self.now,
+            completed_at: None,
+            attempts: 0,
+            result: Vec::new(),
+            satisfied: false,
+            pending: QueryPending::default(),
+        };
+        self.queries.insert(id, record);
+        self.start_attempt(id);
+        id
+    }
+
+    /// Launches (or relaunches) the probe fan-out for a query, arming a
+    /// per-attempt timeout.
+    fn start_attempt(&mut self, id: QueryId) {
+        let Some(rec) = self.queries.get(&id) else {
+            return;
+        };
+        let seq = (id.0 & 0xFFFF_FFFF) as u32;
+        self.ops.push_back(Op::Timer {
+            delay: self.cfg.query_timeout,
+            token: query_timer_token(seq, rec.attempts, TIMER_KIND_TIMEOUT),
+        });
+        let Some(rec) = self.queries.get(&id) else {
+            return;
+        };
+        let query = Rc::clone(&rec.query);
+        let anchors = rec.anchor_trees.clone();
+        let sites = self.resolve_sites(&query.from);
+        if anchors.is_empty() || sites.is_empty() {
+            // Nothing to search: complete unsatisfied immediately.
+            self.complete_query(id, Vec::new());
+            return;
+        }
+        let rec = self.queries.get_mut(&id).expect("record exists");
+        rec.pending = QueryPending {
+            probes: sites
+                .iter()
+                .map(|s| (*s, vec![None; anchors.len()]))
+                .collect(),
+            searches: Vec::new(),
+            found: Vec::new(),
+        };
+        let attempt = rec.attempts;
+        let my_site = self.site;
+        let my_addr = self.addr;
+        for site in sites {
+            if site == my_site {
+                for (i, tree) in anchors.iter().enumerate() {
+                    let topic = self.tree_topic(tree, site);
+                    self.ops.push_back(Op::Probe {
+                        topic,
+                        scope: self.routing_scope(site),
+                        payload: RbayPayload::SizeProbe {
+                            query_id: id,
+                            tree_idx: i as u8,
+                            reply_to: my_addr,
+                            site,
+                        },
+                    });
+                }
+            } else {
+                let gateway = self.gateway_for(site, attempt);
+                self.ops.push_back(Op::Direct {
+                    to: gateway,
+                    payload: RbayPayload::RemoteProbe {
+                        query_id: id,
+                        reply_to: my_addr,
+                        site,
+                        trees: anchors.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Records one tree-size probe answer (protocol step 2). When a site
+    /// has all its answers, the search step launches there.
+    pub fn record_probe(
+        &mut self,
+        query_id: QueryId,
+        tree_idx: u8,
+        site: SiteId,
+        size: Option<u64>,
+        exists: bool,
+    ) {
+        let Some(rec) = self.queries.get_mut(&query_id) else {
+            return;
+        };
+        if rec.completed_at.is_some() {
+            return;
+        }
+        let Some(entry) = rec.pending.probes.iter_mut().find(|(s, _)| *s == site) else {
+            return;
+        };
+        if let Some(slot) = entry.1.get_mut(tree_idx as usize) {
+            *slot = Some((size, exists));
+        }
+        if !entry.1.iter().all(|s| s.is_some()) {
+            return;
+        }
+        // All probes for this site are in: pick the smallest existing tree.
+        let sizes: Vec<(usize, Option<u64>, bool)> = entry
+            .1
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (size, exists) = s.expect("checked complete");
+                (i, size, exists)
+            })
+            .collect();
+        rec.pending.probes.retain(|(s, _)| *s != site);
+        let best = sizes
+            .iter()
+            .filter(|(_, _, exists)| *exists)
+            .min_by_key(|(_, size, _)| size.unwrap_or(u64::MAX));
+        let Some(&(best_idx, _, _)) = best else {
+            // No anchor tree exists in this site: it contributes nothing.
+            self.maybe_finalize(query_id);
+            return;
+        };
+        let query = Rc::clone(&rec.query);
+        let password = rec.password.clone();
+        let attempt = rec.attempts;
+        rec.pending.searches.push(site);
+        let tree = rec.anchor_trees[best_idx].clone();
+        let state = SearchState {
+            query_id,
+            reply_to: self.addr,
+            query,
+            password,
+            slots: Vec::new(),
+        };
+        if site == self.site {
+            let topic = self.tree_topic(&tree, site);
+            self.ops.push_back(Op::Anycast {
+                topic,
+                scope: self.routing_scope(site),
+                payload: RbayPayload::Search(state),
+            });
+        } else {
+            let gateway = self.gateway_for(site, attempt);
+            self.ops.push_back(Op::Direct {
+                to: gateway,
+                payload: RbayPayload::RemoteSearch { state, tree },
+            });
+        }
+    }
+
+    /// Records one site's search outcome (protocol step 4 completion).
+    pub fn record_site_result(
+        &mut self,
+        query_id: QueryId,
+        site: SiteId,
+        slots: Vec<Candidate>,
+        _satisfied: bool,
+    ) {
+        let Some(rec) = self.queries.get_mut(&query_id) else {
+            return;
+        };
+        if rec.completed_at.is_some() {
+            // Late result after timeout/finish: free those reservations.
+            for c in &slots {
+                self.ops.push_back(Op::Direct {
+                    to: c.addr,
+                    payload: RbayPayload::Release { query_id },
+                });
+            }
+            return;
+        }
+        rec.pending.searches.retain(|s| *s != site);
+        rec.pending.found.extend(slots);
+        self.maybe_finalize(query_id);
+    }
+
+    /// Completes the attempt if nothing is outstanding.
+    fn maybe_finalize(&mut self, query_id: QueryId) {
+        let Some(rec) = self.queries.get(&query_id) else {
+            return;
+        };
+        if rec.completed_at.is_some()
+            || !rec.pending.probes.is_empty()
+            || !rec.pending.searches.is_empty()
+        {
+            return;
+        }
+        self.finalize_attempt(query_id);
+    }
+
+    /// Step 5: commit/release, or schedule a backoff retry.
+    fn finalize_attempt(&mut self, query_id: QueryId) {
+        let Some(rec) = self.queries.get_mut(&query_id) else {
+            return;
+        };
+        let k = rec.query.k as usize;
+        let mut found = std::mem::take(&mut rec.pending.found);
+        if let Some((_, dir)) = &rec.query.order_by {
+            let dir = *dir;
+            found.sort_by(|a, b| {
+                let ord = cmp_keys(&a.sort_key, &b.sort_key);
+                match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                }
+            });
+        }
+        if found.len() >= k {
+            let (chosen, extra) = found.split_at(k);
+            let chosen = chosen.to_vec();
+            let commit = self.cfg.commit_results;
+            for c in &chosen {
+                self.ops.push_back(Op::Direct {
+                    to: c.addr,
+                    payload: if commit {
+                        RbayPayload::Commit { query_id }
+                    } else {
+                        RbayPayload::Release { query_id }
+                    },
+                });
+            }
+            for c in extra {
+                self.ops.push_back(Op::Direct {
+                    to: c.addr,
+                    payload: RbayPayload::Release { query_id },
+                });
+            }
+            self.complete_query(query_id, chosen);
+            return;
+        }
+        // Not enough candidates: release everything and retry with
+        // truncated exponential backoff, or give up with a partial result.
+        let attempts = {
+            let rec = self.queries.get_mut(&query_id).expect("record exists");
+            rec.attempts += 1;
+            rec.attempts
+        };
+        for c in &found {
+            self.ops.push_back(Op::Direct {
+                to: c.addr,
+                payload: RbayPayload::Release { query_id },
+            });
+        }
+        if attempts >= self.cfg.max_attempts {
+            self.complete_query(query_id, found);
+            return;
+        }
+        // Deterministic pseudo-random slot count in [0, 2^attempts - 1].
+        let h = query_id
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempts as u64)
+            .rotate_left(17);
+        let window = 1u64 << attempts.min(16);
+        let slots = h % window;
+        let delay = self.cfg.backoff_slot.saturating_mul(slots.max(1));
+        self.ops.push_back(Op::Timer {
+            delay,
+            token: query_timer_token(
+                (query_id.0 & 0xFFFF_FFFF) as u32,
+                attempts,
+                TIMER_KIND_RETRY,
+            ),
+        });
+    }
+
+    fn complete_query(&mut self, query_id: QueryId, result: Vec<Candidate>) {
+        let now = self.now;
+        let Some(rec) = self.queries.get_mut(&query_id) else {
+            return;
+        };
+        let k = rec.query.k as usize;
+        rec.satisfied = result.len() >= k;
+        rec.result = result;
+        rec.completed_at = Some(now);
+        rec.pending = QueryPending::default();
+        self.events.push(RbayEvent::QueryDone {
+            query_id,
+            issued_at: rec.issued_at,
+            completed_at: now,
+            satisfied: rec.satisfied,
+        });
+    }
+
+    /// Handles a query timer (timeout or backoff retry). Timers carry the
+    /// attempt they were armed for; firings from superseded attempts are
+    /// ignored.
+    pub fn on_query_timer(&mut self, seq: u32, attempt: u32, kind: u64) {
+        let id = QueryId::new(self.addr, seq);
+        let Some(rec) = self.queries.get(&id) else {
+            return;
+        };
+        if rec.completed_at.is_some() || rec.attempts & 0xFF != attempt {
+            return;
+        }
+        match kind {
+            TIMER_KIND_RETRY => self.start_attempt(id),
+            TIMER_KIND_TIMEOUT => {
+                // Release whatever arrived. If attempts remain and the
+                // attempt produced nothing, retry — a silent site (e.g. a
+                // failed border router) should not end the query; retries
+                // rotate to the site's next gateway.
+                let found = rec.pending.found.clone();
+                for c in &found {
+                    self.ops.push_back(Op::Direct {
+                        to: c.addr,
+                        payload: RbayPayload::Release { query_id: id },
+                    });
+                }
+                let rec = self.queries.get_mut(&id).expect("record exists");
+                rec.attempts += 1;
+                if found.is_empty() && rec.attempts < self.cfg.max_attempts {
+                    self.start_attempt(id);
+                } else {
+                    self.complete_query(id, found);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The latency of a completed query, if it finished.
+    pub fn query_latency(&self, id: QueryId) -> Option<SimDuration> {
+        let rec = self.queries.get(&id)?;
+        let done = rec.completed_at?;
+        Some(done.saturating_since(rec.issued_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::RbayConfig;
+    use aascript::SharedSandbox;
+    use pastry::NodeId;
+    use rbay_query::parse_query;
+    use simnet::{NodeAddr, SimTime};
+
+    fn host_with_sites(n: u16) -> RbayHost {
+        RbayHost::new(
+            Rc::new(RbayConfig::default()),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            (0..n).map(|i| vec![NodeAddr(i as u32 * 10)]).collect(),
+            (0..n).map(|i| format!("site{i}")).collect(),
+        )
+    }
+
+    fn drain_ops(h: &mut RbayHost) -> Vec<Op> {
+        std::mem::take(&mut h.ops).into_iter().collect()
+    }
+
+    #[test]
+    fn resolve_sites_handles_star_and_names() {
+        let h = host_with_sites(3);
+        assert_eq!(
+            h.resolve_sites(&FromClause::AllSites),
+            vec![SiteId(0), SiteId(1), SiteId(2)]
+        );
+        assert_eq!(
+            h.resolve_sites(&FromClause::Sites(vec!["SITE2".into(), "nope".into()])),
+            vec![SiteId(2)]
+        );
+    }
+
+    #[test]
+    fn issue_query_probes_local_and_remote_sites() {
+        let mut h = host_with_sites(2);
+        let q = parse_query("SELECT 1 FROM * WHERE GPU = true").unwrap();
+        h.issue_query(q, None);
+        let ops = drain_ops(&mut h);
+        // Local site: direct probe; remote site: RemoteProbe to gateway;
+        // plus the timeout timer.
+        assert!(ops.iter().any(|o| matches!(o, Op::Probe { .. })));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::Direct {
+                to: NodeAddr(10),
+                payload: RbayPayload::RemoteProbe { .. }
+            }
+        )));
+        assert!(ops.iter().any(|o| matches!(o, Op::Timer { .. })));
+    }
+
+    #[test]
+    fn smallest_existing_tree_wins_the_probe_round() {
+        let mut h = host_with_sites(1);
+        let q = parse_query("SELECT 1 FROM * WHERE a = 1 AND b = 2").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        // Tree 0 has 100 members; tree 1 has 5 → search must target tree 1
+        // (= "b=2").
+        h.record_probe(id, 0, SiteId(0), Some(100), true);
+        h.record_probe(id, 1, SiteId(0), Some(5), true);
+        let ops = drain_ops(&mut h);
+        let anycasts: Vec<&Op> = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Anycast { .. }))
+            .collect();
+        assert_eq!(anycasts.len(), 1);
+        let Op::Anycast { topic, .. } = anycasts[0] else {
+            unreachable!()
+        };
+        assert_eq!(*topic, h.tree_topic("b=2", SiteId(0)));
+    }
+
+    #[test]
+    fn missing_trees_complete_queries_unsatisfied() {
+        let mut h = host_with_sites(1);
+        let q = parse_query("SELECT 1 FROM * WHERE nope = 1").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), None, false);
+        // With max_attempts retries exhausted only after several rounds;
+        // here no tree exists so the site contributes nothing and the
+        // attempt finalizes unsatisfied → backoff timer queued.
+        let rec = &h.queries[&id];
+        assert!(rec.completed_at.is_none());
+        assert_eq!(rec.attempts, 1);
+        let ops = drain_ops(&mut h);
+        assert!(ops.iter().any(|o| matches!(o, Op::Timer { .. })));
+    }
+
+    #[test]
+    fn results_sort_by_groupby_direction_and_commit_k() {
+        let mut h = host_with_sites(1);
+        let q =
+            parse_query("SELECT 2 FROM * WHERE a = 1 GROUPBY CPU_utilization DESC").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), Some(10), true);
+        drain_ops(&mut h);
+        let mk = |addr: u32, key: f64| Candidate {
+            id: NodeId(addr as u128),
+            addr: NodeAddr(addr),
+            site: SiteId(0),
+            sort_key: Some(AttrValue::Num(key)),
+        };
+        h.record_site_result(id, SiteId(0), vec![mk(1, 5.0), mk(2, 9.0), mk(3, 7.0)], true);
+        let rec = &h.queries[&id];
+        assert!(rec.satisfied);
+        let picked: Vec<u32> = rec.result.iter().map(|c| c.addr.0).collect();
+        assert_eq!(picked, vec![2, 3], "DESC: highest keys first");
+        let ops = drain_ops(&mut h);
+        let commits: Vec<u32> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Direct {
+                    to,
+                    payload: RbayPayload::Commit { .. },
+                } => Some(to.0),
+                _ => None,
+            })
+            .collect();
+        let releases: Vec<u32> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Direct {
+                    to,
+                    payload: RbayPayload::Release { .. },
+                } => Some(to.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(commits, vec![2, 3]);
+        assert_eq!(releases, vec![1]);
+    }
+
+    #[test]
+    fn results_sort_lexicographically_on_string_keys() {
+        let mut h = host_with_sites(1);
+        let q = parse_query("SELECT 2 FROM * WHERE a = 1 GROUPBY OS ASC").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), Some(10), true);
+        drain_ops(&mut h);
+        let mk = |addr: u32, key: Option<&str>| Candidate {
+            id: NodeId(addr as u128),
+            addr: NodeAddr(addr),
+            site: SiteId(0),
+            sort_key: key.map(AttrValue::str),
+        };
+        h.record_site_result(
+            id,
+            SiteId(0),
+            vec![mk(1, Some("Ubuntu")), mk(2, None), mk(3, Some("CentOS"))],
+            true,
+        );
+        let rec = &h.queries[&id];
+        assert!(rec.satisfied);
+        let picked: Vec<u32> = rec.result.iter().map(|c| c.addr.0).collect();
+        // ASC lexicographic; missing keys sort last.
+        assert_eq!(picked, vec![3, 1]);
+    }
+
+    #[test]
+    fn shortfall_triggers_backoff_then_gives_up_partial() {
+        let mut h = host_with_sites(1);
+        let q = parse_query("SELECT 5 FROM * WHERE a = 1").unwrap();
+        let id = h.issue_query(q, None);
+        for round in 1..=h.cfg.max_attempts {
+            drain_ops(&mut h);
+            h.record_probe(id, 0, SiteId(0), Some(2), true);
+            drain_ops(&mut h);
+            let only = Candidate {
+                id: NodeId(9),
+                addr: NodeAddr(9),
+                site: SiteId(0),
+                sort_key: None,
+            };
+            h.record_site_result(id, SiteId(0), vec![only], true);
+            let rec = &h.queries[&id];
+            if round < h.cfg.max_attempts {
+                assert!(rec.completed_at.is_none(), "round {round} should retry");
+                assert_eq!(rec.attempts, round);
+                // The retry timer is armed; simulate its firing.
+                let att = h.queries[&id].attempts;
+                h.on_query_timer((id.0 & 0xFFFF_FFFF) as u32, att, TIMER_KIND_RETRY);
+            } else {
+                assert!(rec.completed_at.is_some(), "gave up after max attempts");
+                assert!(!rec.satisfied);
+                assert_eq!(rec.result.len(), 1, "partial result reported");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_completes_with_what_arrived() {
+        let mut h = host_with_sites(2);
+        h.now = SimTime::from_millis(100);
+        let q = parse_query("SELECT 1 FROM * WHERE a = 1").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        // Only the local site answers; the remote site never does.
+        h.record_probe(id, 0, SiteId(0), Some(3), true);
+        drain_ops(&mut h);
+        let c = Candidate {
+            id: NodeId(3),
+            addr: NodeAddr(3),
+            site: SiteId(0),
+            sort_key: None,
+        };
+        h.record_site_result(id, SiteId(0), vec![c], true);
+        assert!(h.queries[&id].completed_at.is_none(), "site1 still pending");
+        h.now = SimTime::from_millis(5_200);
+        let att = h.queries[&id].attempts;
+        h.on_query_timer((id.0 & 0xFFFF_FFFF) as u32, att, TIMER_KIND_TIMEOUT);
+        let rec = &h.queries[&id];
+        assert!(rec.completed_at.is_some());
+        assert_eq!(rec.result.len(), 1);
+        assert!(rec.satisfied, "k=1 was reached despite the missing site");
+    }
+
+    #[test]
+    fn late_results_release_reservations() {
+        let mut h = host_with_sites(1);
+        let q = parse_query("SELECT 1 FROM * WHERE a = 1").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), Some(3), true);
+        drain_ops(&mut h);
+        let c = |n: u32| Candidate {
+            id: NodeId(n as u128),
+            addr: NodeAddr(n),
+            site: SiteId(0),
+            sort_key: None,
+        };
+        h.record_site_result(id, SiteId(0), vec![c(1)], true);
+        assert!(h.queries[&id].completed_at.is_some());
+        drain_ops(&mut h);
+        // A duplicate/late echo now arrives.
+        h.record_site_result(id, SiteId(0), vec![c(2)], true);
+        let ops = drain_ops(&mut h);
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::Direct {
+                to: NodeAddr(2),
+                payload: RbayPayload::Release { .. }
+            }
+        )));
+    }
+}

@@ -1,0 +1,338 @@
+//! The federation harness: brings up a whole RBAY deployment over the
+//! simulator and offers the admin/customer API the paper describes —
+//! post resources with policies, multicast policy changes, and issue
+//! composite queries.
+
+use crate::actor::RbayNode;
+use crate::host::{RbayConfig, RbayHost};
+use crate::types::{AdminCommand, QueryId, QueryRecord, RbayEvent, RbayPayload};
+use aascript::SharedSandbox;
+use pastry::{seed_overlay, NodeId, NodeInfo, PastryNode};
+use rbay_query::{parse_query, AttrValue, ParseQueryError, Query};
+use scribe::ScribeLayer;
+use simnet::{NodeAddr, SimDuration, SimTime, Simulation, SiteId, Topology};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A running federation: every topology node hosts a full RBAY stack over
+/// a pre-converged Pastry overlay.
+///
+/// ```
+/// use rbay_core::Federation;
+/// use rbay_query::AttrValue;
+/// use simnet::{NodeAddr, Topology};
+///
+/// let mut fed = Federation::new(Topology::single_site(32, 0.5), 42);
+/// fed.post_resource(NodeAddr(3), "GPU", AttrValue::Bool(true));
+/// fed.settle();
+/// let q = fed.issue_query(NodeAddr(9), "SELECT 1 FROM * WHERE GPU = true", None).unwrap();
+/// fed.settle();
+/// let rec = fed.query_record(NodeAddr(9), q).unwrap();
+/// assert!(rec.satisfied);
+/// ```
+pub struct Federation {
+    sim: Simulation<RbayNode>,
+    cfg: Rc<RbayConfig>,
+    /// Mirror of each node's query counter (so ids are known at issue
+    /// time).
+    issued: BTreeMap<NodeAddr, u32>,
+    next_cmd: u64,
+}
+
+impl Federation {
+    /// Builds a federation over `topology` with default configuration.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        Federation::with_config(topology, seed, RbayConfig::default())
+    }
+
+    /// Builds a federation with a custom [`RbayConfig`].
+    pub fn with_config(topology: Topology, seed: u64, cfg: RbayConfig) -> Self {
+        let cfg = Rc::new(cfg);
+        let sandbox = SharedSandbox::new();
+        // Border routers per site: the three lowest addresses (retries
+        // rotate through them, so one failed gateway is survivable).
+        let gateways: Vec<Vec<NodeAddr>> = (0..topology.site_count() as u16)
+            .map(|s| {
+                let mut nodes = topology.nodes_of_site(SiteId(s));
+                nodes.sort();
+                nodes.truncate(3);
+                assert!(!nodes.is_empty(), "every site has nodes");
+                nodes
+            })
+            .collect();
+        let site_names: Vec<String> = (0..topology.site_count() as u16)
+            .map(|s| topology.site(SiteId(s)).name.clone())
+            .collect();
+
+        let cfg2 = Rc::clone(&cfg);
+        let topo2 = topology.clone();
+        let mut sim = Simulation::new(topology, seed, move |addr| {
+            let info = NodeInfo {
+                id: NodeId::hash_of(format!("rbay-node:{}", addr.0).as_bytes()),
+                addr,
+                site: topo2.site_of(addr),
+            };
+            RbayNode {
+                pastry: PastryNode::new(info),
+                scribe: ScribeLayer::new(),
+                host: RbayHost::new(
+                    Rc::clone(&cfg2),
+                    info.id,
+                    addr,
+                    info.site,
+                    sandbox.clone(),
+                    gateways.clone(),
+                    site_names.clone(),
+                ),
+            }
+        });
+
+        // Seed the converged overlay (protocol joins remain available and
+        // are tested separately; the evaluation runs over a stable
+        // overlay, §IV.A).
+        let mut nodes: Vec<PastryNode> = sim
+            .actors()
+            .map(|(_, a)| PastryNode::new(a.pastry.info()))
+            .collect();
+        let rtts = sim.topology().clone();
+        seed_overlay(&mut nodes, |a, b| rtts.rtt_ms(a, b));
+        for (i, n) in nodes.into_iter().enumerate() {
+            sim.actor_mut(NodeAddr(i as u32)).pastry = n;
+        }
+
+        Federation {
+            sim,
+            cfg,
+            issued: BTreeMap::new(),
+            next_cmd: 0,
+        }
+    }
+
+    /// The underlying simulation (topology, clock, stats, actors).
+    pub fn sim(&self) -> &Simulation<RbayNode> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<RbayNode> {
+        &mut self.sim
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &RbayConfig {
+        &self.cfg
+    }
+
+    /// Admin API: posts a resource on `node` — sets the attribute and
+    /// joins the site-scoped `attr=value` tree.
+    pub fn post_resource(&mut self, node: NodeAddr, attr: &str, value: AttrValue) {
+        let attr = attr.to_owned();
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, ctx| {
+            a.host.now = ctx.now();
+            a.host.post_resource(&attr, value);
+            a.drain_ops(ctx);
+        });
+    }
+
+    /// Admin API: updates an attribute reading without changing
+    /// membership (e.g. a fresh utilization sample).
+    pub fn update_attr(&mut self, node: NodeAddr, attr: &str, value: AttrValue) {
+        let attr = attr.to_owned();
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, _ctx| {
+            a.host.update_attr(&attr, value);
+        });
+    }
+
+    /// Admin API: installs the node-level policy AA. Compile errors panic
+    /// the scheduled call (use valid scripts; the aascript crate exposes
+    /// fallible compilation directly for validation).
+    pub fn install_node_aa(&mut self, node: NodeAddr, src: &str) {
+        let src = src.to_owned();
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, _ctx| {
+            a.host
+                .install_node_aa(&src)
+                .expect("node AA script must compile and run");
+        });
+    }
+
+    /// Admin API: installs a per-attribute AA.
+    pub fn install_attr_aa(&mut self, node: NodeAddr, attr: &str, src: &str) {
+        let (attr, src) = (attr.to_owned(), src.to_owned());
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, _ctx| {
+            a.host
+                .install_attr_aa(&attr, &src)
+                .expect("attribute AA script must compile and run");
+        });
+    }
+
+    /// Admin API: registers a dynamic tree on `node`, whose membership the
+    /// node AA's `onSubscribe`/`onUnsubscribe` decide each maintenance
+    /// round.
+    pub fn register_dynamic_tree(&mut self, node: NodeAddr, tree: &str) {
+        let tree = tree.to_owned();
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, _ctx| {
+            a.host.dynamic_trees.push(tree);
+        });
+    }
+
+    /// Admin API: multicasts a policy command to every member of
+    /// `tree_name` in `site`; each member's `onDeliver` decides the new
+    /// attribute value (Fig. 11 onDeliver). Returns the command id.
+    pub fn admin_multicast(
+        &mut self,
+        admin: NodeAddr,
+        site: SiteId,
+        tree_name: &str,
+        attr: &str,
+        payload: AttrValue,
+    ) -> u64 {
+        let cmd_id = self.next_cmd;
+        self.next_cmd += 1;
+        let (tree_name, attr) = (tree_name.to_owned(), attr.to_owned());
+        let now = self.sim.now();
+        self.sim.schedule_call(now, admin, move |a, ctx| {
+            a.host.now = ctx.now();
+            let topic = a.host.tree_topic(&tree_name, site);
+            let cmd = AdminCommand {
+                cmd_id,
+                attr,
+                payload,
+                issued_at: ctx.now(),
+            };
+            let scope = a.host.routing_scope(site);
+            a.host.ops.push_back(crate::host::Op::Multicast {
+                topic,
+                scope,
+                payload: RbayPayload::Admin(cmd),
+            });
+            a.drain_ops(ctx);
+        });
+        cmd_id
+    }
+
+    /// Admin API: probes the root of `tree_name` in `site` for its global
+    /// view (size plus attribute statistics when
+    /// [`crate::RbayConfig::aggregate_attr`] is configured). The answer
+    /// lands in the probing node's [`RbayHost::tree_stats`] after
+    /// [`Federation::settle`].
+    pub fn probe_tree_stats(&mut self, node: NodeAddr, tree_name: &str, site: SiteId) {
+        let tree = tree_name.to_owned();
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, ctx| {
+            a.host.now = ctx.now();
+            let topic = a.host.tree_topic(&tree, site);
+            let scope = a.host.routing_scope(site);
+            let me = a.host.addr;
+            a.host.ops.push_back(crate::host::Op::Probe {
+                topic,
+                scope,
+                payload: RbayPayload::StatsProbe {
+                    reply_to: me,
+                    tree,
+                },
+            });
+            a.drain_ops(ctx);
+        });
+    }
+
+    /// Customer API: parses and issues a query from `node`. The returned
+    /// id can be resolved with [`Federation::query_record`] once the
+    /// simulation settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed query text.
+    pub fn issue_query(
+        &mut self,
+        node: NodeAddr,
+        query: &str,
+        password: Option<&str>,
+    ) -> Result<QueryId, ParseQueryError> {
+        let q = parse_query(query)?;
+        Ok(self.issue_parsed_query(node, q, password))
+    }
+
+    /// Customer API: issues an already-parsed query.
+    pub fn issue_parsed_query(
+        &mut self,
+        node: NodeAddr,
+        query: Query,
+        password: Option<&str>,
+    ) -> QueryId {
+        let seq = self.issued.entry(node).or_insert(0);
+        let id = QueryId::new(node, *seq);
+        *seq += 1;
+        let password = password.map(str::to_owned);
+        let now = self.sim.now();
+        self.sim.schedule_call(now, node, move |a, ctx| {
+            a.host.now = ctx.now();
+            let got = a.host.issue_query(query, password);
+            debug_assert_eq!(got, id, "federation id mirror out of sync");
+            a.drain_ops(ctx);
+        });
+        id
+    }
+
+    /// Runs `rounds` maintenance rounds (AA timers + aggregation ticks) on
+    /// every node, separated by `interval` so each round's messages land
+    /// before the next.
+    pub fn run_maintenance(&mut self, rounds: u32, interval: SimDuration) {
+        for _ in 0..rounds {
+            let now = self.sim.now();
+            for i in 0..self.sim.topology().node_count() as u32 {
+                self.sim.schedule_call(now, NodeAddr(i), |a, ctx| {
+                    a.maintenance_round(ctx);
+                });
+            }
+            self.sim.run_for(interval);
+        }
+    }
+
+    /// Lets all in-flight work drain (tree joins, queries, echoes).
+    pub fn settle(&mut self) {
+        self.sim.run_until_idle();
+    }
+
+    /// Runs until `deadline` (for experiments with open-loop load).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// The query record kept by the issuing node.
+    pub fn query_record(&self, node: NodeAddr, id: QueryId) -> Option<&QueryRecord> {
+        self.sim.actor(node).host.queries.get(&id)
+    }
+
+    /// All measurement events recorded by `node`.
+    pub fn events(&self, node: NodeAddr) -> &[RbayEvent] {
+        &self.sim.actor(node).host.events
+    }
+
+    /// Direct access to a node (attributes, AAs, scribe state) for tests
+    /// and harnesses.
+    pub fn node(&self, addr: NodeAddr) -> &RbayNode {
+        self.sim.actor(addr)
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, addr: NodeAddr) -> &mut RbayNode {
+        self.sim.actor_mut(addr)
+    }
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Federation({} nodes, {} sites, t={})",
+            self.sim.topology().node_count(),
+            self.sim.topology().site_count(),
+            self.sim.now()
+        )
+    }
+}

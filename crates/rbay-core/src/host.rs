@@ -1,0 +1,1187 @@
+//! The RBAY node application: the key-value attribute map, the active
+//! attribute runtime binding, reservations, and the [`ScribeHost`]
+//! callbacks that implement the node-side of the query protocol.
+//!
+//! Host callbacks never send messages themselves; they queue [`Op`]s which
+//! the enclosing actor drains with full access to the Pastry/Scribe state
+//! (see [`crate::actor`]).
+
+use crate::naming::HybridNaming;
+use crate::types::{
+    Candidate, QueryId, QueryRecord, RbayEvent, RbayPayload, SearchState,
+};
+use aascript::{AaInstance, Script, SharedSandbox, Value};
+use pastry::NodeId;
+use rbay_query::AttrValue;
+use scribe::{AggValue, ScribeHost, TopicId, Visit};
+use simnet::{NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// Tunables of the RBAY layer.
+///
+/// ```
+/// use rbay_core::RbayConfig;
+/// use simnet::SimDuration;
+///
+/// let cfg = RbayConfig {
+///     failure_detection: true,
+///     heartbeat_timeout: SimDuration::from_millis(500),
+///     ..RbayConfig::default()
+/// };
+/// assert!(cfg.site_isolation, "isolation is on by default");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbayConfig {
+    /// How long a reservation holds before expiring un-committed
+    /// (the paper's "short time window").
+    pub reserve_ttl: SimDuration,
+    /// Give up waiting for probe/search answers after this long.
+    pub query_timeout: SimDuration,
+    /// Base slot for the truncated exponential backoff on conflicts.
+    pub backoff_slot: SimDuration,
+    /// Maximum query attempts before reporting a partial result.
+    pub max_attempts: u32,
+    /// Instruction budget per AA handler invocation.
+    pub aa_budget: u64,
+    /// Name under which RBAY trees are created (the "creator" of TreeIds).
+    pub creator: String,
+    /// Whether satisfied queries commit their chosen nodes (step 5). The
+    /// latency experiments turn this off so repeated measurement queries
+    /// do not exhaust the inventory ("if the customer decides not to take
+    /// them, the locks are released").
+    pub commit_results: bool,
+    /// Administrative isolation (§III.E): when true, per-site trees route
+    /// within their site (site-scoped convergence, per-site roots). When
+    /// false, trees keep their per-site names but rendezvous on the global
+    /// ring — the deployment measured in Fig. 11, where joins and
+    /// deliveries traverse cross-region overlay hops.
+    pub site_isolation: bool,
+    /// Heartbeat-based failure detection: when true, each maintenance
+    /// round pings this node's overlay neighbours; a peer that has not
+    /// answered within `heartbeat_timeout` is declared failed, its routing
+    /// entries removed, and its trees repaired. (Churn handling — the
+    /// paper's future-work evaluation, §VI.)
+    pub failure_detection: bool,
+    /// How long an unanswered heartbeat may stay outstanding.
+    pub heartbeat_timeout: SimDuration,
+    /// When set, every tree also aggregates statistics of this attribute
+    /// alongside its size: `Multi[Count, Mean, Min, Max]` rolled up to the
+    /// root ("the average value of all nodes' attributes", §II.B.3).
+    pub aggregate_attr: Option<String>,
+}
+
+impl Default for RbayConfig {
+    fn default() -> Self {
+        RbayConfig {
+            reserve_ttl: SimDuration::from_millis(2_000),
+            query_timeout: SimDuration::from_millis(5_000),
+            backoff_slot: SimDuration::from_millis(100),
+            max_attempts: 5,
+            aa_budget: 10_000,
+            creator: "rbay".to_owned(),
+            commit_results: true,
+            site_isolation: true,
+            failure_detection: false,
+            heartbeat_timeout: SimDuration::from_millis(1_500),
+            aggregate_attr: None,
+        }
+    }
+}
+
+/// A deferred operation queued by host callbacks and executed by the actor.
+#[derive(Debug)]
+pub enum Op {
+    /// Subscribe this node to a tree.
+    Subscribe {
+        /// Tree to join.
+        topic: TopicId,
+        /// Site scope.
+        scope: Option<SiteId>,
+    },
+    /// Leave a tree.
+    Unsubscribe {
+        /// Tree to leave.
+        topic: TopicId,
+    },
+    /// Probe a tree root for its aggregate.
+    Probe {
+        /// Tree to probe.
+        topic: TopicId,
+        /// Site scope.
+        scope: Option<SiteId>,
+        /// Probe payload.
+        payload: RbayPayload,
+    },
+    /// Launch an anycast walk.
+    Anycast {
+        /// Tree to walk.
+        topic: TopicId,
+        /// Site scope.
+        scope: Option<SiteId>,
+        /// Walk payload.
+        payload: RbayPayload,
+    },
+    /// Multicast to every member of a tree.
+    Multicast {
+        /// Tree to cover.
+        topic: TopicId,
+        /// Site scope.
+        scope: Option<SiteId>,
+        /// Data payload.
+        payload: RbayPayload,
+    },
+    /// Send a payload straight to a node.
+    Direct {
+        /// Destination.
+        to: NodeAddr,
+        /// Payload.
+        payload: RbayPayload,
+    },
+    /// Arm a timer on this node.
+    Timer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Token passed back on expiry.
+        token: TimerToken,
+    },
+}
+
+/// Timer token kinds (low two bits of the token).
+pub const TIMER_KIND_TIMEOUT: u64 = 1;
+/// Retry (backoff) timer kind.
+pub const TIMER_KIND_RETRY: u64 = 2;
+
+/// Builds a query-timer token from a query sequence number, the attempt
+/// it belongs to, and the kind. Stale timers from earlier attempts are
+/// recognized (and ignored) by the attempt field.
+pub fn query_timer_token(seq: u32, attempt: u32, kind: u64) -> TimerToken {
+    TimerToken(((seq as u64) << 10) | (((attempt as u64) & 0xFF) << 2) | kind)
+}
+
+/// Splits a timer token into `(seq, attempt, kind)`.
+pub fn split_timer_token(token: TimerToken) -> (u32, u32, u64) {
+    (
+        (token.0 >> 10) as u32,
+        ((token.0 >> 2) & 0xFF) as u32,
+        token.0 & 0b11,
+    )
+}
+
+/// The per-node RBAY application state.
+#[derive(Debug)]
+pub struct RbayHost {
+    /// Virtual time as of the current dispatch (refreshed by the actor).
+    pub now: SimTime,
+    /// Shared configuration.
+    pub cfg: Rc<RbayConfig>,
+    /// This node's ring id.
+    pub id: NodeId,
+    /// This node's address.
+    pub addr: NodeAddr,
+    /// This node's site.
+    pub site: SiteId,
+    /// The key-value map of resource attributes (paper §III.A).
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// Per-attribute active attributes.
+    pub attr_aas: BTreeMap<String, AaInstance>,
+    /// The node-level policy AA (invoked when no attribute AA applies).
+    pub node_aa: Option<AaInstance>,
+    /// Shared sealed stdlib for AA instantiation.
+    pub sandbox: SharedSandbox,
+    /// Current reservation, if any: `(holder, expires_at)`.
+    pub reservation: Option<(QueryId, SimTime)>,
+    /// Queries whose reservations were committed on this node.
+    pub committed: Vec<QueryId>,
+    /// Queries issued by this node.
+    pub queries: BTreeMap<QueryId, QueryRecord>,
+    /// Local sequence for query ids.
+    pub next_seq: u32,
+    /// Gateway ("border router") addresses of each site, indexed by
+    /// SiteId. Several per site: query retries rotate through them, so a
+    /// failed border router only costs one timed-out attempt.
+    pub gateways: Vec<Vec<NodeAddr>>,
+    /// Site names, indexed by SiteId (resolves FROM clauses).
+    pub site_names: Vec<String>,
+    /// Names of trees whose membership is decided by AA handlers each
+    /// maintenance round (onSubscribe/onUnsubscribe).
+    pub dynamic_trees: Vec<String>,
+    /// Hybrid naming links (minor attribute → major tree, §III.C).
+    pub naming: HybridNaming,
+    /// Timestamped events for the measurement harnesses.
+    pub events: Vec<RbayEvent>,
+    /// Join-request times awaiting their JoinAck (Fig. 11).
+    pub sub_requested: BTreeMap<TopicId, SimTime>,
+    /// Latest answers to admin stats probes: tree name → (aggregate,
+    /// exists, as-of time).
+    pub tree_stats: BTreeMap<String, (Option<AggValue>, bool, SimTime)>,
+    /// Outstanding heartbeats: peer → send time.
+    pub pending_pings: BTreeMap<NodeAddr, SimTime>,
+    /// Peers this node has declared failed (for diagnostics and so a
+    /// node is only declared once).
+    pub suspected: Vec<NodeAddr>,
+    /// Peers found dead this dispatch; the actor runs the routing-layer
+    /// repairs for them after the callback returns.
+    pub newly_failed: Vec<NodeAddr>,
+    /// Heartbeat nonce counter.
+    next_nonce: u64,
+    /// Deferred operations for the actor to execute.
+    pub ops: VecDeque<Op>,
+    /// Count of `onGet` denials (diagnostics).
+    pub aa_denials: u64,
+    /// Count of AA runtime errors (budget exhaustion etc.).
+    pub aa_errors: u64,
+}
+
+impl RbayHost {
+    /// Creates an idle host.
+    pub fn new(
+        cfg: Rc<RbayConfig>,
+        id: NodeId,
+        addr: NodeAddr,
+        site: SiteId,
+        sandbox: SharedSandbox,
+        gateways: Vec<Vec<NodeAddr>>,
+        site_names: Vec<String>,
+    ) -> Self {
+        RbayHost {
+            now: SimTime::ZERO,
+            cfg,
+            id,
+            addr,
+            site,
+            attrs: BTreeMap::new(),
+            attr_aas: BTreeMap::new(),
+            node_aa: None,
+            sandbox,
+            reservation: None,
+            committed: Vec::new(),
+            queries: BTreeMap::new(),
+            next_seq: 0,
+            gateways,
+            site_names,
+            dynamic_trees: Vec::new(),
+            naming: HybridNaming::new(),
+            events: Vec::new(),
+            sub_requested: BTreeMap::new(),
+            tree_stats: BTreeMap::new(),
+            pending_pings: BTreeMap::new(),
+            suspected: Vec::new(),
+            newly_failed: Vec::new(),
+            next_nonce: 0,
+            ops: VecDeque::new(),
+            aa_denials: 0,
+            aa_errors: 0,
+        }
+    }
+
+    /// The scoped topic of the `attr=value` tree in `site`.
+    pub fn tree_topic(&self, tree_name: &str, site: SiteId) -> TopicId {
+        TopicId::scoped(tree_name, &self.cfg.creator, site)
+    }
+
+    /// This node's contribution to each tree it subscribes to: its unit
+    /// count, plus statistics of the configured aggregate attribute.
+    pub fn tree_local_value(&self) -> AggValue {
+        match &self.cfg.aggregate_attr {
+            None => AggValue::Count(1),
+            Some(attr) => {
+                let reading = self.attrs.get(attr).and_then(|v| match v {
+                    rbay_query::AttrValue::Num(n) => Some(*n),
+                    _ => None,
+                });
+                let (mean, min, max) = match reading {
+                    Some(x) => (
+                        AggValue::Mean { sum: x, count: 1 },
+                        AggValue::Min(x),
+                        AggValue::Max(x),
+                    ),
+                    // Identity contributions: a node without the attribute
+                    // affects the count but not the statistics.
+                    None => (
+                        AggValue::Mean { sum: 0.0, count: 0 },
+                        AggValue::Min(f64::INFINITY),
+                        AggValue::Max(f64::NEG_INFINITY),
+                    ),
+                };
+                AggValue::Multi(vec![AggValue::Count(1), mean, min, max])
+            }
+        }
+    }
+
+    /// The border router used to reach `site` on the given attempt:
+    /// retries rotate through the site's gateway list.
+    pub fn gateway_for(&self, site: SiteId, attempt: u32) -> NodeAddr {
+        let list = &self.gateways[site.0 as usize];
+        list[attempt as usize % list.len()]
+    }
+
+    /// The routing scope for operations on `site`'s trees: the site itself
+    /// under administrative isolation, or unrestricted global routing.
+    pub fn routing_scope(&self, site: SiteId) -> Option<SiteId> {
+        if self.cfg.site_isolation {
+            Some(site)
+        } else {
+            None
+        }
+    }
+
+    /// Sets an attribute locally and queues the subscription to its
+    /// site-scoped `attr=value` tree.
+    pub fn post_resource(&mut self, attr: &str, value: AttrValue) {
+        let tree = self.naming.tree_for_post(attr, &value);
+        self.attrs.insert(attr.to_owned(), value);
+        let topic = self.tree_topic(&tree, self.site);
+        let scope = self.routing_scope(self.site);
+        self.sub_requested.insert(topic, self.now);
+        self.ops.push_back(Op::Subscribe { topic, scope });
+    }
+
+    /// Updates an attribute value without touching tree membership (used
+    /// by monitoring updates like utilization readings).
+    pub fn update_attr(&mut self, attr: &str, value: AttrValue) {
+        self.attrs.insert(attr.to_owned(), value);
+    }
+
+    /// Extends an AA instance with RBAY's runtime primitives — currently
+    /// `sha1hex(s)`, which enables the public/private-key authentication
+    /// the paper sketches in §III.B: the AA stores `PubKey =
+    /// sha1hex(secret)` and the query authenticates by presenting the
+    /// secret.
+    fn add_runtime_natives(inst: &AaInstance) {
+        let f: aascript::NativeFn = std::rc::Rc::new(|args: &[Value]| {
+            let s = match args.first() {
+                Some(Value::Str(s)) => s.to_string(),
+                other => aascript::display_value(other.unwrap_or(&Value::Nil)),
+            };
+            let digest = pastry::sha1::sha1(s.as_bytes());
+            let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+            Ok(Value::str(hex))
+        });
+        inst.set_global("sha1hex", Value::Native("sha1hex", f));
+    }
+
+    /// Installs the node-level policy AA from source.
+    ///
+    /// # Errors
+    ///
+    /// Compile or instantiation-time runtime errors.
+    pub fn install_node_aa(&mut self, src: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let script = Script::compile(src)?;
+        let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
+        Self::add_runtime_natives(&inst);
+        self.node_aa = Some(inst);
+        Ok(())
+    }
+
+    /// Installs a per-attribute AA from source.
+    ///
+    /// # Errors
+    ///
+    /// Compile or instantiation-time runtime errors.
+    pub fn install_attr_aa(
+        &mut self,
+        attr: &str,
+        src: &str,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let script = Script::compile(src)?;
+        let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
+        Self::add_runtime_natives(&inst);
+        self.attr_aas.insert(attr.to_owned(), inst);
+        Ok(())
+    }
+
+    /// The AA consulted for a query anchored at `attr`: the attribute's own
+    /// AA if present, else the node AA.
+    fn aa_for(&self, attr: Option<&str>) -> Option<&AaInstance> {
+        attr.and_then(|a| self.attr_aas.get(a)).or(self.node_aa.as_ref())
+    }
+
+    /// Refreshes the runtime globals handlers may read: `now_ms` (virtual
+    /// time) enables time-window policies like the paper's "available
+    /// after 10:00 PM" example, and the node's current attribute map is
+    /// exposed as the `attrs` table.
+    fn refresh_aa_env(&self, aa: &AaInstance) {
+        aa.set_global("now_ms", Value::Num(self.now.as_millis_f64()));
+        let table = Value::table();
+        if let Value::Table(t) = &table {
+            let mut t = t.borrow_mut();
+            for (k, v) in &self.attrs {
+                t.set(aascript::Key::Str(k.clone()), Self::attr_to_script(v));
+            }
+        }
+        aa.set_global("attrs", table);
+    }
+
+    /// Invokes `onGet` (paper Table I): returns whether access is granted.
+    /// A missing handler grants by default; a runtime error denies.
+    pub fn check_on_get(&mut self, anchor_attr: Option<&str>, caller: &str, password: Option<&str>) -> bool {
+        let budget = self.cfg.aa_budget;
+        let Some(aa) = self.aa_for(anchor_attr) else {
+            return true;
+        };
+        if !aa.has_handler("onGet") {
+            return true;
+        }
+        self.refresh_aa_env(aa);
+        let args = [
+            Value::str(caller),
+            password.map(Value::str).unwrap_or(Value::Nil),
+        ];
+        match aa.invoke("onGet", &args, budget) {
+            Ok(v) if v.truthy() => true,
+            Ok(_) => {
+                self.aa_denials += 1;
+                false
+            }
+            Err(_) => {
+                self.aa_errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Converts an [`AttrValue`] into a script value.
+    pub fn attr_to_script(v: &AttrValue) -> Value {
+        match v {
+            AttrValue::Bool(b) => Value::Bool(*b),
+            AttrValue::Num(n) => Value::Num(*n),
+            AttrValue::Str(s) => Value::str(s),
+        }
+    }
+
+    /// Converts a script value back into an [`AttrValue`] (functions and
+    /// tables are stringified).
+    pub fn script_to_attr(v: &Value) -> Option<AttrValue> {
+        match v {
+            Value::Nil => None,
+            Value::Bool(b) => Some(AttrValue::Bool(*b)),
+            Value::Num(n) => Some(AttrValue::Num(*n)),
+            other => Some(AttrValue::Str(aascript::display_value(other))),
+        }
+    }
+
+    /// Whether this node currently holds an un-expired reservation for a
+    /// different query.
+    pub fn is_reserved_against(&self, query: QueryId) -> bool {
+        match self.reservation {
+            Some((by, until)) => by != query && until > self.now,
+            None => false,
+        }
+    }
+
+    /// One step of the search walk visiting this node (protocol step 4):
+    /// check the full predicate, check the reservation, consult `onGet`,
+    /// then reserve and fill a slot.
+    fn visit_search(&mut self, state: &mut SearchState) -> Visit {
+        let k = state.query.k as usize;
+        if state.slots.len() >= k {
+            return Visit::Stop;
+        }
+        let matches = state
+            .query
+            .matches_all(|attr| self.attrs.get(attr));
+        if !matches {
+            return Visit::Continue;
+        }
+        if self.is_reserved_against(state.query_id) {
+            return Visit::Continue;
+        }
+        let anchor = state.query.anchors().next().map(|p| p.attr.clone());
+        let caller = format!("{}", state.reply_to);
+        if !self.check_on_get(anchor.as_deref(), &caller, state.password.as_deref()) {
+            return Visit::Continue;
+        }
+        self.reservation = Some((state.query_id, self.now + self.cfg.reserve_ttl));
+        let sort_key = state
+            .query
+            .order_by
+            .as_ref()
+            .and_then(|(attr, _)| self.attrs.get(attr).cloned());
+        state.slots.push(Candidate {
+            id: self.id,
+            addr: self.addr,
+            site: self.site,
+            sort_key,
+        });
+        if state.slots.len() >= k {
+            Visit::Stop
+        } else {
+            Visit::Continue
+        }
+    }
+
+    /// Runs the periodic AA maintenance (paper Table I `onTimer`,
+    /// `onSubscribe`, `onUnsubscribe`): fires `onTimer`, then lets the
+    /// node AA decide membership of each dynamic tree.
+    pub fn maintenance(&mut self) {
+        let budget = self.cfg.aa_budget;
+        // onTimer on every installed AA.
+        if let Some(aa) = &self.node_aa {
+            self.refresh_aa_env(aa);
+            if aa.has_handler("onTimer") {
+                let _ = aa.invoke("onTimer", &[], budget);
+            }
+        }
+        for aa in self.attr_aas.values() {
+            self.refresh_aa_env(aa);
+            if aa.has_handler("onTimer") {
+                let _ = aa.invoke("onTimer", &[], budget);
+            }
+        }
+        // Membership checks for dynamic trees.
+        let trees: Vec<String> = self.dynamic_trees.clone();
+        for tree in trees {
+            let topic = self.tree_topic(&tree, self.site);
+            let (mut join, mut leave) = (false, false);
+            if let Some(aa) = &self.node_aa {
+                if aa.has_handler("onSubscribe") {
+                    match aa.invoke(
+                        "onSubscribe",
+                        &[Value::Nil, Value::str(&tree)],
+                        budget,
+                    ) {
+                        Ok(v) => join = v.truthy(),
+                        Err(_) => self.aa_errors += 1,
+                    }
+                }
+                if aa.has_handler("onUnsubscribe") {
+                    match aa.invoke(
+                        "onUnsubscribe",
+                        &[Value::Nil, Value::str(&tree)],
+                        budget,
+                    ) {
+                        Ok(v) => leave = v.truthy(),
+                        Err(_) => self.aa_errors += 1,
+                    }
+                }
+            }
+            if join && !leave {
+                let scope = self.routing_scope(self.site);
+                self.sub_requested.entry(topic).or_insert(self.now);
+                self.ops.push_back(Op::Subscribe { topic, scope });
+            } else if leave {
+                self.ops.push_back(Op::Unsubscribe { topic });
+            }
+        }
+    }
+
+    /// Re-issues subscriptions whose JOIN (or its ack) was lost: any tree
+    /// we requested but never got attached to is joined again. Called each
+    /// maintenance round; `attached` reports which requested topics are
+    /// now attached.
+    pub fn retry_pending_subscriptions(&mut self, attached: impl Fn(TopicId) -> bool) {
+        let stale: Vec<TopicId> = self
+            .sub_requested
+            .keys()
+            .copied()
+            .filter(|t| !attached(*t))
+            .collect();
+        for topic in stale {
+            let scope = self.routing_scope(self.site);
+            self.ops.push_back(Op::Subscribe { topic, scope });
+        }
+    }
+
+    /// Heartbeat bookkeeping for one maintenance round: expires overdue
+    /// pings (declaring those peers failed) and records fresh pings for
+    /// `peers`. Returns the ping ops for the actor to send.
+    pub fn heartbeat_round(&mut self, peers: &[NodeAddr]) {
+        if !self.cfg.failure_detection {
+            return;
+        }
+        // Any peer that owes us a pong past the deadline is dead.
+        let deadline = self.cfg.heartbeat_timeout;
+        let overdue: Vec<NodeAddr> = self
+            .pending_pings
+            .iter()
+            .filter(|(_, sent)| self.now.saturating_since(**sent) > deadline)
+            .map(|(p, _)| *p)
+            .collect();
+        for peer in overdue {
+            self.pending_pings.remove(&peer);
+            if !self.suspected.contains(&peer) {
+                self.suspected.push(peer);
+                self.newly_failed.push(peer);
+            }
+        }
+        // Ping everyone we have not already pinged and not buried.
+        for &peer in peers {
+            if peer == self.addr
+                || self.pending_pings.contains_key(&peer)
+                || self.suspected.contains(&peer)
+            {
+                continue;
+            }
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            self.pending_pings.insert(peer, self.now);
+            self.ops.push_back(Op::Direct {
+                to: peer,
+                payload: RbayPayload::Ping { nonce },
+            });
+        }
+    }
+
+    /// Total memory attributable to active attributes on this node
+    /// (Fig. 8c accounting).
+    pub fn aa_bytes(&self) -> usize {
+        self.attr_aas.values().map(|a| a.size_bytes()).sum::<usize>()
+            + self.node_aa.as_ref().map(|a| a.size_bytes()).unwrap_or(0)
+    }
+}
+
+impl ScribeHost<RbayPayload> for RbayHost {
+    fn on_multicast(&mut self, _topic: TopicId, payload: &RbayPayload) {
+        let RbayPayload::Admin(cmd) = payload else {
+            return;
+        };
+        self.events.push(RbayEvent::AdminDelivered {
+            cmd_id: cmd.cmd_id,
+            issued_at: cmd.issued_at,
+            delivered_at: self.now,
+        });
+        // onDeliver: the handler may transform the delivered value before
+        // it lands in the key-value map (paper Table I).
+        let budget = self.cfg.aa_budget;
+        let new_value = match self.aa_for(Some(&cmd.attr)) {
+            Some(aa) if aa.has_handler("onDeliver") => {
+                self.refresh_aa_env(aa);
+                match aa.invoke(
+                    "onDeliver",
+                    &[Value::Nil, Self::attr_to_script(&cmd.payload)],
+                    budget,
+                ) {
+                    Ok(v) => Self::script_to_attr(&v),
+                    Err(_) => {
+                        self.aa_errors += 1;
+                        None
+                    }
+                }
+            }
+            _ => Some(cmd.payload.clone()),
+        };
+        if let Some(v) = new_value {
+            self.attrs.insert(cmd.attr.clone(), v);
+        }
+    }
+
+    fn on_anycast_visit(&mut self, _topic: TopicId, payload: &mut RbayPayload) -> Visit {
+        match payload {
+            RbayPayload::Search(state) => self.visit_search(state),
+            _ => Visit::Continue,
+        }
+    }
+
+    fn on_anycast_result(&mut self, _topic: TopicId, payload: RbayPayload, satisfied: bool) {
+        let RbayPayload::Search(state) = payload else {
+            return;
+        };
+        if state.reply_to == self.addr {
+            // We are the querier: this was a local-site search.
+            self.record_site_result(state.query_id, self.site, state.slots, satisfied);
+        } else {
+            // We are a gateway: echo the result to the querier.
+            self.ops.push_back(Op::Direct {
+                to: state.reply_to,
+                payload: RbayPayload::SearchEcho {
+                    query_id: state.query_id,
+                    site: self.site,
+                    slots: state.slots,
+                    satisfied,
+                },
+            });
+        }
+    }
+
+    fn on_probe_reply(
+        &mut self,
+        _topic: TopicId,
+        payload: RbayPayload,
+        agg: Option<AggValue>,
+        exists: bool,
+    ) {
+        if let RbayPayload::StatsProbe { reply_to, tree } = payload {
+            if reply_to == self.addr {
+                self.tree_stats.insert(tree, (agg, exists, self.now));
+            } else {
+                self.ops.push_back(Op::Direct {
+                    to: reply_to,
+                    payload: RbayPayload::StatsEcho { tree, agg, exists },
+                });
+            }
+            return;
+        }
+        let RbayPayload::SizeProbe {
+            query_id,
+            tree_idx,
+            reply_to,
+            site,
+        } = payload
+        else {
+            return;
+        };
+        let size = agg.and_then(|a| a.as_count());
+        if reply_to == self.addr {
+            self.record_probe(query_id, tree_idx, site, size, exists);
+        } else {
+            self.ops.push_back(Op::Direct {
+                to: reply_to,
+                payload: RbayPayload::ProbeEcho {
+                    query_id,
+                    tree_idx,
+                    site,
+                    size,
+                    exists,
+                },
+            });
+        }
+    }
+
+    fn on_direct(&mut self, from: NodeAddr, payload: RbayPayload) {
+        let _from = from;
+        match payload {
+            RbayPayload::ProbeEcho {
+                query_id,
+                tree_idx,
+                site,
+                size,
+                exists,
+            } => {
+                self.record_probe(query_id, tree_idx, site, size, exists);
+            }
+            RbayPayload::SearchEcho {
+                query_id,
+                site,
+                slots,
+                satisfied,
+            } => {
+                self.record_site_result(query_id, site, slots, satisfied);
+            }
+            RbayPayload::RemoteProbe {
+                query_id,
+                reply_to,
+                site,
+                trees,
+            } => {
+                for (i, tree) in trees.iter().enumerate() {
+                    let topic = self.tree_topic(tree, site);
+                    self.ops.push_back(Op::Probe {
+                        topic,
+                        scope: self.routing_scope(site),
+                        payload: RbayPayload::SizeProbe {
+                            query_id,
+                            tree_idx: i as u8,
+                            reply_to,
+                            site,
+                        },
+                    });
+                }
+            }
+            RbayPayload::RemoteSearch { state, tree } => {
+                let topic = self.tree_topic(&tree, self.site);
+                self.ops.push_back(Op::Anycast {
+                    topic,
+                    scope: self.routing_scope(self.site),
+                    payload: RbayPayload::Search(state),
+                });
+            }
+            RbayPayload::Commit { query_id } => {
+                if let Some((by, _)) = self.reservation {
+                    if by == query_id {
+                        self.committed.push(query_id);
+                        // Hold far beyond the protocol horizon; release is
+                        // explicit from here on.
+                        self.reservation =
+                            Some((query_id, self.now + SimDuration::from_secs(3_600)));
+                    }
+                }
+            }
+            RbayPayload::Release { query_id } => {
+                if let Some((by, _)) = self.reservation {
+                    if by == query_id {
+                        self.reservation = None;
+                    }
+                }
+            }
+            RbayPayload::StatsEcho { tree, agg, exists } => {
+                self.tree_stats.insert(tree, (agg, exists, self.now));
+            }
+            RbayPayload::Ping { nonce } => {
+                self.ops.push_back(Op::Direct {
+                    to: _from,
+                    payload: RbayPayload::Pong { nonce },
+                });
+            }
+            RbayPayload::Pong { .. } => {
+                self.pending_pings.remove(&_from);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_subscribed(&mut self, topic: TopicId) {
+        if let Some(requested_at) = self.sub_requested.remove(&topic) {
+            self.events.push(RbayEvent::Subscribed {
+                topic,
+                requested_at,
+                attached_at: self.now,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbay_query::parse_query;
+
+    fn host() -> RbayHost {
+        RbayHost::new(
+            Rc::new(RbayConfig::default()),
+            NodeId(42),
+            NodeAddr(7),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["local".into()],
+        )
+    }
+
+    fn search(k: u32, password: Option<&str>) -> SearchState {
+        let q = parse_query(&format!(
+            "SELECT {k} FROM * WHERE GPU = true AND CPU_utilization < 50 GROUPBY CPU_utilization ASC"
+        ))
+        .unwrap();
+        SearchState {
+            query_id: QueryId(99),
+            reply_to: NodeAddr(1),
+            query: Rc::new(q),
+            password: password.map(str::to_owned),
+            slots: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn visit_fills_slot_when_predicates_hold() {
+        let mut h = host();
+        h.update_attr("GPU", AttrValue::Bool(true));
+        h.update_attr("CPU_utilization", AttrValue::Num(10.0));
+        let mut s = search(2, None);
+        assert_eq!(h.visit_search(&mut s), Visit::Continue, "k=2 needs more");
+        assert_eq!(s.slots.len(), 1);
+        assert_eq!(s.slots[0].id, NodeId(42));
+        assert_eq!(
+            s.slots[0].sort_key,
+            Some(AttrValue::Num(10.0)),
+            "GROUPBY key captured"
+        );
+        assert!(h.reservation.is_some());
+    }
+
+    #[test]
+    fn visit_stops_when_buffer_full() {
+        let mut h = host();
+        h.update_attr("GPU", AttrValue::Bool(true));
+        h.update_attr("CPU_utilization", AttrValue::Num(10.0));
+        let mut s = search(1, None);
+        assert_eq!(h.visit_search(&mut s), Visit::Stop);
+    }
+
+    #[test]
+    fn visit_skips_on_failed_predicate() {
+        let mut h = host();
+        h.update_attr("GPU", AttrValue::Bool(true));
+        h.update_attr("CPU_utilization", AttrValue::Num(90.0));
+        let mut s = search(1, None);
+        assert_eq!(h.visit_search(&mut s), Visit::Continue);
+        assert!(s.slots.is_empty());
+        assert!(h.reservation.is_none());
+    }
+
+    #[test]
+    fn visit_respects_foreign_reservation_until_expiry() {
+        let mut h = host();
+        h.update_attr("GPU", AttrValue::Bool(true));
+        h.update_attr("CPU_utilization", AttrValue::Num(10.0));
+        h.reservation = Some((QueryId(1), SimTime::from_millis(500)));
+        h.now = SimTime::from_millis(100);
+        let mut s = search(1, None);
+        assert_eq!(h.visit_search(&mut s), Visit::Continue, "still locked");
+        h.now = SimTime::from_millis(600);
+        assert_eq!(h.visit_search(&mut s), Visit::Stop, "lock expired");
+    }
+
+    #[test]
+    fn password_aa_gates_access() {
+        let mut h = host();
+        h.update_attr("GPU", AttrValue::Bool(true));
+        h.update_attr("CPU_utilization", AttrValue::Num(10.0));
+        h.install_node_aa(
+            r#"
+            AA = {Password = "sesame"}
+            function onGet(caller, password)
+                if password == AA.Password then
+                    return true
+                end
+                return nil
+            end
+        "#,
+        )
+        .unwrap();
+        let mut wrong = search(1, Some("guess"));
+        assert_eq!(h.visit_search(&mut wrong), Visit::Continue);
+        assert_eq!(h.aa_denials, 1);
+        let mut right = search(1, Some("sesame"));
+        assert_eq!(h.visit_search(&mut right), Visit::Stop);
+    }
+
+    #[test]
+    fn commit_and_release_lifecycle() {
+        let mut h = host();
+        h.reservation = Some((QueryId(5), SimTime::from_millis(100)));
+        h.on_direct(NodeAddr(0), RbayPayload::Commit { query_id: QueryId(5) });
+        assert_eq!(h.committed, vec![QueryId(5)]);
+        // Commit from the wrong query does nothing.
+        h.on_direct(NodeAddr(0), RbayPayload::Commit { query_id: QueryId(6) });
+        assert_eq!(h.committed.len(), 1);
+        h.on_direct(NodeAddr(0), RbayPayload::Release { query_id: QueryId(5) });
+        assert!(h.reservation.is_none());
+    }
+
+    #[test]
+    fn admin_multicast_updates_attribute_via_on_deliver() {
+        let mut h = host();
+        h.update_attr("price", AttrValue::Num(10.0));
+        h.install_attr_aa(
+            "price",
+            r#"
+            function onDeliver(caller, value)
+                -- admins deliver a multiplier, not an absolute price
+                return value * 2
+            end
+        "#,
+        )
+        .unwrap();
+        h.now = SimTime::from_millis(50);
+        h.on_multicast(
+            TopicId::new("price", "rbay"),
+            &RbayPayload::Admin(crate::types::AdminCommand {
+                cmd_id: 1,
+                attr: "price".into(),
+                payload: AttrValue::Num(21.0),
+                issued_at: SimTime::from_millis(10),
+            }),
+        );
+        assert_eq!(h.attrs["price"], AttrValue::Num(42.0));
+        assert!(matches!(
+            h.events.last(),
+            Some(RbayEvent::AdminDelivered { cmd_id: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn admin_multicast_without_handler_sets_value_directly() {
+        let mut h = host();
+        h.on_multicast(
+            TopicId::new("expiry", "rbay"),
+            &RbayPayload::Admin(crate::types::AdminCommand {
+                cmd_id: 2,
+                attr: "expiry".into(),
+                payload: AttrValue::str("22:00"),
+                issued_at: SimTime::ZERO,
+            }),
+        );
+        assert_eq!(h.attrs["expiry"], AttrValue::str("22:00"));
+    }
+
+    #[test]
+    fn post_resource_queues_scoped_subscription() {
+        let mut h = host();
+        h.post_resource("GPU", AttrValue::Bool(true));
+        assert_eq!(h.attrs["GPU"], AttrValue::Bool(true));
+        let Some(Op::Subscribe { topic, scope }) = h.ops.front() else {
+            panic!("expected a subscribe op");
+        };
+        assert_eq!(*scope, Some(SiteId(0)));
+        assert_eq!(*topic, TopicId::scoped("GPU=true", "rbay", SiteId(0)));
+    }
+
+    #[test]
+    fn dynamic_tree_membership_follows_on_subscribe() {
+        let mut h = host();
+        h.dynamic_trees.push("CPU_utilization<10".into());
+        h.update_attr("CPU_utilization", AttrValue::Num(5.0));
+        h.install_node_aa(
+            r#"
+            function onSubscribe(caller, topic)
+                return utilization < 10
+            end
+            function onUnsubscribe(caller, topic)
+                return utilization >= 10
+            end
+        "#,
+        )
+        .unwrap();
+        // Expose the live reading to the script.
+        h.node_aa
+            .as_ref()
+            .unwrap()
+            .set_global("utilization", Value::Num(5.0));
+        h.maintenance();
+        assert!(matches!(h.ops.back(), Some(Op::Subscribe { .. })));
+        h.ops.clear();
+        h.node_aa
+            .as_ref()
+            .unwrap()
+            .set_global("utilization", Value::Num(50.0));
+        h.maintenance();
+        assert!(matches!(h.ops.back(), Some(Op::Unsubscribe { .. })));
+    }
+
+    #[test]
+    fn aa_bytes_counts_installed_handlers() {
+        let mut h = host();
+        assert_eq!(h.aa_bytes(), 0);
+        h.install_attr_aa("a", "AA = {Password = \"x\"}").unwrap();
+        let one = h.aa_bytes();
+        assert!(one > 0);
+        h.install_attr_aa("b", "AA = {Password = \"y\"}").unwrap();
+        assert!(h.aa_bytes() > one);
+    }
+}
+
+#[cfg(test)]
+mod heartbeat_tests {
+    use super::*;
+    use aascript::SharedSandbox;
+    use pastry::NodeId;
+    use rbay_query::AttrValue;
+
+    fn host() -> RbayHost {
+        let cfg = RbayConfig {
+            failure_detection: true,
+            heartbeat_timeout: SimDuration::from_millis(400),
+            aggregate_attr: Some("CPU_utilization".into()),
+            ..RbayConfig::default()
+        };
+        RbayHost::new(
+            Rc::new(cfg),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0), NodeAddr(1), NodeAddr(2)]],
+            vec!["local".into()],
+        )
+    }
+
+    #[test]
+    fn heartbeat_round_pings_new_peers_once() {
+        let mut h = host();
+        h.heartbeat_round(&[NodeAddr(5), NodeAddr(6)]);
+        let pings: Vec<NodeAddr> = h
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Direct {
+                    to,
+                    payload: RbayPayload::Ping { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pings, vec![NodeAddr(5), NodeAddr(6)]);
+        h.ops.clear();
+        // Outstanding peers are not re-pinged.
+        h.heartbeat_round(&[NodeAddr(5), NodeAddr(6)]);
+        assert!(h.ops.is_empty());
+    }
+
+    #[test]
+    fn pong_clears_the_outstanding_ping() {
+        use scribe::ScribeHost;
+        let mut h = host();
+        h.heartbeat_round(&[NodeAddr(5)]);
+        h.on_direct(NodeAddr(5), RbayPayload::Pong { nonce: 0 });
+        assert!(h.pending_pings.is_empty());
+        // The peer can be pinged again later.
+        h.ops.clear();
+        h.heartbeat_round(&[NodeAddr(5)]);
+        assert_eq!(h.ops.len(), 1);
+    }
+
+    #[test]
+    fn overdue_pings_declare_failures_exactly_once() {
+        let mut h = host();
+        h.now = SimTime::from_millis(0);
+        h.heartbeat_round(&[NodeAddr(5)]);
+        h.now = SimTime::from_millis(1_000);
+        h.heartbeat_round(&[]);
+        assert_eq!(h.suspected, vec![NodeAddr(5)]);
+        assert_eq!(h.newly_failed, vec![NodeAddr(5)]);
+        h.newly_failed.clear();
+        h.ops.clear();
+        // Buried peers are never pinged or re-declared.
+        h.heartbeat_round(&[NodeAddr(5)]);
+        assert!(h.newly_failed.is_empty());
+        assert!(h.ops.iter().all(|op| !matches!(
+            op,
+            Op::Direct {
+                payload: RbayPayload::Ping { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn ping_messages_are_answered_with_pongs() {
+        use scribe::ScribeHost;
+        let mut h = host();
+        h.on_direct(NodeAddr(9), RbayPayload::Ping { nonce: 42 });
+        assert!(matches!(
+            h.ops.front(),
+            Some(Op::Direct {
+                to: NodeAddr(9),
+                payload: RbayPayload::Pong { nonce: 42 },
+            })
+        ));
+    }
+
+    #[test]
+    fn gateway_rotation_wraps_through_the_list() {
+        let h = host();
+        assert_eq!(h.gateway_for(SiteId(0), 0), NodeAddr(0));
+        assert_eq!(h.gateway_for(SiteId(0), 1), NodeAddr(1));
+        assert_eq!(h.gateway_for(SiteId(0), 2), NodeAddr(2));
+        assert_eq!(h.gateway_for(SiteId(0), 3), NodeAddr(0));
+    }
+
+    #[test]
+    fn tree_local_value_reflects_the_aggregate_attr() {
+        let mut h = host();
+        // Without a reading: identity contributions besides the count.
+        let v = h.tree_local_value();
+        assert_eq!(v.as_count(), Some(1));
+        assert_eq!(v.component(1).unwrap().as_f64(), 0.0);
+        // With a reading.
+        h.update_attr("CPU_utilization", AttrValue::Num(40.0));
+        let v = h.tree_local_value();
+        assert_eq!(v.component(1).unwrap().as_f64(), 40.0);
+        assert_eq!(v.component(2).unwrap().as_f64(), 40.0);
+        assert_eq!(v.component(3).unwrap().as_f64(), 40.0);
+    }
+
+    #[test]
+    fn retry_pending_subscriptions_reissues_unattached_joins() {
+        let mut h = host();
+        let topic = h.tree_topic("GPU=true", SiteId(0));
+        h.sub_requested.insert(topic, SimTime::ZERO);
+        h.retry_pending_subscriptions(|_| false);
+        assert!(matches!(h.ops.back(), Some(Op::Subscribe { .. })));
+        h.ops.clear();
+        // Attached topics are not retried.
+        h.retry_pending_subscriptions(|_| true);
+        assert!(h.ops.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Policy scenarios from the paper's motivation (Fig. 1): history/credit
+//! checks, rate limiting, lease expiry — all expressed as admin-written
+//! active-attribute handlers, enforced during live queries.
+
+use rbay_core::{Federation, RbayConfig};
+use rbay_query::AttrValue;
+use simnet::{NodeAddr, SimDuration, SimTime, Topology};
+
+/// These scenarios re-query the same node repeatedly; the customers are
+/// "window shopping", so queries must not commit (hold) what they find.
+fn fed(nodes: usize, seed: u64) -> Federation {
+    let cfg = RbayConfig {
+        commit_results: false,
+        ..RbayConfig::default()
+    };
+    Federation::with_config(Topology::single_site(nodes, 0.5), seed, cfg)
+}
+
+fn maintain(fed: &mut Federation, rounds: u32) {
+    fed.run_maintenance(rounds, SimDuration::from_millis(200));
+    fed.settle();
+}
+
+fn wait_out_reservations(fed: &mut Federation) {
+    let horizon = fed.sim().now() + SimDuration::from_secs(8);
+    fed.run_until(horizon);
+}
+
+/// Kevin's policy: "prefers users who have good history logs, e.g. no
+/// worrisome behavior". The AA keeps a per-caller strike table; three
+/// strikes and the caller is refused.
+#[test]
+fn history_credit_check_with_strikes() {
+    let mut fed = fed(30, 41);
+    fed.post_resource(NodeAddr(3), "Cassandra", AttrValue::str("2.0"));
+    fed.install_node_aa(
+        NodeAddr(3),
+        r#"
+        AA = {Strikes = {}}
+        function onGet(caller, password)
+            local s = AA.Strikes[caller]
+            if s ~= nil and s >= 3 then
+                return nil
+            end
+            -- A missing password is worrisome behavior: one strike.
+            if password == nil then
+                if s == nil then s = 0 end
+                AA.Strikes[caller] = s + 1
+            end
+            return true
+        end
+    "#,
+    );
+    fed.settle();
+    maintain(&mut fed, 4);
+
+    // Three password-less queries succeed but accumulate strikes...
+    for round in 0..3 {
+        let id = fed
+            .issue_query(NodeAddr(9), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+            .unwrap();
+        fed.settle();
+        assert!(
+            fed.query_record(NodeAddr(9), id).unwrap().satisfied,
+            "round {round} still within tolerance"
+        );
+        wait_out_reservations(&mut fed);
+    }
+    // ...the fourth is refused.
+    let id = fed
+        .issue_query(NodeAddr(9), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+        .unwrap();
+    fed.settle();
+    assert!(
+        !fed.query_record(NodeAddr(9), id).unwrap().satisfied,
+        "three strikes and out"
+    );
+    // A different caller is unaffected (per-caller history).
+    let id = fed
+        .issue_query(NodeAddr(14), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+        .unwrap();
+    fed.settle();
+    assert!(fed.query_record(NodeAddr(14), id).unwrap().satisfied);
+}
+
+/// A rate limiter: the AA admits at most two grants per clock window,
+/// combining persistent handler state with the injected virtual clock.
+#[test]
+fn rate_limiting_policy_uses_the_clock() {
+    let mut fed = fed(30, 43);
+    fed.post_resource(NodeAddr(5), "GPU", AttrValue::Bool(true));
+    fed.install_node_aa(
+        NodeAddr(5),
+        r#"
+        AA = {WindowMs = 30000, WindowStart = 0, Grants = 0}
+        function onGet(caller, password)
+            if now_ms - AA.WindowStart > AA.WindowMs then
+                AA.WindowStart = now_ms
+                AA.Grants = 0
+            end
+            if AA.Grants >= 2 then
+                return nil
+            end
+            AA.Grants = AA.Grants + 1
+            return true
+        end
+    "#,
+    );
+    fed.settle();
+    maintain(&mut fed, 4);
+
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        let id = fed
+            .issue_query(NodeAddr(20), "SELECT 1 FROM * WHERE GPU = true", None)
+            .unwrap();
+        fed.settle();
+        outcomes.push(fed.query_record(NodeAddr(20), id).unwrap().satisfied);
+        wait_out_reservations(&mut fed);
+    }
+    assert_eq!(outcomes[0..2], [true, true], "first two within budget");
+    // The third query ran after ~16s of reservation waits; if still
+    // inside the window it is denied. Use explicit timing instead: query
+    // right away in a fresh window far in the future.
+    fed.run_until(SimTime::from_secs(120));
+    let id = fed
+        .issue_query(NodeAddr(20), "SELECT 1 FROM * WHERE GPU = true", None)
+        .unwrap();
+    fed.settle();
+    assert!(
+        fed.query_record(NodeAddr(20), id).unwrap().satisfied,
+        "a fresh window admits again"
+    );
+}
+
+/// A lease policy: `onTimer` expires the sharing offer by rewriting the
+/// AA's own state once the virtual clock passes the lease end.
+#[test]
+fn lease_expiry_via_on_timer() {
+    let mut fed = fed(30, 45);
+    fed.post_resource(NodeAddr(7), "FPGA", AttrValue::Bool(true));
+    fed.install_node_aa(
+        NodeAddr(7),
+        r#"
+        AA = {LeaseEndMs = 30000, Open = true}
+        function onTimer()
+            if now_ms > AA.LeaseEndMs then
+                AA.Open = false
+            end
+        end
+        function onGet(caller, password)
+            if AA.Open then
+                return true
+            end
+            return nil
+        end
+    "#,
+    );
+    fed.settle();
+    maintain(&mut fed, 2);
+
+    let id = fed
+        .issue_query(NodeAddr(12), "SELECT 1 FROM * WHERE FPGA = true", None)
+        .unwrap();
+    fed.settle();
+    assert!(fed.query_record(NodeAddr(12), id).unwrap().satisfied, "lease active");
+    wait_out_reservations(&mut fed);
+
+    // Push the clock past the lease end and run the periodic timer.
+    fed.run_until(SimTime::from_secs(31));
+    maintain(&mut fed, 2);
+    let id = fed
+        .issue_query(NodeAddr(12), "SELECT 1 FROM * WHERE FPGA = true", None)
+        .unwrap();
+    fed.settle();
+    assert!(
+        !fed.query_record(NodeAddr(12), id).unwrap().satisfied,
+        "lease expired via onTimer"
+    );
+}
+
+/// A buggy handler is contained: its script error denies access (fail
+/// closed) without disturbing the node or the rest of the query.
+#[test]
+fn buggy_handlers_fail_closed() {
+    let mut fed = fed(30, 47);
+    fed.post_resource(NodeAddr(2), "GPU", AttrValue::Bool(true));
+    fed.post_resource(NodeAddr(8), "GPU", AttrValue::Bool(true));
+    // Node 2's handler indexes a nil table — a runtime error on every get.
+    fed.install_node_aa(
+        NodeAddr(2),
+        r#"
+        function onGet(caller, password)
+            return missing_table.field
+        end
+    "#,
+    );
+    fed.settle();
+    maintain(&mut fed, 4);
+
+    let id = fed
+        .issue_query(NodeAddr(20), "SELECT 2 FROM * WHERE GPU = true", None)
+        .unwrap();
+    fed.settle();
+    let rec = fed.query_record(NodeAddr(20), id).unwrap();
+    // Only the healthy node can be granted.
+    assert!(!rec.satisfied);
+    assert_eq!(rec.result.len(), 1);
+    assert_eq!(rec.result[0].addr, NodeAddr(8));
+    assert!(fed.node(NodeAddr(2)).host.aa_errors > 0, "error was counted");
+}
+
+/// The same buggy logic wrapped in `pcall` lets the admin degrade
+/// gracefully instead of failing closed.
+#[test]
+fn pcall_lets_policies_catch_their_own_bugs() {
+    let mut fed = fed(30, 49);
+    fed.post_resource(NodeAddr(4), "GPU", AttrValue::Bool(true));
+    fed.install_node_aa(
+        NodeAddr(4),
+        r#"
+        function fragile_check(caller)
+            return missing_table.field
+        end
+        function onGet(caller, password)
+            local r = pcall(fragile_check, caller)
+            if r.ok then
+                return r.value
+            end
+            -- The fancy check failed; fall back to allowing access.
+            return true
+        end
+    "#,
+    );
+    fed.settle();
+    maintain(&mut fed, 4);
+
+    let id = fed
+        .issue_query(NodeAddr(21), "SELECT 1 FROM * WHERE GPU = true", None)
+        .unwrap();
+    fed.settle();
+    assert!(fed.query_record(NodeAddr(21), id).unwrap().satisfied);
+}

@@ -1,0 +1,29 @@
+//! # rbay-query — the SQL-like query front end
+//!
+//! RBAY develops a SQL-like query interface (based on Zql in the paper,
+//! §III.D) that takes composite queries such as:
+//!
+//! ```text
+//! SELECT k FROM * WHERE CPU_model = "Intel Core i7"
+//!                   AND CPU_utilization < 10%
+//!                   GROUPBY CPU_utilization DESC;
+//! ```
+//!
+//! This crate provides the parser ([`parse_query`]), the query AST
+//! ([`Query`], [`Predicate`]), and the attribute-value model shared with
+//! the rest of the stack ([`AttrValue`]). Execution (the five-step protocol
+//! of Fig. 7) lives in `rbay-core`, which consumes the
+//! [`Query::anchors`]/[`Query::residuals`] split: equality predicates name
+//! candidate aggregation trees; the rest are checked node-locally during
+//! the anycast walk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+mod value;
+
+pub use ast::{FromClause, Predicate, Query, SortDir};
+pub use parser::{parse_query, ParseQueryError};
+pub use value::{AttrValue, CmpOp};

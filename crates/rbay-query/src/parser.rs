@@ -1,0 +1,379 @@
+//! Parser for the SQL-like query language (the Zql subset the paper uses).
+//!
+//! Grammar:
+//!
+//! ```text
+//! query    := SELECT count FROM from [WHERE pred (AND pred)*]
+//!             [GROUPBY name [ASC|DESC]] [";"]
+//! count    := integer | "NodeId"          (NodeId means k = 1)
+//! from     := "*" | site ("," site)*
+//! site     := name | string
+//! pred     := name op literal
+//! op       := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//! literal  := number ["%"] | string | "true" | "false"
+//! ```
+//!
+//! Keywords are case-insensitive; `ORDER BY`-style `GROUPBY` follows the
+//! paper's Fig. 6 spelling.
+
+use crate::ast::{FromClause, Predicate, Query, SortDir};
+use crate::value::{AttrValue, CmpOp};
+use core::fmt;
+
+/// A query-parsing error, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQueryError {
+    /// Byte offset where the error was noticed.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum QTok {
+    Word(String),
+    Str(String),
+    Num(f64),
+    Percent, // '%' following a number
+    Star,
+    Comma,
+    Semi,
+    Op(CmpOp),
+}
+
+fn lex_query(src: &str) -> Result<Vec<(QTok, usize)>, ParseQueryError> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let at = i;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                i += 1;
+            }
+            out.push((QTok::Word(b[start..i].iter().collect()), at));
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) {
+            let start = i;
+            if c == '-' {
+                i += 1;
+            }
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            let n: f64 = text.parse().map_err(|_| ParseQueryError {
+                offset: at,
+                message: format!("malformed number `{text}`"),
+            })?;
+            out.push((QTok::Num(n), at));
+            if i < b.len() && b[i] == '%' {
+                out.push((QTok::Percent, i));
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            i += 1;
+            let start = i;
+            while i < b.len() && b[i] != quote {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(ParseQueryError {
+                    offset: at,
+                    message: "unterminated string".into(),
+                });
+            }
+            out.push((QTok::Str(b[start..i].iter().collect()), at));
+            i += 1;
+            continue;
+        }
+        let two = |a: char| i + 1 < b.len() && b[i + 1] == a;
+        let (tok, w) = match c {
+            '*' => (QTok::Star, 1),
+            ',' => (QTok::Comma, 1),
+            ';' => (QTok::Semi, 1),
+            '=' => (QTok::Op(CmpOp::Eq), 1),
+            '!' if two('=') => (QTok::Op(CmpOp::Ne), 2),
+            '<' if two('=') => (QTok::Op(CmpOp::Le), 2),
+            '<' if two('>') => (QTok::Op(CmpOp::Ne), 2),
+            '<' => (QTok::Op(CmpOp::Lt), 1),
+            '>' if two('=') => (QTok::Op(CmpOp::Ge), 2),
+            '>' => (QTok::Op(CmpOp::Gt), 1),
+            other => {
+                return Err(ParseQueryError {
+                    offset: at,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        out.push((tok, at));
+        i += w;
+    }
+    Ok(out)
+}
+
+/// Parses one query.
+///
+/// # Errors
+///
+/// Returns a [`ParseQueryError`] describing the first problem.
+///
+/// ```
+/// let q = rbay_query::parse_query(
+///     r#"SELECT 5 FROM * WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;"#,
+/// ).unwrap();
+/// assert_eq!(q.k, 5);
+/// assert_eq!(q.predicates.len(), 2);
+/// ```
+pub fn parse_query(src: &str) -> Result<Query, ParseQueryError> {
+    let toks = lex_query(src)?;
+    let mut p = QParser { toks, i: 0 };
+    let q = p.query()?;
+    if p.i < p.toks.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(q)
+}
+
+struct QParser {
+    toks: Vec<(QTok, usize)>,
+    i: usize,
+}
+
+impl QParser {
+    fn peek(&self) -> Option<&QTok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseQueryError {
+        ParseQueryError {
+            offset: if self.offset() == usize::MAX { 0 } else { self.offset() },
+            message: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<QTok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseQueryError> {
+        match self.bump() {
+            Some(QTok::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(QTok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn query(&mut self) -> Result<Query, ParseQueryError> {
+        self.keyword("SELECT")?;
+        let k = match self.bump() {
+            Some(QTok::Num(n)) if n.fract() == 0.0 && n >= 1.0 && n <= u32::MAX as f64 => n as u32,
+            Some(QTok::Num(_)) => return Err(self.err("SELECT count must be a positive integer")),
+            Some(QTok::Word(w)) if w.eq_ignore_ascii_case("NodeId") => 1,
+            other => return Err(self.err(format!("expected a count or NodeId, found {other:?}"))),
+        };
+        self.keyword("FROM")?;
+        let from = if matches!(self.peek(), Some(QTok::Star)) {
+            self.bump();
+            FromClause::AllSites
+        } else {
+            let mut sites = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(QTok::Word(w)) => sites.push(w),
+                    Some(QTok::Str(s)) => sites.push(s),
+                    other => return Err(self.err(format!("expected a site name, found {other:?}"))),
+                }
+                if matches!(self.peek(), Some(QTok::Comma)) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            FromClause::Sites(sites)
+        };
+
+        let mut predicates = Vec::new();
+        if self.at_keyword("WHERE") {
+            self.bump();
+            loop {
+                predicates.push(self.predicate()?);
+                if self.at_keyword("AND") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = None;
+        if self.at_keyword("GROUPBY") {
+            self.bump();
+            let attr = match self.bump() {
+                Some(QTok::Word(w)) => w,
+                other => return Err(self.err(format!("expected attribute after GROUPBY, found {other:?}"))),
+            };
+            let dir = if self.at_keyword("DESC") {
+                self.bump();
+                SortDir::Desc
+            } else if self.at_keyword("ASC") {
+                self.bump();
+                SortDir::Asc
+            } else {
+                SortDir::Asc
+            };
+            order_by = Some((attr, dir));
+        }
+
+        if matches!(self.peek(), Some(QTok::Semi)) {
+            self.bump();
+        }
+
+        Ok(Query {
+            k,
+            from,
+            predicates,
+            order_by,
+        })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseQueryError> {
+        let attr = match self.bump() {
+            Some(QTok::Word(w)) => w,
+            other => return Err(self.err(format!("expected an attribute name, found {other:?}"))),
+        };
+        let op = match self.bump() {
+            Some(QTok::Op(op)) => op,
+            other => return Err(self.err(format!("expected a comparison operator, found {other:?}"))),
+        };
+        let value = match self.bump() {
+            Some(QTok::Num(n)) => {
+                // A `%` suffix marks a percentage — stored as the plain
+                // number, matching the paper's `⟨CPU, 50%⟩` convention.
+                if matches!(self.peek(), Some(QTok::Percent)) {
+                    self.bump();
+                }
+                AttrValue::Num(n)
+            }
+            Some(QTok::Str(s)) => AttrValue::Str(s),
+            Some(QTok::Word(w)) if w.eq_ignore_ascii_case("true") => AttrValue::Bool(true),
+            Some(QTok::Word(w)) if w.eq_ignore_ascii_case("false") => AttrValue::Bool(false),
+            other => return Err(self.err(format!("expected a literal, found {other:?}"))),
+        };
+        Ok(Predicate { attr, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig6_query() {
+        let q = parse_query(
+            r#"SELECT 4 FROM * WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;"#,
+        )
+        .unwrap();
+        assert_eq!(q.k, 4);
+        assert_eq!(q.from, FromClause::AllSites);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].attr, "CPU_model");
+        assert_eq!(q.predicates[0].op, CmpOp::Eq);
+        assert_eq!(q.predicates[0].value, AttrValue::str("Intel Core i7"));
+        assert_eq!(q.predicates[1].op, CmpOp::Lt);
+        assert_eq!(q.predicates[1].value, AttrValue::Num(10.0));
+        assert_eq!(q.order_by, Some(("CPU_utilization".into(), SortDir::Desc)));
+    }
+
+    #[test]
+    fn select_nodeid_means_one() {
+        let q = parse_query("SELECT NodeId FROM * WHERE GPU = true").unwrap();
+        assert_eq!(q.k, 1);
+        assert_eq!(q.predicates[0].value, AttrValue::Bool(true));
+    }
+
+    #[test]
+    fn site_lists() {
+        let q = parse_query(r#"SELECT 2 FROM "Virginia", Tokyo WHERE GPU = true"#).unwrap();
+        assert_eq!(
+            q.from,
+            FromClause::Sites(vec!["Virginia".into(), "Tokyo".into()])
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("select 1 from * where x = 1 groupby x asc").unwrap();
+        assert_eq!(q.order_by, Some(("x".into(), SortDir::Asc)));
+    }
+
+    #[test]
+    fn all_operators() {
+        for (src, op) in [
+            ("=", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<>", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+        ] {
+            let q = parse_query(&format!("SELECT 1 FROM * WHERE a {src} 5")).unwrap();
+            assert_eq!(q.predicates[0].op, op, "{src}");
+        }
+    }
+
+    #[test]
+    fn where_clause_is_optional() {
+        let q = parse_query("SELECT 7 FROM *").unwrap();
+        assert!(q.predicates.is_empty());
+        assert_eq!(q.k, 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT FROM *").is_err());
+        assert!(parse_query("SELECT 0 FROM *").is_err(), "k must be >= 1");
+        assert!(parse_query("SELECT 1.5 FROM *").is_err());
+        assert!(parse_query("SELECT 1 FROM").is_err());
+        assert!(parse_query("SELECT 1 FROM * WHERE").is_err());
+        assert!(parse_query("SELECT 1 FROM * WHERE a").is_err());
+        assert!(parse_query("SELECT 1 FROM * WHERE a = ").is_err());
+        assert!(parse_query(r#"SELECT 1 FROM * WHERE a = "unterminated"#).is_err());
+        assert!(parse_query("SELECT 1 FROM * extra junk ; here").is_err());
+    }
+
+    #[test]
+    fn dotted_attribute_names() {
+        let q = parse_query("SELECT 1 FROM * WHERE instance.type = \"c3.8xlarge\"").unwrap();
+        assert_eq!(q.predicates[0].attr, "instance.type");
+    }
+}

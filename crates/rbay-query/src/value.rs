@@ -1,0 +1,164 @@
+//! Attribute values and predicate comparison.
+
+use core::fmt;
+
+/// The value of a resource attribute in a node's key-value map.
+///
+/// The paper's examples: `⟨GPU, true⟩`, `⟨CPU, 50%⟩`, `⟨Matlab, "9.0"⟩`
+/// (§III.A) — booleans, numbers (percentages are plain numbers 0–100), and
+/// strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Availability flags like `⟨GPU, true⟩`.
+    Bool(bool),
+    /// Numeric readings like utilization percentages or memory sizes.
+    Num(f64),
+    /// Versions, model names, OS names.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Builds a string attribute.
+    pub fn str(s: impl Into<String>) -> Self {
+        AttrValue::Str(s.into())
+    }
+
+    /// The canonical textual form used in tree names (`attr=value`).
+    pub fn canonical(&self) -> String {
+        match self {
+            AttrValue::Bool(b) => b.to_string(),
+            AttrValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            AttrValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.canonical())
+    }
+}
+
+/// A comparison operator in a WHERE predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs`. Mixed types (other than the trivial
+    /// bool/num/string homogeneous cases) compare unequal and un-ordered:
+    /// every ordering operator returns `false`, `=` is `false`, `!=` is
+    /// `true`.
+    pub fn eval(self, lhs: &AttrValue, rhs: &AttrValue) -> bool {
+        use AttrValue::*;
+        let ord = match (lhs, rhs) {
+            (Bool(a), Bool(b)) => {
+                return match self {
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    _ => false,
+                }
+            }
+            (Num(a), Num(b)) => a.partial_cmp(b),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        };
+        match (self, ord) {
+            (CmpOp::Eq, Some(o)) => o.is_eq(),
+            (CmpOp::Ne, Some(o)) => o.is_ne(),
+            (CmpOp::Lt, Some(o)) => o.is_lt(),
+            (CmpOp::Le, Some(o)) => o.is_le(),
+            (CmpOp::Gt, Some(o)) => o.is_gt(),
+            (CmpOp::Ge, Some(o)) => o.is_ge(),
+            (CmpOp::Ne, None) => true,
+            (_, None) => false,
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparisons() {
+        let a = AttrValue::Num(5.0);
+        let b = AttrValue::Num(10.0);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &b));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(CmpOp::Eq.eval(&a, &a.clone()));
+    }
+
+    #[test]
+    fn string_comparisons_are_lexicographic() {
+        let a = AttrValue::str("Intel Core i5");
+        let b = AttrValue::str("Intel Core i7");
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Eq.eval(&b, &AttrValue::str("Intel Core i7")));
+    }
+
+    #[test]
+    fn bool_only_supports_equality() {
+        let t = AttrValue::Bool(true);
+        let f = AttrValue::Bool(false);
+        assert!(CmpOp::Eq.eval(&t, &t.clone()));
+        assert!(CmpOp::Ne.eval(&t, &f));
+        assert!(!CmpOp::Lt.eval(&f, &t), "ordering booleans is meaningless");
+    }
+
+    #[test]
+    fn mixed_types_are_unequal_and_unordered() {
+        let n = AttrValue::Num(1.0);
+        let s = AttrValue::str("1");
+        assert!(!CmpOp::Eq.eval(&n, &s));
+        assert!(CmpOp::Ne.eval(&n, &s));
+        assert!(!CmpOp::Lt.eval(&n, &s));
+        assert!(!CmpOp::Ge.eval(&n, &s));
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(AttrValue::Bool(true).canonical(), "true");
+        assert_eq!(AttrValue::Num(10.0).canonical(), "10");
+        assert_eq!(AttrValue::Num(2.5).canonical(), "2.5");
+        assert_eq!(AttrValue::str("Ubuntu12.04").canonical(), "Ubuntu12.04");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: pretty-printing a generated query and re-parsing it gives
+//! back the same AST (print ∘ parse = identity), plus predicate-evaluation
+//! consistency properties.
+
+use proptest::prelude::*;
+use rbay_query::{parse_query, AttrValue, CmpOp, FromClause, Predicate, Query, SortDir};
+
+fn attr_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,12}".prop_filter("not a keyword", |s| {
+        !["SELECT", "FROM", "WHERE", "AND", "GROUPBY", "ASC", "DESC", "true", "false", "NodeId"]
+            .iter()
+            .any(|k| k.eq_ignore_ascii_case(s))
+    })
+}
+
+fn literal() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(|n| AttrValue::Num(n as f64)),
+        "[A-Za-z0-9 ._-]{0,16}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    (attr_name(), cmp_op(), literal()).prop_map(|(attr, op, value)| Predicate { attr, op, value })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        1u32..1000,
+        prop_oneof![
+            Just(FromClause::AllSites),
+            proptest::collection::vec("[A-Za-z][A-Za-z0-9_]{0,10}", 1..4).prop_map(FromClause::Sites),
+        ],
+        proptest::collection::vec(predicate(), 0..5),
+        proptest::option::of((attr_name(), prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)])),
+    )
+        .prop_map(|(k, from, predicates, order_by)| Query {
+            k,
+            from,
+            predicates,
+            order_by,
+        })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_identity(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e} for `{printed}`")))?;
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// `Ne` is the negation of `Eq` for every pair of values.
+    #[test]
+    fn ne_is_negated_eq(a in literal(), b in literal()) {
+        prop_assert_eq!(CmpOp::Eq.eval(&a, &b), !CmpOp::Ne.eval(&a, &b));
+    }
+
+    /// For numbers, exactly one of <, =, > holds.
+    #[test]
+    fn numeric_trichotomy(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let a = AttrValue::Num(x);
+        let b = AttrValue::Num(y);
+        let count = [CmpOp::Lt, CmpOp::Eq, CmpOp::Gt]
+            .iter()
+            .filter(|op| op.eval(&a, &b))
+            .count();
+        prop_assert_eq!(count, 1);
+    }
+
+    /// A predicate never matches an absent attribute.
+    #[test]
+    fn absent_attribute_never_matches(p in predicate()) {
+        prop_assert!(!p.matches(None));
+    }
+}

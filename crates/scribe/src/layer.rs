@@ -1,0 +1,1144 @@
+//! The Scribe protocol layer: tree membership, multicast, anycast, and
+//! RBAY's aggregation extension.
+//!
+//! [`ScribeLayer`] holds per-topic tree state and is driven in two ways:
+//!
+//! * **Operations** (subscribe, multicast, anycast, probe, aggregate tick)
+//!   are methods called by the embedding node with its Pastry state and a
+//!   [`Net`] handle.
+//! * **Messages** arrive through [`ScribeApp`], the [`PastryApp`] glue that
+//!   intercepts routed joins/anycasts (building trees from the union of
+//!   join paths) and dispatches direct tree messages.
+//!
+//! Application behaviour is injected through [`ScribeHost`]: visit
+//! decisions, multicast consumption, and probe/anycast results.
+
+use crate::types::{AggValue, ScribeMsg, TopicId, Visit};
+use pastry::{Net, NodeInfo, PastryApp, PastryNode};
+use simnet::{MessageSize, NodeAddr, SiteId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Application callbacks for tree events.
+///
+/// Callbacks only mutate host state and return decisions; hosts that need to
+/// launch follow-up operations queue them internally and drain the queue
+/// after message dispatch returns (see `rbay-core`).
+pub trait ScribeHost<P> {
+    /// A multicast payload reached this (subscribed) node.
+    fn on_multicast(&mut self, topic: TopicId, payload: &P);
+
+    /// An anycast walk is visiting this (subscribed) node; mutate the
+    /// payload and decide whether the walk stops here.
+    fn on_anycast_visit(&mut self, topic: TopicId, payload: &mut P) -> Visit;
+
+    /// An anycast this node originated has finished.
+    fn on_anycast_result(&mut self, topic: TopicId, payload: P, satisfied: bool);
+
+    /// A root probe this node originated has been answered.
+    fn on_probe_reply(&mut self, topic: TopicId, payload: P, agg: Option<AggValue>, exists: bool);
+
+    /// A direct application message arrived.
+    fn on_direct(&mut self, from: NodeAddr, payload: P);
+
+    /// The tree root is answering a probe; annotate the payload if desired.
+    fn on_root_probe(&mut self, topic: TopicId, payload: &mut P) {
+        let _ = (topic, payload);
+    }
+
+    /// This node completed its subscription (grafted, or became root).
+    fn on_subscribed(&mut self, topic: TopicId) {
+        let _ = topic;
+    }
+}
+
+/// Per-topic tree state at one node.
+#[derive(Debug, Clone, Default)]
+pub struct TopicState {
+    /// Upstream neighbour (`None` at the root or while a join is in
+    /// flight).
+    pub parent: Option<NodeAddr>,
+    /// Downstream neighbours (the children table of paper §II.B.2).
+    pub children: BTreeSet<NodeAddr>,
+    /// Whether this node is a leaf-subscriber (vs a pure forwarder).
+    pub subscribed: bool,
+    /// Whether this node is the rendezvous root.
+    pub is_root: bool,
+    /// Site scope of the tree, for isolation-scoped topics.
+    pub scope: Option<SiteId>,
+    /// This node's own contribution to the tree aggregate.
+    pub local_value: Option<AggValue>,
+    /// Last aggregate reported by each child.
+    pub child_agg: BTreeMap<NodeAddr, AggValue>,
+}
+
+impl TopicState {
+    /// Whether the node participates in the tree at all.
+    pub fn is_member(&self) -> bool {
+        self.subscribed || self.is_root || !self.children.is_empty() || self.parent.is_some()
+    }
+
+    /// The merged aggregate of this node's subtree: its own contribution
+    /// (when subscribed) plus the cached child reports.
+    pub fn merged_agg(&self) -> Option<AggValue> {
+        let own = if self.subscribed {
+            self.local_value.clone()
+        } else {
+            None
+        };
+        AggValue::merge_all(own.iter().chain(self.child_agg.values()))
+    }
+}
+
+/// Scribe tree state for one node, across all topics.
+#[derive(Debug, Default)]
+pub struct ScribeLayer {
+    topics: BTreeMap<TopicId, TopicState>,
+}
+
+impl ScribeLayer {
+    /// An empty layer.
+    pub fn new() -> Self {
+        ScribeLayer::default()
+    }
+
+    /// Read-only view of a topic's state, if the node participates.
+    pub fn topic(&self, topic: TopicId) -> Option<&TopicState> {
+        self.topics.get(&topic)
+    }
+
+    /// Iterates over `(topic, state)` pairs this node participates in.
+    pub fn topics(&self) -> impl Iterator<Item = (&TopicId, &TopicState)> {
+        self.topics.iter()
+    }
+
+    /// Whether this node participates in `topic`.
+    pub fn is_member(&self, topic: TopicId) -> bool {
+        self.topics.get(&topic).is_some_and(|s| s.is_member())
+    }
+
+    /// Subscribes this node to `topic`. If the node is the rendezvous root
+    /// it attaches immediately; otherwise a JOIN is routed toward the
+    /// topic key and the tree grows by the union of join paths.
+    pub fn subscribe<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        scope: Option<SiteId>,
+    ) where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let st = self.topics.entry(topic).or_default();
+        st.scope = scope;
+        let was_attached = st.is_root || st.parent.is_some();
+        if st.subscribed && was_attached {
+            return;
+        }
+        st.subscribed = true;
+        if was_attached {
+            host.on_subscribed(topic);
+            return;
+        }
+        match pastry.next_hop(topic.key(), scope) {
+            None => {
+                st.is_root = true;
+                host.on_subscribed(topic);
+            }
+            Some(next) => {
+                let child = pastry.info();
+                net.send(
+                    next.addr,
+                    pastry::PastryMsg::Route {
+                        key: topic.key(),
+                        payload: ScribeMsg::Join {
+                            topic,
+                            scope,
+                            child,
+                        },
+                        hops: 1,
+                        scope,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Unsubscribes from `topic`. Forwarder state is pruned lazily: a node
+    /// with no children and no subscription leaves its parent too.
+    pub fn unsubscribe<P, N>(&mut self, pastry: &mut PastryNode, net: &mut N, topic: TopicId)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        if let Some(st) = self.topics.get_mut(&topic) {
+            st.subscribed = false;
+            st.local_value = None;
+        }
+        self.maybe_prune::<P, N>(pastry, net, topic);
+    }
+
+    fn maybe_prune<P, N>(&mut self, pastry: &mut PastryNode, net: &mut N, topic: TopicId)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        let Some(st) = self.topics.get(&topic) else {
+            return;
+        };
+        if st.subscribed || st.is_root || !st.children.is_empty() {
+            return;
+        }
+        if let Some(parent) = st.parent {
+            net.send(
+                parent,
+                pastry::PastryMsg::Direct(ScribeMsg::Leave {
+                    topic,
+                    child: pastry.info().addr,
+                }),
+            );
+        }
+        self.topics.remove(&topic);
+    }
+
+    /// Sets this node's contribution to the topic's aggregate (e.g.
+    /// `Count(1)` for tree size).
+    pub fn set_local_value(&mut self, topic: TopicId, value: AggValue) {
+        if let Some(st) = self.topics.get_mut(&topic) {
+            st.local_value = Some(value);
+        }
+    }
+
+    /// Pushes merged subtree aggregates one level up every tree this node
+    /// participates in (the paper's periodic `aggregate` primitive). Call
+    /// from a periodic timer; after `O(depth)` ticks the root's aggregate
+    /// is exact.
+    pub fn aggregate_tick<P, N>(&mut self, pastry: &mut PastryNode, net: &mut N)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        let _ = pastry;
+        for (topic, st) in &self.topics {
+            if st.is_root {
+                continue;
+            }
+            let (Some(parent), Some(value)) = (st.parent, st.merged_agg()) else {
+                continue;
+            };
+            net.send(
+                parent,
+                pastry::PastryMsg::Direct(ScribeMsg::AggUpdate {
+                    topic: *topic,
+                    value,
+                }),
+            );
+        }
+    }
+
+    /// The root's current view of the tree aggregate (valid at the root).
+    pub fn root_aggregate(&self, topic: TopicId) -> Option<AggValue> {
+        self.topics.get(&topic).and_then(|st| st.merged_agg())
+    }
+
+    /// Multicasts `payload` to every subscriber of `topic` (dissemination
+    /// from the root down the tree, paper §II.B.3).
+    pub fn multicast<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        scope: Option<SiteId>,
+        payload: P,
+    ) where
+        P: MessageSize + Clone,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        match pastry.next_hop(topic.key(), scope) {
+            None => self.disseminate(net, host, topic, payload),
+            Some(next) => net.send(
+                next.addr,
+                pastry::PastryMsg::Route {
+                    key: topic.key(),
+                    payload: ScribeMsg::MulticastReq {
+                        topic,
+                        scope,
+                        payload,
+                    },
+                    hops: 1,
+                    scope,
+                },
+            ),
+        }
+    }
+
+    fn disseminate<P, N, H>(&mut self, net: &mut N, host: &mut H, topic: TopicId, payload: P)
+    where
+        P: MessageSize + Clone,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let Some(st) = self.topics.get(&topic) else {
+            return;
+        };
+        for child in &st.children {
+            net.send(
+                *child,
+                pastry::PastryMsg::Direct(ScribeMsg::MulticastData {
+                    topic,
+                    payload: payload.clone(),
+                }),
+            );
+        }
+        if st.subscribed {
+            host.on_multicast(topic, &payload);
+        }
+    }
+
+    /// Anycasts `payload` into `topic`: the walk enters at a tree member
+    /// near this node (Pastry's local route convergence) and performs a
+    /// distributed depth-first search until a visit accepts or the tree is
+    /// exhausted; the result returns to this node via
+    /// [`ScribeHost::on_anycast_result`].
+    pub fn anycast<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        scope: Option<SiteId>,
+        payload: P,
+    ) where
+        P: MessageSize + Clone,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let origin = pastry.info().addr;
+        if self.is_member(topic) {
+            self.process_walk(pastry, net, host, topic, payload, origin, Vec::new(), Vec::new());
+            return;
+        }
+        match pastry.next_hop(topic.key(), scope) {
+            None => {
+                // We are the rendezvous node but the tree does not exist.
+                host.on_anycast_result(topic, payload, false);
+            }
+            Some(next) => net.send(
+                next.addr,
+                pastry::PastryMsg::Route {
+                    key: topic.key(),
+                    payload: ScribeMsg::Anycast {
+                        topic,
+                        scope,
+                        payload,
+                        origin,
+                    },
+                    hops: 1,
+                    scope,
+                },
+            ),
+        }
+    }
+
+    /// Asks the root of `topic` for its aggregate (tree size in the query
+    /// protocol); the reply arrives via [`ScribeHost::on_probe_reply`].
+    pub fn probe_root<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        scope: Option<SiteId>,
+        mut payload: P,
+    ) where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let origin = pastry.info().addr;
+        match pastry.next_hop(topic.key(), scope) {
+            None => {
+                let exists = self.is_member(topic);
+                let agg = self.root_aggregate(topic);
+                host.on_root_probe(topic, &mut payload);
+                host.on_probe_reply(topic, payload, agg, exists);
+            }
+            Some(next) => net.send(
+                next.addr,
+                pastry::PastryMsg::Route {
+                    key: topic.key(),
+                    payload: ScribeMsg::ProbeRoot {
+                        topic,
+                        scope,
+                        payload,
+                        origin,
+                    },
+                    hops: 1,
+                    scope,
+                },
+            ),
+        }
+    }
+
+    /// Sends an application payload directly to another node.
+    pub fn send_direct<P, N>(&mut self, net: &mut N, to: NodeAddr, payload: P)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        net.send(to, pastry::PastryMsg::Direct(ScribeMsg::AppDirect(payload)));
+    }
+
+    /// Reacts to a failed node: detaches it everywhere and re-joins any
+    /// tree whose parent was lost.
+    pub fn handle_failure<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        addr: NodeAddr,
+    ) where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let affected: Vec<TopicId> = self.topics.keys().copied().collect();
+        for topic in affected {
+            let st = self.topics.get_mut(&topic).expect("listed topic exists");
+            st.children.remove(&addr);
+            st.child_agg.remove(&addr);
+            if st.parent == Some(addr) {
+                st.parent = None;
+                let scope = st.scope;
+                let rejoin = st.is_member();
+                if rejoin {
+                    // Re-route a join for this subtree.
+                    let was_subscribed = st.subscribed;
+                    st.subscribed = true; // subscribe() requires intent; restore after
+                    self.resubscribe::<P, N, H>(pastry, net, host, topic, scope, was_subscribed);
+                }
+            }
+        }
+    }
+
+    fn resubscribe<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        scope: Option<SiteId>,
+        was_subscribed: bool,
+    ) where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        match pastry.next_hop(topic.key(), scope) {
+            None => {
+                let st = self.topics.get_mut(&topic).expect("topic exists");
+                st.is_root = true;
+                st.subscribed = was_subscribed;
+                host.on_subscribed(topic);
+            }
+            Some(next) => {
+                let st = self.topics.get_mut(&topic).expect("topic exists");
+                st.subscribed = was_subscribed;
+                let child = pastry.info();
+                net.send(
+                    next.addr,
+                    pastry::PastryMsg::Route {
+                        key: topic.key(),
+                        payload: ScribeMsg::Join {
+                            topic,
+                            scope,
+                            child,
+                        },
+                        hops: 1,
+                        scope,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Grafts `child` under this node for `topic`, acknowledging it.
+    fn graft<P, N>(&mut self, net: &mut N, topic: TopicId, scope: Option<SiteId>, child: NodeInfo)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        let st = self.topics.entry(topic).or_default();
+        st.scope = scope;
+        st.children.insert(child.addr);
+        net.send(
+            child.addr,
+            pastry::PastryMsg::Direct(ScribeMsg::JoinAck { topic }),
+        );
+    }
+
+    /// One step of the distributed DFS: visit self (if a member and
+    /// unvisited), extend the frontier with tree neighbours, and either
+    /// hand the walk to the next node or return the result to the origin.
+    #[allow(clippy::too_many_arguments)]
+    fn process_walk<P, N, H>(
+        &mut self,
+        pastry: &mut PastryNode,
+        net: &mut N,
+        host: &mut H,
+        topic: TopicId,
+        mut payload: P,
+        origin: NodeAddr,
+        mut visited: Vec<NodeAddr>,
+        mut stack: Vec<NodeAddr>,
+    ) where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+        H: ScribeHost<P>,
+    {
+        let me = pastry.info().addr;
+        if let Some(st) = self.topics.get(&topic) {
+            if st.is_member() && !visited.contains(&me) {
+                visited.push(me);
+                if st.subscribed && host.on_anycast_visit(topic, &mut payload) == Visit::Stop {
+                    net.send(
+                        origin,
+                        pastry::PastryMsg::Direct(ScribeMsg::AnycastResult {
+                            topic,
+                            payload,
+                            satisfied: true,
+                        }),
+                    );
+                    return;
+                }
+                // Extend the frontier with unexplored tree neighbours.
+                for n in st.children.iter().copied().chain(st.parent) {
+                    if !visited.contains(&n) && !stack.contains(&n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        while let Some(next) = stack.pop() {
+            if visited.contains(&next) {
+                continue;
+            }
+            net.send(
+                next,
+                pastry::PastryMsg::Direct(ScribeMsg::AnycastStep {
+                    topic,
+                    payload,
+                    origin,
+                    visited,
+                    stack,
+                }),
+            );
+            return;
+        }
+        net.send(
+            origin,
+            pastry::PastryMsg::Direct(ScribeMsg::AnycastResult {
+                topic,
+                payload,
+                satisfied: false,
+            }),
+        );
+    }
+}
+
+/// Glue implementing [`PastryApp`] for a Scribe layer plus its host. Build
+/// one per dispatch:
+///
+/// ```ignore
+/// let mut app = ScribeApp { layer: &mut scribe, host: &mut host };
+/// pastry.on_message(&mut net, &mut app, from, msg);
+/// ```
+pub struct ScribeApp<'a, H> {
+    /// The node's Scribe state.
+    pub layer: &'a mut ScribeLayer,
+    /// The node's application.
+    pub host: &'a mut H,
+}
+
+impl<'a, P, H> PastryApp<ScribeMsg<P>> for ScribeApp<'a, H>
+where
+    P: MessageSize + Clone,
+    H: ScribeHost<P>,
+{
+    fn deliver<N: Net<ScribeMsg<P>>>(
+        &mut self,
+        node: &mut PastryNode,
+        net: &mut N,
+        _key: pastry::NodeId,
+        payload: ScribeMsg<P>,
+        _hops: u16,
+    ) {
+        match payload {
+            ScribeMsg::Join {
+                topic,
+                scope,
+                child,
+            } => {
+                // We are the rendezvous root for this tree.
+                self.layer.graft::<P, N>(net, topic, scope, child);
+                let st = self.layer.topics.get_mut(&topic).expect("grafted");
+                if !st.is_root {
+                    st.is_root = true;
+                }
+            }
+            ScribeMsg::MulticastReq { topic, payload, .. } => {
+                self.layer.disseminate(net, self.host, topic, payload);
+            }
+            ScribeMsg::Anycast {
+                topic,
+                payload,
+                origin,
+                ..
+            } => {
+                if self.layer.is_member(topic) {
+                    self.layer.process_walk(
+                        node,
+                        net,
+                        self.host,
+                        topic,
+                        payload,
+                        origin,
+                        Vec::new(),
+                        Vec::new(),
+                    );
+                } else {
+                    net.send(
+                        origin,
+                        pastry::PastryMsg::Direct(ScribeMsg::AnycastResult {
+                            topic,
+                            payload,
+                            satisfied: false,
+                        }),
+                    );
+                }
+            }
+            ScribeMsg::ProbeRoot {
+                topic,
+                mut payload,
+                origin,
+                ..
+            } => {
+                let exists = self.layer.is_member(topic);
+                let agg = self.layer.root_aggregate(topic);
+                self.host.on_root_probe(topic, &mut payload);
+                net.send(
+                    origin,
+                    pastry::PastryMsg::Direct(ScribeMsg::ProbeReply {
+                        topic,
+                        payload,
+                        agg,
+                        exists,
+                    }),
+                );
+            }
+            // Direct-only variants cannot arrive via routing; ignore
+            // defensively.
+            _ => {}
+        }
+    }
+
+    fn forward<N: Net<ScribeMsg<P>>>(
+        &mut self,
+        node: &mut PastryNode,
+        net: &mut N,
+        _key: pastry::NodeId,
+        payload: ScribeMsg<P>,
+        _next: &NodeInfo,
+    ) -> Option<ScribeMsg<P>> {
+        match payload {
+            ScribeMsg::Join {
+                topic,
+                scope,
+                child,
+            } => {
+                // Union-of-paths tree construction: graft the child here.
+                // If we are already in the tree the join stops; otherwise we
+                // become a forwarder and join on behalf of our new subtree.
+                let already = self.layer.is_member(topic);
+                self.layer.graft::<P, N>(net, topic, scope, child);
+                if already {
+                    None
+                } else {
+                    Some(ScribeMsg::Join {
+                        topic,
+                        scope,
+                        child: node.info(),
+                    })
+                }
+            }
+            ScribeMsg::Anycast {
+                topic,
+                payload,
+                origin,
+                ..
+            } if self.layer.is_member(topic) => {
+                // Local route convergence dropped the walk at a nearby
+                // member; take over the DFS here.
+                self.layer.process_walk(
+                    node,
+                    net,
+                    self.host,
+                    topic,
+                    payload,
+                    origin,
+                    Vec::new(),
+                    Vec::new(),
+                );
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    fn receive_direct<N: Net<ScribeMsg<P>>>(
+        &mut self,
+        node: &mut PastryNode,
+        net: &mut N,
+        from: NodeAddr,
+        payload: ScribeMsg<P>,
+    ) {
+        match payload {
+            ScribeMsg::JoinAck { topic } => {
+                if let Some(st) = self.layer.topics.get_mut(&topic) {
+                    st.parent = Some(from);
+                    if st.subscribed {
+                        self.host.on_subscribed(topic);
+                    }
+                }
+            }
+            ScribeMsg::Leave { topic, child } => {
+                if let Some(st) = self.layer.topics.get_mut(&topic) {
+                    st.children.remove(&child);
+                    st.child_agg.remove(&child);
+                }
+                self.layer.maybe_prune::<P, N>(node, net, topic);
+            }
+            ScribeMsg::MulticastData { topic, payload } => {
+                self.layer.disseminate(net, self.host, topic, payload);
+            }
+            ScribeMsg::AnycastStep {
+                topic,
+                payload,
+                origin,
+                visited,
+                stack,
+            } => {
+                self.layer
+                    .process_walk(node, net, self.host, topic, payload, origin, visited, stack);
+            }
+            ScribeMsg::AnycastResult {
+                topic,
+                payload,
+                satisfied,
+            } => {
+                self.host.on_anycast_result(topic, payload, satisfied);
+            }
+            ScribeMsg::ProbeReply {
+                topic,
+                payload,
+                agg,
+                exists,
+            } => {
+                self.host.on_probe_reply(topic, payload, agg, exists);
+            }
+            ScribeMsg::AggUpdate { topic, value } => {
+                if let Some(st) = self.layer.topics.get_mut(&topic) {
+                    if st.children.contains(&from) {
+                        st.child_agg.insert(from, value);
+                    }
+                }
+            }
+            ScribeMsg::AppDirect(p) => {
+                self.host.on_direct(from, p);
+            }
+            // Routed-only variants cannot arrive directly; ignore.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastry::{NodeId, PastryMsg};
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u32);
+    impl MessageSize for P {}
+
+    #[derive(Default)]
+    struct RecNet {
+        sent: VecDeque<(NodeAddr, PastryMsg<ScribeMsg<P>>)>,
+    }
+    impl Net<ScribeMsg<P>> for RecNet {
+        fn send(&mut self, to: NodeAddr, msg: PastryMsg<ScribeMsg<P>>) {
+            self.sent.push_back((to, msg));
+        }
+    }
+
+    #[derive(Default)]
+    struct RecHost {
+        multicasts: Vec<(TopicId, P)>,
+        visits: u32,
+        stop_after: u32,
+        results: Vec<(P, bool)>,
+        subscribed: Vec<TopicId>,
+    }
+    impl ScribeHost<P> for RecHost {
+        fn on_multicast(&mut self, topic: TopicId, payload: &P) {
+            self.multicasts.push((topic, payload.clone()));
+        }
+        fn on_anycast_visit(&mut self, _topic: TopicId, _payload: &mut P) -> Visit {
+            self.visits += 1;
+            if self.visits >= self.stop_after {
+                Visit::Stop
+            } else {
+                Visit::Continue
+            }
+        }
+        fn on_anycast_result(&mut self, _topic: TopicId, payload: P, satisfied: bool) {
+            self.results.push((payload, satisfied));
+        }
+        fn on_probe_reply(&mut self, _t: TopicId, _p: P, _a: Option<AggValue>, _e: bool) {}
+        fn on_direct(&mut self, _from: NodeAddr, _payload: P) {}
+        fn on_subscribed(&mut self, topic: TopicId) {
+            self.subscribed.push(topic);
+        }
+    }
+
+    fn mk_pastry(addr: u32) -> PastryNode {
+        PastryNode::new(NodeInfo {
+            id: NodeId::hash_of(format!("n{addr}").as_bytes()),
+            addr: NodeAddr(addr),
+            site: SiteId(0),
+        })
+    }
+
+    #[test]
+    fn lone_subscriber_becomes_root() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        let st = layer.topic(t).unwrap();
+        assert!(st.is_root && st.subscribed);
+        assert_eq!(host.subscribed, vec![t]);
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn subscribe_routes_join_toward_topic_key() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        // Teach pastry a far-away peer so the topic key routes off-node.
+        let t = TopicId::new("GPU", "test");
+        let peer = NodeInfo {
+            id: NodeId(t.key().as_u128().wrapping_add(1)),
+            addr: NodeAddr(1),
+            site: SiteId(0),
+        };
+        pastry.insert_peer(&net, peer);
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        let (to, msg) = net.sent.pop_front().expect("join sent");
+        assert_eq!(to, NodeAddr(1));
+        assert!(matches!(
+            msg,
+            PastryMsg::Route {
+                payload: ScribeMsg::Join { .. },
+                ..
+            }
+        ));
+        // Not yet attached.
+        assert!(host.subscribed.is_empty());
+    }
+
+    #[test]
+    fn join_ack_sets_parent_and_notifies() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        let peer = NodeInfo {
+            id: NodeId(t.key().as_u128().wrapping_add(1)),
+            addr: NodeAddr(1),
+            site: SiteId(0),
+        };
+        pastry.insert_peer(&net, peer);
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(1),
+            PastryMsg::Direct(ScribeMsg::JoinAck { topic: t }),
+        );
+        assert_eq!(layer.topic(t).unwrap().parent, Some(NodeAddr(1)));
+        assert_eq!(host.subscribed, vec![t]);
+    }
+
+    #[test]
+    fn root_multicast_reaches_children_and_self() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        // Graft two children manually.
+        for c in [7u32, 9] {
+            layer.graft::<P, _>(
+                &mut net,
+                t,
+                None,
+                NodeInfo {
+                    id: NodeId(c as u128),
+                    addr: NodeAddr(c),
+                    site: SiteId(0),
+                },
+            );
+        }
+        net.sent.clear(); // drop the acks
+        layer.multicast(&mut pastry, &mut net, &mut host, t, None, P(5));
+        let dests: Vec<NodeAddr> = net.sent.iter().map(|(to, _)| *to).collect();
+        assert_eq!(dests, vec![NodeAddr(7), NodeAddr(9)]);
+        assert_eq!(host.multicasts, vec![(t, P(5))]);
+    }
+
+    #[test]
+    fn aggregation_merges_children_and_local() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        layer.set_local_value(t, AggValue::Count(1));
+        // Fake child reports.
+        let st = layer.topics.get_mut(&t).unwrap();
+        st.children.insert(NodeAddr(1));
+        st.children.insert(NodeAddr(2));
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        for (c, n) in [(1u32, 4u64), (2, 5)] {
+            pastry.on_message(
+                &mut net,
+                &mut app,
+                NodeAddr(c),
+                PastryMsg::Direct(ScribeMsg::AggUpdate {
+                    topic: t,
+                    value: AggValue::Count(n),
+                }),
+            );
+        }
+        assert_eq!(layer.root_aggregate(t).unwrap().as_count(), Some(10));
+    }
+
+    #[test]
+    fn agg_update_from_non_child_is_ignored() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        layer.set_local_value(t, AggValue::Count(1));
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(42),
+            PastryMsg::Direct(ScribeMsg::AggUpdate {
+                topic: t,
+                value: AggValue::Count(99),
+            }),
+        );
+        assert_eq!(layer.root_aggregate(t).unwrap().as_count(), Some(1));
+    }
+
+    #[test]
+    fn anycast_on_lone_root_visits_self_then_satisfies() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        host.stop_after = 1;
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        layer.anycast(&mut pastry, &mut net, &mut host, t, None, P(1));
+        // Result goes to origin (self) as a direct message.
+        let (to, msg) = net.sent.pop_front().unwrap();
+        assert_eq!(to, NodeAddr(0));
+        assert!(matches!(
+            msg,
+            PastryMsg::Direct(ScribeMsg::AnycastResult {
+                satisfied: true,
+                ..
+            })
+        ));
+        assert_eq!(host.visits, 1);
+    }
+
+    #[test]
+    fn anycast_exhaustion_reports_unsatisfied() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        host.stop_after = u32::MAX;
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        layer.anycast(&mut pastry, &mut net, &mut host, t, None, P(1));
+        let (_, msg) = net.sent.pop_front().unwrap();
+        assert!(matches!(
+            msg,
+            PastryMsg::Direct(ScribeMsg::AnycastResult {
+                satisfied: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unsubscribe_prunes_and_sends_leave() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        // Simulate an attached non-root member.
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                subscribed: true,
+                ..TopicState::default()
+            },
+        );
+        let _ = &mut host;
+        layer.unsubscribe::<P, _>(&mut pastry, &mut net, t);
+        assert!(layer.topic(t).is_none());
+        let (to, msg) = net.sent.pop_front().unwrap();
+        assert_eq!(to, NodeAddr(3));
+        assert!(matches!(msg, PastryMsg::Direct(ScribeMsg::Leave { .. })));
+    }
+
+    #[test]
+    fn forwarder_with_children_does_not_prune() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let mut net = RecNet::default();
+        let t = TopicId::new("GPU", "test");
+        let mut st = TopicState {
+            parent: Some(NodeAddr(3)),
+            subscribed: true,
+            ..TopicState::default()
+        };
+        st.children.insert(NodeAddr(8));
+        layer.topics.insert(t, st);
+        layer.unsubscribe::<P, _>(&mut pastry, &mut net, t);
+        assert!(layer.topic(t).is_some(), "still a forwarder");
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn parent_failure_triggers_rejoin() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        let peer = NodeInfo {
+            id: NodeId(t.key().as_u128().wrapping_add(1)),
+            addr: NodeAddr(9),
+            site: SiteId(0),
+        };
+        pastry.insert_peer(&net, peer);
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                subscribed: true,
+                ..TopicState::default()
+            },
+        );
+        layer.handle_failure(&mut pastry, &mut net, &mut host, NodeAddr(3));
+        assert_eq!(layer.topic(t).unwrap().parent, None);
+        let (_, msg) = net.sent.pop_front().expect("rejoin sent");
+        assert!(matches!(
+            msg,
+            PastryMsg::Route {
+                payload: ScribeMsg::Join { .. },
+                ..
+            }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod no_tree_tests {
+    use super::*;
+    use pastry::{NodeId, PastryNode};
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P;
+    impl simnet::MessageSize for P {}
+    #[derive(Default)]
+    struct RecNet {
+        sent: VecDeque<(NodeAddr, pastry::PastryMsg<ScribeMsg<P>>)>,
+    }
+    impl Net<ScribeMsg<P>> for RecNet {
+        fn send(&mut self, to: NodeAddr, msg: pastry::PastryMsg<ScribeMsg<P>>) {
+            self.sent.push_back((to, msg));
+        }
+    }
+    struct NullHost;
+    impl ScribeHost<P> for NullHost {
+        fn on_multicast(&mut self, _t: TopicId, _p: &P) {
+            panic!("no members exist; nothing may be delivered");
+        }
+        fn on_anycast_visit(&mut self, _t: TopicId, _p: &mut P) -> Visit {
+            Visit::Continue
+        }
+        fn on_anycast_result(&mut self, _t: TopicId, _p: P, _s: bool) {}
+        fn on_probe_reply(&mut self, _t: TopicId, _p: P, _a: Option<AggValue>, _e: bool) {}
+        fn on_direct(&mut self, _f: NodeAddr, _p: P) {}
+    }
+
+    /// Multicasting into a tree that does not exist at its rendezvous node
+    /// is a harmless no-op (the root-side disseminate finds no state).
+    #[test]
+    fn multicast_into_missing_tree_is_a_noop() {
+        let mut pastry = PastryNode::new(crate::layer::tests_support_info(4));
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), NullHost);
+        let t = TopicId::new("ghost", "nobody");
+        // This lone node is the rendezvous for every key.
+        layer.multicast(&mut pastry, &mut net, &mut host, t, None, P);
+        assert!(net.sent.is_empty());
+        assert!(layer.topic(t).is_none());
+        let _ = NodeId(0);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn tests_support_info(addr: u32) -> pastry::NodeInfo {
+    pastry::NodeInfo {
+        id: pastry::NodeId::hash_of(format!("sup{addr}").as_bytes()),
+        addr: NodeAddr(addr),
+        site: simnet::SiteId(0),
+    }
+}

@@ -1,0 +1,682 @@
+//! The discrete-event simulation engine.
+//!
+//! Protocol code is written against [`Actor`] (message/timer callbacks) and
+//! [`Context`] (send, timers, clock, randomness). The [`Simulation`] owns one
+//! actor per [`NodeAddr`] and executes events in deterministic virtual-time
+//! order: runs with the same seed produce identical traces.
+
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeAddr, SiteId, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Application-chosen identifier distinguishing concurrent timers on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub u64);
+
+/// One recorded event, when tracing is enabled (see
+/// [`Simulation::enable_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver {
+        /// Delivery time.
+        at: SimTime,
+        /// Sender.
+        from: NodeAddr,
+        /// Receiver.
+        to: NodeAddr,
+    },
+    /// A timer fired.
+    Timer {
+        /// Firing time.
+        at: SimTime,
+        /// The timer's owner.
+        node: NodeAddr,
+        /// The token it was armed with.
+        token: TimerToken,
+    },
+}
+
+/// Wire-size accounting for simulated messages.
+///
+/// The default implementation charges the in-memory size, which is a fair
+/// stand-in for the compact binary encodings real deployments use; override
+/// it for messages with significant heap payloads.
+pub trait MessageSize {
+    /// Approximate encoded size of this message in bytes.
+    fn wire_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of_val(self)
+    }
+}
+
+/// A simulated protocol participant.
+///
+/// One actor instance lives at each [`NodeAddr`]. All callbacks receive a
+/// [`Context`] for sending messages, arming timers, and sampling randomness.
+pub trait Actor: Sized {
+    /// The message type exchanged between actors of this simulation.
+    type Msg: MessageSize;
+
+    /// Called once when the simulation starts (in address order).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeAddr, msg: Self::Msg);
+
+    /// Called when a timer armed with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: TimerToken) {
+        let _ = (ctx, token);
+    }
+}
+
+/// A deferred external call against one actor.
+type CallFn<A> = Box<dyn FnOnce(&mut A, &mut Context<'_, <A as Actor>::Msg>)>;
+
+enum EventKind<A: Actor> {
+    Deliver {
+        from: NodeAddr,
+        to: NodeAddr,
+        msg: A::Msg,
+    },
+    Timer {
+        node: NodeAddr,
+        token: TimerToken,
+    },
+    Call {
+        node: NodeAddr,
+        f: CallFn<A>,
+    },
+}
+
+struct Scheduled<A: Actor> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<A>,
+}
+
+impl<A: Actor> PartialEq for Scheduled<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<A: Actor> Eq for Scheduled<A> {}
+impl<A: Actor> PartialOrd for Scheduled<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<A: Actor> Ord for Scheduled<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+enum PendingEvent<M> {
+    Deliver { to: NodeAddr, msg: M },
+    Timer { token: TimerToken },
+}
+
+/// Everything an actor callback may touch besides its own state.
+///
+/// Sends and timer arms are buffered and applied to the global event queue
+/// when the callback returns, preserving deterministic ordering.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_addr: NodeAddr,
+    topology: &'a Topology,
+    rng: &'a mut SmallRng,
+    stats: &'a mut NetStats,
+    pending: Vec<(SimTime, PendingEvent<M>)>,
+}
+
+impl<'a, M: MessageSize> Context<'a, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's own address.
+    pub fn self_addr(&self) -> NodeAddr {
+        self.self_addr
+    }
+
+    /// The site this actor lives in.
+    pub fn self_site(&self) -> SiteId {
+        self.topology.site_of(self.self_addr)
+    }
+
+    /// The shared topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`; it is delivered after a latency sampled from the
+    /// topology. Messages to failed nodes are dropped at delivery time, like
+    /// packets to a crashed host.
+    pub fn send(&mut self, to: NodeAddr, msg: M) {
+        let cross = self.topology.site_of(self.self_addr) != self.topology.site_of(to);
+        self.stats.record_send(msg.wire_size(), cross);
+        // Fault injection: messages may be lost in flight.
+        let loss = self.topology.loss_prob();
+        if loss > 0.0 && rand::Rng::gen_bool(self.rng, loss) {
+            self.stats.record_drop();
+            return;
+        }
+        let lat = self.topology.sample_latency(self.self_addr, to, self.rng);
+        self.pending
+            .push((self.now + lat, PendingEvent::Deliver { to, msg }));
+    }
+
+    /// Arms a timer on this actor that fires after `delay` with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.pending
+            .push((self.now + delay, PendingEvent::Timer { token }));
+    }
+}
+
+/// A deterministic discrete-event simulation over a fixed set of actors.
+///
+/// ```
+/// use simnet::{Actor, Context, MessageSize, NodeAddr, Simulation, Topology};
+///
+/// struct Echo(u32);
+/// #[derive(Debug)]
+/// struct Ping;
+/// impl MessageSize for Ping {}
+/// impl Actor for Echo {
+///     type Msg = Ping;
+///     fn on_message(&mut self, _ctx: &mut Context<'_, Ping>, _from: NodeAddr, _msg: Ping) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let topo = Topology::single_site(2, 0.5);
+/// let mut sim = Simulation::new(topo, 42, |_| Echo(0));
+/// sim.schedule_call(simnet::SimTime::ZERO, NodeAddr(0), |_, ctx| {
+///     ctx.send(NodeAddr(1), Ping);
+/// });
+/// sim.run_until_idle();
+/// assert_eq!(sim.actor(NodeAddr(1)).0, 1);
+/// ```
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    topology: Topology,
+    heap: BinaryHeap<Scheduled<A>>,
+    now: SimTime,
+    rng: SmallRng,
+    stats: NetStats,
+    failed: Vec<bool>,
+    seq: u64,
+    started: bool,
+    trace: Option<Vec<TraceEvent>>,
+    trace_cap: usize,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation with one actor per topology address, built by
+    /// `make` (called with each address in order), seeded deterministically.
+    pub fn new(topology: Topology, seed: u64, mut make: impl FnMut(NodeAddr) -> A) -> Self {
+        let n = topology.node_count();
+        let actors = (0..n as u32).map(|i| make(NodeAddr(i))).collect();
+        Simulation {
+            actors,
+            failed: vec![false; n],
+            topology,
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            seq: 0,
+            started: false,
+            trace: None,
+            trace_cap: 0,
+        }
+    }
+
+    /// Starts recording delivered messages and fired timers, keeping at
+    /// most `capacity` events (older events are not evicted; recording
+    /// simply stops at the cap, which keeps tracing O(1) per event).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Vec::with_capacity(capacity.min(1 << 20)));
+        self.trace_cap = capacity;
+    }
+
+    /// The recorded trace so far (empty slice when tracing is off).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record_trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            if t.len() < self.trace_cap {
+                t.push(ev);
+            }
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology the simulation runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to the actor at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn actor(&self, addr: NodeAddr) -> &A {
+        &self.actors[addr.index()]
+    }
+
+    /// Mutable access to the actor at `addr` (outside of callbacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn actor_mut(&mut self, addr: NodeAddr) -> &mut A {
+        &mut self.actors[addr.index()]
+    }
+
+    /// Iterates over `(addr, actor)` pairs.
+    pub fn actors(&self) -> impl Iterator<Item = (NodeAddr, &A)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (NodeAddr(i as u32), a))
+    }
+
+    /// Marks `addr` as crashed: deliveries, timers, and calls targeting it
+    /// are dropped until [`Simulation::revive_node`].
+    pub fn fail_node(&mut self, addr: NodeAddr) {
+        self.failed[addr.index()] = true;
+    }
+
+    /// Brings a crashed node back. Its actor state is as it was at failure.
+    pub fn revive_node(&mut self, addr: NodeAddr) {
+        self.failed[addr.index()] = false;
+    }
+
+    /// Whether `addr` is currently failed.
+    pub fn is_failed(&self, addr: NodeAddr) -> bool {
+        self.failed[addr.index()]
+    }
+
+    /// Schedules `f` to run on the actor at `node` at absolute time `at`
+    /// (clamped to now if already past).
+    pub fn schedule_call(
+        &mut self,
+        at: SimTime,
+        node: NodeAddr,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>) + 'static,
+    ) {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            kind: EventKind::Call {
+                node,
+                f: Box::new(f),
+            },
+        });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.dispatch_call_now(NodeAddr(i as u32), |a, ctx| a.on_start(ctx));
+        }
+    }
+
+    /// Runs `f` against actor `node` with a live context, immediately, then
+    /// flushes buffered sends/timers into the event queue.
+    fn dispatch_call_now(
+        &mut self,
+        node: NodeAddr,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg>),
+    ) {
+        if self.failed[node.index()] {
+            return;
+        }
+        let mut ctx = Context {
+            now: self.now,
+            self_addr: node,
+            topology: &self.topology,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            pending: Vec::new(),
+        };
+        f(&mut self.actors[node.index()], &mut ctx);
+        let pending = ctx.pending;
+        for (at, ev) in pending {
+            let seq = self.next_seq();
+            let kind = match ev {
+                PendingEvent::Deliver { to, msg } => EventKind::Deliver {
+                    from: node,
+                    to,
+                    msg,
+                },
+                PendingEvent::Timer { token } => EventKind::Timer { node, token },
+            };
+            self.heap.push(Scheduled { at, seq, kind });
+        }
+    }
+
+    /// Executes events until the queue is empty or `limit` events have run.
+    /// Returns the number of events executed.
+    pub fn run_until_idle_with_limit(&mut self, limit: u64) -> u64 {
+        self.start_if_needed();
+        let mut n = 0;
+        while n < limit {
+            let Some(ev) = self.heap.pop() else { break };
+            self.now = ev.at;
+            self.execute(ev.kind);
+            n += 1;
+        }
+        n
+    }
+
+    /// Executes events until the queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 500 million events, which indicates a runaway protocol
+    /// (e.g. an unbounded periodic timer with no stop condition).
+    pub fn run_until_idle(&mut self) -> u64 {
+        let limit = 500_000_000;
+        let n = self.run_until_idle_with_limit(limit);
+        assert!(n < limit, "simulation did not quiesce within {limit} events");
+        n
+    }
+
+    /// Executes events with timestamps `<= deadline`; the clock ends at
+    /// `deadline` even if the queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut n = 0;
+        while let Some(head) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked event exists");
+            self.now = ev.at;
+            self.execute(ev.kind);
+            n += 1;
+        }
+        self.now = self.now.max(deadline);
+        n
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    fn execute(&mut self, kind: EventKind<A>) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.failed[to.index()] || self.failed[from.index()] {
+                    self.stats.record_drop();
+                    return;
+                }
+                self.stats.record_delivery();
+                self.record_trace(TraceEvent::Deliver {
+                    at: self.now,
+                    from,
+                    to,
+                });
+                self.dispatch_call_now(to, move |a, ctx| a.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, token } => {
+                self.record_trace(TraceEvent::Timer {
+                    at: self.now,
+                    node,
+                    token,
+                });
+                self.dispatch_call_now(node, move |a, ctx| a.on_timer(ctx, token));
+            }
+            EventKind::Call { node, f } => {
+                self.dispatch_call_now(node, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+    impl MessageSize for Msg {}
+
+    #[derive(Default)]
+    struct PingPong {
+        pings: u32,
+        pongs: u32,
+        last_timer: Option<TimerToken>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = Msg;
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeAddr, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings += 1;
+                    ctx.send(from, Msg::Pong(n));
+                }
+                Msg::Pong(_) => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, token: TimerToken) {
+            self.last_timer = Some(token);
+        }
+    }
+
+    fn two_node_sim() -> Simulation<PingPong> {
+        Simulation::new(Topology::single_site(2, 1.0), 1, |_| PingPong::default())
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = two_node_sim();
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Msg::Ping(7));
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeAddr(1)).pings, 1);
+        assert_eq!(sim.actor(NodeAddr(0)).pongs, 1);
+        // One round trip over a 1ms-RTT link takes about 1ms of virtual time.
+        assert!(sim.now().as_millis_f64() >= 1.0);
+        assert!(sim.now().as_millis_f64() < 3.0);
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        let mut sim = two_node_sim();
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(25), TimerToken(99));
+        });
+        sim.run_until(SimTime::from_millis(24));
+        assert_eq!(sim.actor(NodeAddr(0)).last_timer, None);
+        sim.run_until(SimTime::from_millis(26));
+        assert_eq!(sim.actor(NodeAddr(0)).last_timer, Some(TimerToken(99)));
+    }
+
+    #[test]
+    fn failed_nodes_drop_messages() {
+        let mut sim = two_node_sim();
+        sim.fail_node(NodeAddr(1));
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Msg::Ping(1));
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeAddr(1)).pings, 0);
+        assert_eq!(sim.stats().dropped(), 1);
+        sim.revive_node(NodeAddr(1));
+        let now = sim.now();
+        sim.schedule_call(now, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Msg::Ping(2));
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeAddr(1)).pings, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = |seed: u64| {
+            let mut sim = Simulation::new(Topology::aws_ec2_8_sites(4), seed, |_| {
+                PingPong::default()
+            });
+            for i in 0..16u32 {
+                sim.schedule_call(SimTime::ZERO, NodeAddr(i), move |_, ctx| {
+                    ctx.send(NodeAddr((i + 7) % 32), Msg::Ping(i));
+                });
+            }
+            sim.run_until_idle();
+            (sim.now(), sim.stats().sent())
+        };
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5).0, trace(6).0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = two_node_sim();
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn cross_site_traffic_is_accounted() {
+        let mut sim = Simulation::new(Topology::aws_ec2_8_sites(1), 2, |_| PingPong::default());
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(4), Msg::Ping(0)); // Virginia -> Singapore
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.stats().cross_site_sent(), 2); // ping + pong
+    }
+
+    #[test]
+    fn on_start_runs_once_for_every_actor() {
+        struct Starter {
+            started: bool,
+        }
+        #[derive(Debug)]
+        struct Nothing;
+        impl MessageSize for Nothing {}
+        impl Actor for Starter {
+            type Msg = Nothing;
+            fn on_start(&mut self, _ctx: &mut Context<'_, Nothing>) {
+                assert!(!self.started, "on_start ran twice");
+                self.started = true;
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Nothing>, _: NodeAddr, _: Nothing) {}
+        }
+        let mut sim = Simulation::new(Topology::single_site(5, 0.1), 0, |_| Starter {
+            started: false,
+        });
+        sim.run_until_idle();
+        sim.run_until_idle();
+        assert!(sim.actors().all(|(_, a)| a.started));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[derive(Debug)]
+    struct Echo;
+    impl MessageSize for Echo {}
+    struct Node;
+    impl Actor for Node {
+        type Msg = Echo;
+        fn on_message(&mut self, ctx: &mut Context<'_, Echo>, from: NodeAddr, _m: Echo) {
+            if ctx.self_addr() == NodeAddr(1) {
+                ctx.send(from, Echo);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_deliveries_in_time_order() {
+        let mut sim = Simulation::new(Topology::single_site(2, 1.0), 3, |_| Node);
+        sim.enable_trace(16);
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Echo);
+            ctx.set_timer(SimDuration::from_millis(50), TimerToken(9));
+        });
+        sim.run_until_idle();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 3, "{trace:?}");
+        assert!(matches!(trace[0], TraceEvent::Deliver { to: NodeAddr(1), .. }));
+        assert!(matches!(trace[1], TraceEvent::Deliver { to: NodeAddr(0), .. }));
+        assert!(matches!(trace[2], TraceEvent::Timer { token: TimerToken(9), .. }));
+        // Monotone timestamps.
+        let times: Vec<SimTime> = trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Deliver { at, .. } | TraceEvent::Timer { at, .. } => *at,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_capacity_is_respected() {
+        let mut sim = Simulation::new(Topology::single_site(2, 1.0), 4, |_| Node);
+        sim.enable_trace(1);
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Echo);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.trace().len(), 1);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let sim = Simulation::new(Topology::single_site(2, 1.0), 5, |_| Node);
+        assert!(sim.trace().is_empty());
+    }
+}

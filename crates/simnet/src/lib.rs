@@ -1,0 +1,57 @@
+//! # simnet — deterministic discrete-event network simulation
+//!
+//! This crate is the testbed substrate of the RBAY reproduction. The paper
+//! evaluated RBAY on 160 Amazon EC2 VMs spread over eight regions; here the
+//! same protocols run over a deterministic event-queue simulator whose
+//! inter-site latencies come from the paper's own Table II measurements
+//! ([`Topology::aws_ec2_8_sites`]).
+//!
+//! ## Model
+//!
+//! * Every participant is an [`Actor`] living at a [`NodeAddr`].
+//! * Actors exchange typed messages; delivery latency is sampled from the
+//!   [`Topology`] (half the site-pair RTT plus exponential jitter).
+//! * Virtual time ([`SimTime`]) only advances when events execute, so a
+//!   16,000-node federation simulates in seconds of wall-clock time.
+//! * Everything is seeded: the same seed reproduces the same trace, which is
+//!   what makes the paper's figures regenerable as tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, Topology};
+//!
+//! #[derive(Debug)]
+//! struct Hello;
+//! impl MessageSize for Hello {}
+//!
+//! struct Greeter { greeted: u32 }
+//! impl Actor for Greeter {
+//!     type Msg = Hello;
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, Hello>, _from: NodeAddr, _msg: Hello) {
+//!         self.greeted += 1;
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Topology::aws_ec2_8_sites(2), 7, |_| Greeter { greeted: 0 });
+//! sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+//!     ctx.send(NodeAddr(15), Hello); // Virginia -> São Paulo
+//! });
+//! sim.run_until_idle();
+//! assert_eq!(sim.actor(NodeAddr(15)).greeted, 1);
+//! // One-way Virginia -> São Paulo is around half of the 123.966ms RTT.
+//! assert!(sim.now().as_millis_f64() >= 123.966 / 2.0 * 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod stats;
+mod time;
+pub mod topology;
+
+pub use engine::{Actor, Context, MessageSize, Simulation, TimerToken, TraceEvent};
+pub use stats::NetStats;
+pub use time::{SimDuration, SimTime};
+pub use topology::{NodeAddr, SiteId, SiteSpec, Topology};

@@ -1,0 +1,113 @@
+//! Network traffic accounting.
+
+/// Counters for simulated network activity.
+///
+/// Updated automatically by the engine; protocols read them through
+/// [`crate::Simulation::stats`] to report bandwidth and message overheads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    bytes: u64,
+    cross_site_sent: u64,
+    cross_site_bytes: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    pub(crate) fn record_send(&mut self, bytes: usize, cross_site: bool) {
+        self.sent += 1;
+        self.bytes += bytes as u64;
+        if cross_site {
+            self.cross_site_sent += 1;
+            self.cross_site_bytes += bytes as u64;
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Total messages sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total messages delivered to a live destination.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped because an endpoint was failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total bytes sent (per [`crate::MessageSize`]).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Messages whose endpoints were in different sites.
+    pub fn cross_site_sent(&self) -> u64 {
+        self.cross_site_sent
+    }
+
+    /// Bytes whose endpoints were in different sites.
+    pub fn cross_site_bytes(&self) -> u64 {
+        self.cross_site_bytes
+    }
+
+    /// Difference of two snapshots (`self` must be the later one).
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            sent: self.sent - earlier.sent,
+            delivered: self.delivered - earlier.delivered,
+            dropped: self.dropped - earlier.dropped,
+            bytes: self.bytes - earlier.bytes,
+            cross_site_sent: self.cross_site_sent - earlier.cross_site_sent,
+            cross_site_bytes: self.cross_site_bytes - earlier.cross_site_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::new();
+        s.record_send(100, false);
+        s.record_send(50, true);
+        s.record_delivery();
+        s.record_drop();
+        assert_eq!(s.sent(), 2);
+        assert_eq!(s.bytes(), 150);
+        assert_eq!(s.cross_site_sent(), 1);
+        assert_eq!(s.cross_site_bytes(), 50);
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = NetStats::new();
+        s.record_send(10, true);
+        let snap = s.clone();
+        s.record_send(20, false);
+        let d = s.since(&snap);
+        assert_eq!(d.sent(), 1);
+        assert_eq!(d.bytes(), 20);
+        assert_eq!(d.cross_site_sent(), 0);
+    }
+}

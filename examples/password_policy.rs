@@ -1,0 +1,85 @@
+//! The paper's Fig. 5 password handler, end to end: an active attribute
+//! written in AAScript gates access to a node's GPU during the query
+//! protocol's `onGet` step.
+//!
+//! ```sh
+//! cargo run --example password_policy
+//! ```
+
+use rbay::aascript::{Script, SharedSandbox, Value};
+use rbay::core::Federation;
+use rbay::query::AttrValue;
+use rbay::simnet::{NodeAddr, SimDuration, Topology};
+
+// Verbatim from the paper (Fig. 5), modulo the NodeId/IP values.
+const FIG5: &str = r#"
+AA = {NodeId = 27,
+      IP = "131.94.130.118",
+      Password = "3053482032"}
+
+function onGet(caller, password)
+    if (password == AA.Password) then
+        return AA.NodeId
+    end
+    return nil
+end
+"#;
+
+fn main() {
+    // First, show the handler standalone in the sandboxed runtime.
+    let sandbox = SharedSandbox::new();
+    let script = Script::compile(FIG5).expect("Fig. 5 compiles");
+    let aa = script.instantiate(&sandbox, 10_000).expect("runs");
+    let granted = aa
+        .invoke("onGet", &[Value::str("joe"), Value::str("3053482032")], 10_000)
+        .unwrap();
+    let denied = aa
+        .invoke("onGet", &[Value::str("joe"), Value::str("123")], 10_000)
+        .unwrap();
+    println!("standalone: granted -> {granted:?}, denied -> {denied:?}");
+    assert!(granted.truthy());
+    assert!(!denied.truthy());
+
+    // The sandbox kills hostile handlers: unbounded loops hit the
+    // instruction budget rather than hanging the node.
+    let evil = Script::compile("function onGet(c, p) while true do end end").unwrap();
+    let evil_aa = evil.instantiate(&sandbox, 10_000).unwrap();
+    let err = evil_aa.invoke("onGet", &[], 10_000).unwrap_err();
+    println!("hostile handler terminated: {err}");
+
+    // Now the same policy inside a live federation.
+    let mut fed = Federation::new(Topology::single_site(48, 0.5), 99);
+    fed.post_resource(NodeAddr(27), "GPU", AttrValue::Bool(true));
+    fed.install_node_aa(NodeAddr(27), FIG5);
+    fed.settle();
+    fed.run_maintenance(4, SimDuration::from_millis(200));
+    fed.settle();
+
+    let bad = fed
+        .issue_query(NodeAddr(5), "SELECT 1 FROM * WHERE GPU = true", Some("guess"))
+        .unwrap();
+    fed.settle();
+    let rec = fed.query_record(NodeAddr(5), bad).unwrap();
+    println!(
+        "federation query with wrong password: satisfied={} after {} attempts",
+        rec.satisfied,
+        rec.attempts
+    );
+    assert!(!rec.satisfied);
+
+    let good = fed
+        .issue_query(
+            NodeAddr(5),
+            "SELECT 1 FROM * WHERE GPU = true",
+            Some("3053482032"),
+        )
+        .unwrap();
+    fed.settle();
+    let rec = fed.query_record(NodeAddr(5), good).unwrap();
+    println!(
+        "federation query with right password: satisfied={} -> node {}",
+        rec.satisfied, rec.result[0].addr
+    );
+    assert!(rec.satisfied);
+    assert_eq!(rec.result[0].addr, NodeAddr(27));
+}

@@ -1,0 +1,56 @@
+//! Quickstart: bring up a small federation, post a few resources, and run
+//! a composite query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rbay::core::Federation;
+use rbay::query::AttrValue;
+use rbay::simnet::{NodeAddr, SimDuration, Topology};
+
+fn main() {
+    // A 64-node single-site deployment with ~0.5 ms intra-site RTT.
+    let mut fed = Federation::new(Topology::single_site(64, 0.5), 42);
+
+    // Admins post spare resources; each post joins the matching
+    // site-scoped aggregation tree.
+    fed.post_resource(NodeAddr(3), "GPU", AttrValue::Bool(true));
+    fed.post_resource(NodeAddr(17), "GPU", AttrValue::Bool(true));
+    fed.post_resource(NodeAddr(29), "GPU", AttrValue::Bool(true));
+    for (node, util) in [(3u32, 7.0), (17, 55.0), (29, 3.0)] {
+        fed.update_attr(NodeAddr(node), "CPU_utilization", AttrValue::Num(util));
+    }
+    fed.settle();
+    // A few aggregation rounds so tree roots know their sizes.
+    fed.run_maintenance(4, SimDuration::from_millis(200));
+    fed.settle();
+
+    // A customer asks for two idle GPU nodes, best (lowest utilization)
+    // first.
+    let query = "SELECT 2 FROM * WHERE GPU = true AND CPU_utilization < 50 \
+                 GROUPBY CPU_utilization ASC;";
+    println!("query: {query}");
+    let id = fed
+        .issue_query(NodeAddr(40), query, None)
+        .expect("query parses");
+    fed.settle();
+
+    let rec = fed.query_record(NodeAddr(40), id).expect("record exists");
+    println!(
+        "satisfied: {} in {:.1} ms (attempt {})",
+        rec.satisfied,
+        rec.completed_at.unwrap().saturating_since(rec.issued_at).as_millis_f64(),
+        rec.attempts + 1,
+    );
+    for c in &rec.result {
+        println!(
+            "  node {} at {} (site {}), CPU_utilization = {:?}",
+            c.id, c.addr, c.site, c.sort_key
+        );
+    }
+    assert!(rec.satisfied, "expected both idle GPU nodes");
+    assert_eq!(rec.result.len(), 2);
+    // Lowest utilization (node 29 at 3%) must sort first.
+    assert_eq!(rec.result[0].addr, NodeAddr(29));
+}

@@ -1,0 +1,139 @@
+//! Interactive demo: a populated eight-site federation you can query from
+//! a REPL.
+//!
+//! ```sh
+//! cargo run --release --bin rbay_demo
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! SELECT 2 FROM * WHERE instance = "c3.8xlarge";   -- any query (Fig. 6 syntax)
+//! :password 3053482032                             -- set the onGet password
+//! :stats instance=c3.8xlarge Virginia              -- probe a tree's global view
+//! :help  :quit
+//! ```
+
+use rbay::core::{Federation, RbayConfig};
+use rbay::simnet::{NodeAddr, SimDuration, SiteId, Topology};
+use rbay::workloads::{populate_ec2_federation, ScenarioConfig, WORKLOAD_PASSWORD};
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("Bringing up an 8-site federation (40 nodes/site, EC2 workload)…");
+    let cfg = RbayConfig {
+        commit_results: false,
+        aggregate_attr: Some("CPU_utilization".into()),
+        ..RbayConfig::default()
+    };
+    let mut fed = Federation::with_config(Topology::aws_ec2_8_sites(40), 42, cfg);
+    populate_ec2_federation(
+        &mut fed,
+        42,
+        &ScenarioConfig {
+            extra_attrs_per_node: 5,
+            ..ScenarioConfig::default()
+        },
+    );
+    fed.run_maintenance(5, SimDuration::from_millis(250));
+    fed.settle();
+    let origin = NodeAddr(3); // a Virginia customer
+    let mut password = Some(WORKLOAD_PASSWORD.to_owned());
+    println!(
+        "ready. querying as {origin} (Virginia). password = {:?}. try:",
+        password.as_deref().unwrap_or("<none>")
+    );
+    println!("  SELECT 2 FROM * WHERE instance = \"c3.8xlarge\" GROUPBY CPU_utilization ASC;");
+    println!("  :stats instance=c3.8xlarge Virginia    :help    :quit");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("rbay> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":help" {
+            println!("  SELECT k FROM *|\"Site\",… WHERE attr op value [AND …] [GROUPBY attr ASC|DESC];");
+            println!("  :password <pw>    set the password presented to onGet handlers");
+            println!("  :stats <tree> <Site>   probe a tree root's size/mean/min/max");
+            println!("  :quit");
+            continue;
+        }
+        if let Some(pw) = line.strip_prefix(":password ") {
+            password = Some(pw.trim().to_owned());
+            println!("password set");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":stats ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(tree), Some(site_name)) = (parts.next(), parts.next()) else {
+                println!("usage: :stats <tree> <Site>");
+                continue;
+            };
+            let Some(site) = (0..fed.sim().topology().site_count() as u16)
+                .map(SiteId)
+                .find(|s| {
+                    fed.sim()
+                        .topology()
+                        .site(*s)
+                        .name
+                        .eq_ignore_ascii_case(site_name)
+                })
+            else {
+                println!("unknown site `{site_name}`");
+                continue;
+            };
+            fed.probe_tree_stats(origin, tree, site);
+            fed.settle();
+            match fed.node(origin).host.tree_stats.get(tree) {
+                Some((Some(agg), true, _)) => {
+                    println!("  size = {}", agg.as_count().unwrap_or(0));
+                    if let Some(mean) = agg.component(1) {
+                        println!("  mean CPU_utilization = {:.1}", mean.as_f64());
+                    }
+                    if let (Some(min), Some(max)) = (agg.component(2), agg.component(3)) {
+                        println!("  min/max = {:.1}/{:.1}", min.as_f64(), max.as_f64());
+                    }
+                }
+                Some((_, false, _)) => println!("  tree does not exist in {site_name}"),
+                _ => println!("  no answer (root unreachable?)"),
+            }
+            continue;
+        }
+
+        // Anything else is a query.
+        match fed.issue_query(origin, line, password.as_deref()) {
+            Err(e) => println!("parse error: {e}"),
+            Ok(id) => {
+                fed.settle();
+                let rec = fed.query_record(origin, id).expect("record exists");
+                let ms = rec
+                    .completed_at
+                    .map(|d| d.saturating_since(rec.issued_at).as_millis_f64())
+                    .unwrap_or(f64::NAN);
+                println!(
+                    "  satisfied={} latency={ms:.1}ms attempts={}",
+                    rec.satisfied,
+                    rec.attempts + 1
+                );
+                for c in &rec.result {
+                    let site = fed.sim().topology().site(c.site).name.clone();
+                    println!("   -> node {} at {} ({site}) sort_key={:?}", c.id, c.addr, c.sort_key);
+                }
+                // Let reservations lapse so the demo can re-query freely.
+                let horizon = fed.sim().now() + SimDuration::from_secs(6);
+                fed.run_until(horizon);
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,15 @@
+//! # rbay — facade crate for the RBAY reproduction
+//!
+//! Re-exports the public API of every crate in the workspace. See the
+//! individual crates for details; the README has a quickstart.
+
+#![forbid(unsafe_code)]
+
+pub use aascript;
+pub use pastry;
+pub use rbay_baselines as baselines;
+pub use rbay_core as core;
+pub use rbay_query as query;
+pub use rbay_workloads as workloads;
+pub use scribe;
+pub use simnet;
