@@ -1,0 +1,289 @@
+//! Vendored, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal wall-clock harness with the same API shape the
+//! benches use: [`Criterion`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — per-sample means with a median
+//! over samples — but the output (median, min, max ns/iter) is stable
+//! enough to track relative regressions, which is all the workspace needs.
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once so CI stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent calibrating the per-sample iteration count.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies `cargo bench` / `cargo test` command-line arguments:
+    /// `--test` runs each body once, a bare string filters by name.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(id) {
+            run_one(id, self, &mut f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named family of benchmarks (`group/id` naming).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the displayed parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to every benchmark body; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    /// Iterations the harness asks for in this invocation.
+    iters: u64,
+    /// Measured duration of the `iter` batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, config: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
+    if config.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibration: grow the batch size until one batch costs ~1/sample_size
+    // of the measurement budget (bounded by the warm-up budget).
+    let target_batch = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let warmup_deadline = Instant::now() + config.warm_up_time;
+    let mut iters: u64 = 1;
+    let mut per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed.as_secs_f64() >= target_batch
+            || Instant::now() >= warmup_deadline
+            || iters >= 1 << 40
+        {
+            break per;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let batch = ((target_batch / per_iter).ceil() as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / batch as f64 * 1e9);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!("{id:<44} time: [{min:>10.1} ns {median:>10.1} ns {max:>10.1} ns]  ({batch} iters/sample)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut n = 0u64;
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("counter", |b| b.iter(|| n += 1));
+        assert!(n > 0, "body executed");
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(2));
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.finish();
+            hits += 1;
+        }
+        assert_eq!(hits, 1);
+    }
+}

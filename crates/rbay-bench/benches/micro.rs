@@ -1,11 +1,15 @@
 //! Criterion micro-benchmarks: the hot primitives under the figures —
 //! routing decisions, AA handler invocation, query parsing, aggregate
-//! merging, and SHA-1 id hashing.
+//! merging, SHA-1 id hashing, and the simulator's event queue.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryNode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use scribe::AggValue;
-use simnet::{NodeAddr, SiteId};
+use simnet::{CalendarQueue, NodeAddr, SimDuration, SimTime, SiteId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 fn bench_routing(c: &mut Criterion) {
@@ -77,6 +81,55 @@ fn bench_aggregate_merge(c: &mut Criterion) {
     });
 }
 
+/// Hold-model throughput of the engine's event queue at a steady pending
+/// count: each iteration pops the earliest event and schedules a
+/// replacement 0–2s out (so ~half land past the calendar horizon, in the
+/// overflow heap). `calendar` is the current [`CalendarQueue`];
+/// `binary_heap` is the global `BinaryHeap` the engine used before, kept
+/// as the baseline.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_event_queue");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut q: CalendarQueue<()> = CalendarQueue::new();
+            let mut seq = 0u64;
+            for _ in 0..n {
+                q.push(SimTime::from_micros(rng.gen_range(0..2_000_000u64)), seq, ());
+                seq += 1;
+            }
+            b.iter(|| {
+                let (at, _, ()) = q.pop().expect("queue stays full");
+                q.push(at + SimDuration::from_micros(rng.gen_range(0..2_000_000u64)), seq, ());
+                seq += 1;
+                at
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut q: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for _ in 0..n {
+                q.push(Reverse((
+                    SimTime::from_micros(rng.gen_range(0..2_000_000u64)),
+                    seq,
+                )));
+                seq += 1;
+            }
+            b.iter(|| {
+                let Reverse((at, _)) = q.pop().expect("queue stays full");
+                q.push(Reverse((
+                    at + SimDuration::from_micros(rng.gen_range(0..2_000_000u64)),
+                    seq,
+                )));
+                seq += 1;
+                at
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sha1(c: &mut Criterion) {
     let data = vec![0xABu8; 64];
     c.bench_function("sha1_64B_nodeid", |b| {
@@ -90,6 +143,6 @@ criterion_group!(
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routing, bench_aa_invocation, bench_query_parse, bench_aggregate_merge, bench_sha1
+    targets = bench_routing, bench_aa_invocation, bench_query_parse, bench_aggregate_merge, bench_event_queue, bench_sha1
 );
 criterion_main!(benches);

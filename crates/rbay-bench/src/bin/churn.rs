@@ -9,7 +9,7 @@
 //! the recall of the inventory (fraction of live resource holders a
 //! `SELECT all` finds) after automatic repair.
 
-use rbay_bench::{stats, HarnessOpts};
+use rbay_bench::{default_threads, emit_json, run_seeds, stats, HarnessOpts, JsonRecord};
 use rbay_core::{Federation, RbayConfig};
 use rbay_query::AttrValue;
 use rbay_workloads::WORKLOAD_PASSWORD;
@@ -175,20 +175,46 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let n_nodes = opts.scaled(120, 30);
     let epochs = 4;
+    let seeds = opts.seed_list();
     println!("Churn sweep (paper §VI future work): {n_nodes} nodes, {epochs} crash epochs,");
-    println!("heartbeat detection only — no manual failure notification\n");
+    println!(
+        "heartbeat detection only — no manual failure notification ({} seed(s))\n",
+        seeds.len()
+    );
     println!(
         "{:>12} {:>14} {:>10} {:>14}",
         "churn/epoch", "success rate", "recall", "avg q-lat ms"
     );
     for &frac in &[0.0, 0.02, 0.05, 0.10, 0.20] {
-        let o = run_level(n_nodes, frac, epochs, opts.seed);
+        // One independent federation per seed; averages merged in seed order.
+        let outcomes = run_seeds(&seeds, default_threads(), |seed| {
+            run_level(n_nodes, frac, epochs, seed)
+        });
+        let n = outcomes.len() as f64;
+        let success = outcomes.iter().map(|o| o.success_rate).sum::<f64>() / n;
+        let recall = outcomes.iter().map(|o| o.recall).sum::<f64>() / n;
+        let lats: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.avg_latency)
+            .filter(|l| l.is_finite())
+            .collect();
+        let avg_latency = stats(&lats).map(|s| s.mean).unwrap_or(f64::NAN);
         println!(
             "{:>11.0}% {:>13.0}% {:>9.0}% {:>14.1}",
             frac * 100.0,
-            o.success_rate * 100.0,
-            o.recall * 100.0,
-            o.avg_latency
+            success * 100.0,
+            recall * 100.0,
+            avg_latency
+        );
+        emit_json(
+            &opts,
+            &JsonRecord::new("churn")
+                .num("churn_frac", frac)
+                .int("nodes", n_nodes as u64)
+                .int("seeds", seeds.len() as u64)
+                .num("success_rate", success)
+                .num("recall", recall)
+                .num("avg_latency_ms", avg_latency),
         );
     }
     println!("\n(success and recall stay high while churn grows; the repair cost is");
@@ -197,8 +223,19 @@ fn main() {
     println!("\nAttribute-value churn: AA-driven membership of the CPU_utilization<10 tree");
     println!("{:>12} {:>22}", "flips/epoch", "membership accuracy");
     for &frac in &[0.0, 0.1, 0.3, 0.6] {
-        let acc = run_value_churn(n_nodes, frac, epochs, opts.seed);
+        let accs = run_seeds(&seeds, default_threads(), |seed| {
+            run_value_churn(n_nodes, frac, epochs, seed)
+        });
+        let acc = accs.iter().sum::<f64>() / accs.len() as f64;
         println!("{:>11.0}% {:>21.1}%", frac * 100.0, acc * 100.0);
+        emit_json(
+            &opts,
+            &JsonRecord::new("churn_values")
+                .num("flip_frac", frac)
+                .int("nodes", n_nodes as u64)
+                .int("seeds", seeds.len() as u64)
+                .num("membership_accuracy", acc),
+        );
     }
     println!("\n(onSubscribe/onUnsubscribe re-evaluate each maintenance round, so");
     println!(" membership tracks the readings within one round of the change)");

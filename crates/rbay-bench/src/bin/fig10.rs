@@ -6,25 +6,55 @@
 //! included); local-site discovery stays under ~200 ms; multi-site
 //! searches land around 600 ms.
 
-use rbay_bench::{build_ec2_federation, measure_query_latencies, stats, HarnessOpts};
+use rbay_bench::{
+    build_ec2_federation, default_threads, emit_json, measure_query_latencies, run_seeds, stats,
+    HarnessOpts, JsonRecord,
+};
 use rbay_workloads::{aws8_site_names, QueryGen};
 use simnet::topology::AWS8_SITE_NAMES;
 use simnet::SiteId;
+
+/// Runs the full locale × predicate-width grid on one seeded federation;
+/// returns per-cell latency samples as `[site][n_sites - 1]`.
+fn run_grid(seed: u64, nodes_per_site: usize, queries_per_cell: usize) -> Vec<Vec<Vec<f64>>> {
+    let mut fed = build_ec2_federation(nodes_per_site, seed);
+    let mut qg = QueryGen::new(seed ^ 0xF00D, aws8_site_names(), 5).focus_popular(7, 15);
+    (0..AWS8_SITE_NAMES.len())
+        .map(|s| {
+            (1..=8usize)
+                .map(|n_sites| {
+                    measure_query_latencies(
+                        &mut fed,
+                        &mut qg,
+                        SiteId(s as u16),
+                        n_sites,
+                        queries_per_cell,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let nodes_per_site = opts.scaled_nodes(100, 12);
     let queries_per_cell = opts.scaled(25, 5);
+    let seeds = opts.seed_list();
 
     println!(
         "Fig. 10: avg ± stddev of composite-query latency (ms) vs requesting sites"
     );
     println!(
-        "({} nodes/site, {} queries per cell)\n",
-        nodes_per_site, queries_per_cell
+        "({} nodes/site, {} queries per cell, {} seed(s))\n",
+        nodes_per_site,
+        queries_per_cell,
+        seeds.len()
     );
-    let mut fed = build_ec2_federation(nodes_per_site, opts.seed);
-    let mut qg = QueryGen::new(opts.seed ^ 0xF00D, aws8_site_names(), 5).focus_popular(7, 15);
+    // One full grid per seed, in parallel; merge samples in seed order.
+    let grids = run_seeds(&seeds, default_threads(), |seed| {
+        run_grid(seed, nodes_per_site, queries_per_cell)
+    });
 
     print!("{:<14}", "locale");
     for n in 1..=8 {
@@ -34,15 +64,24 @@ fn main() {
     for (s, name) in AWS8_SITE_NAMES.iter().enumerate() {
         print!("{name:<14}");
         for n_sites in 1..=8usize {
-            let lats = measure_query_latencies(
-                &mut fed,
-                &mut qg,
-                SiteId(s as u16),
-                n_sites,
-                queries_per_cell,
-            );
+            let lats: Vec<f64> = grids
+                .iter()
+                .flat_map(|g| g[s][n_sites - 1].iter().copied())
+                .collect();
             match stats(&lats) {
-                Some(st) => print!("{:>16}", format!("{:.0}±{:.0}", st.mean, st.stddev)),
+                Some(st) => {
+                    print!("{:>16}", format!("{:.0}±{:.0}", st.mean, st.stddev));
+                    emit_json(
+                        &opts,
+                        &JsonRecord::new("fig10")
+                            .text("locale", name)
+                            .int("n_sites", n_sites as u64)
+                            .int("seeds", seeds.len() as u64)
+                            .int("samples", st.n as u64)
+                            .num("mean_ms", st.mean)
+                            .num("stddev_ms", st.stddev),
+                    );
+                }
                 None => print!("{:>16}", "-"),
             }
         }

@@ -7,7 +7,7 @@
 //! log(N) — `O(log N)` routing.
 
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryApp, PastryMsg, PastryNode, SimNet};
-use rbay_bench::{stats, HarnessOpts};
+use rbay_bench::{default_threads, emit_json, run_seeds, stats, HarnessOpts, JsonRecord};
 use simnet::{Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, SiteId, Topology};
 
 #[derive(Debug, Clone, Copy)]
@@ -53,24 +53,32 @@ impl Actor for Agent {
     }
 }
 
-fn avg_hops(n_nodes: usize, n_queries: usize, seed: u64) -> (f64, f64) {
+struct Cell {
+    mean_hops: f64,
+    max_hops: f64,
+    events: u64,
+    wall_secs: f64,
+}
+
+fn avg_hops(n_nodes: usize, n_queries: usize, seed: u64) -> Cell {
     let topo = Topology::single_site(n_nodes, 0.5);
-    let mut sim = Simulation::new(topo, seed, |addr| Agent {
-        node: PastryNode::new(NodeInfo {
-            id: NodeId::hash_of(format!("agent:{}", addr.0).as_bytes()),
-            addr,
-            site: SiteId(0),
-        }),
-        app: HopRecorder::default(),
-    });
-    let mut nodes: Vec<PastryNode> = sim
-        .actors()
-        .map(|(_, a)| PastryNode::new(a.node.info()))
+    // Seed the overlay before the simulation exists so each (large)
+    // PastryNode is constructed exactly once and moved into its actor.
+    let mut nodes: Vec<PastryNode> = (0..n_nodes as u32)
+        .map(|i| {
+            PastryNode::new(NodeInfo {
+                id: NodeId::hash_of(format!("agent:{i}").as_bytes()),
+                addr: NodeAddr(i),
+                site: SiteId(0),
+            })
+        })
         .collect();
     seed_overlay(&mut nodes, |_, _| 0.0);
-    for (i, n) in nodes.into_iter().enumerate() {
-        sim.actor_mut(NodeAddr(i as u32)).node = n;
-    }
+    let mut seeded = nodes.into_iter();
+    let mut sim = Simulation::new(topo, seed, |_| Agent {
+        node: seeded.next().expect("one node per address"),
+        app: HopRecorder::default(),
+    });
     // Each query targets one unique attribute key from a random source.
     for q in 0..n_queries {
         let key = NodeId::hash_of(format!("attr:{seed}:{q}").as_bytes());
@@ -87,18 +95,37 @@ fn avg_hops(n_nodes: usize, n_queries: usize, seed: u64) -> (f64, f64) {
         .flat_map(|(_, a)| a.app.hops.iter().map(|h| *h as f64))
         .collect();
     let s = stats(&hops).expect("queries delivered");
-    (s.mean, s.max)
+    Cell {
+        mean_hops: s.mean,
+        max_hops: s.max,
+        events: sim.stats().events(),
+        wall_secs: sim.wall_time().as_secs_f64(),
+    }
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let queries = opts.scaled(1_000, 100);
+    let seeds = opts.seed_list();
     println!("Fig. 8a: average DHT hops per atomic query vs datacenter size");
-    println!("({queries} queries per point; expectation: linear in log16 N)\n");
+    println!(
+        "({queries} queries per point, {} seed(s); expectation: linear in log16 N)\n",
+        seeds.len()
+    );
     println!("{:>8} {:>12} {:>10} {:>10}", "nodes", "log16(N)", "avg hops", "max hops");
+    let mut total_events = 0u64;
+    let mut total_wall = 0.0f64;
     for &n in &[10usize, 50, 100, 500, 1_000, 5_000, 10_000] {
         let n = opts.scaled_nodes(n, 4);
-        let (mean, max) = avg_hops(n, queries, opts.seed);
+        // One independent simulation per seed; merge deterministically in
+        // seed order (mean of per-seed means, max of maxes).
+        let cells = run_seeds(&seeds, default_threads(), |seed| avg_hops(n, queries, seed));
+        let mean = cells.iter().map(|c| c.mean_hops).sum::<f64>() / cells.len() as f64;
+        let max = cells.iter().map(|c| c.max_hops).fold(0.0, f64::max);
+        let events: u64 = cells.iter().map(|c| c.events).sum();
+        let wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+        total_events += events;
+        total_wall += wall;
         println!(
             "{:>8} {:>12.2} {:>10.2} {:>10.0}",
             n,
@@ -106,5 +133,21 @@ fn main() {
             mean,
             max
         );
+        emit_json(
+            &opts,
+            &JsonRecord::new("fig8a")
+                .int("nodes", n as u64)
+                .int("queries", queries as u64)
+                .int("seeds", seeds.len() as u64)
+                .num("mean_hops", mean)
+                .num("max_hops", max)
+                .int("events", events)
+                .num("sim_wall_secs", wall)
+                .num("events_per_sec", if wall > 0.0 { events as f64 / wall } else { 0.0 }),
+        );
     }
+    eprintln!(
+        "\n[engine] {total_events} events in {total_wall:.3}s of simulation loop = {:.0} events/sec",
+        if total_wall > 0.0 { total_events as f64 / total_wall } else { 0.0 }
+    );
 }

@@ -20,6 +20,15 @@
 //! query counts; `--scale 1` matches the defaults used in
 //! `EXPERIMENTS.md`; larger scales approach the paper's full 16,000-agent
 //! setup). Output is plain aligned text, one row per plotted point.
+//!
+//! The experiment binaries additionally accept:
+//!
+//! * `--seeds <n>` — repeat the experiment over `n` consecutive seeds
+//!   (`seed, seed+1, …`) via [`run_seeds`], which fans the independent
+//!   simulations out over worker threads and merges the results in seed
+//!   order, so the output is identical regardless of thread count.
+//! * `--json` — additionally append machine-readable result records to
+//!   [`BENCH_JSON_PATH`] (`BENCH_simnet.json`) in the working directory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +36,8 @@
 use rbay_core::{Federation, QueryId, RbayConfig, RbayEvent};
 use rbay_workloads::{populate_ec2_federation, QueryGen, ScenarioConfig, WORKLOAD_PASSWORD};
 use simnet::{NodeAddr, SimDuration, SiteId, Topology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Common command-line options of every harness.
 #[derive(Debug, Clone)]
@@ -38,6 +49,10 @@ pub struct HarnessOpts {
     /// Overrides the multiplier for *node* counts only (so a 16,000-agent
     /// overlay can be validated without multiplying query counts too).
     pub node_scale: Option<f64>,
+    /// Number of consecutive seeds to run (`--seeds`), starting at `seed`.
+    pub seeds: usize,
+    /// Whether to append machine-readable records to [`BENCH_JSON_PATH`].
+    pub json: bool,
 }
 
 impl HarnessOpts {
@@ -48,6 +63,8 @@ impl HarnessOpts {
             seed: 42,
             scale: 1.0,
             node_scale: None,
+            seeds: 1,
+            json: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -75,6 +92,18 @@ impl HarnessOpts {
                     );
                     i += 2;
                 }
+                "--seeds" => {
+                    opts.seeds = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| usage("--seeds needs a positive integer"));
+                    i += 2;
+                }
+                "--json" => {
+                    opts.json = true;
+                    i += 1;
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
         }
@@ -92,11 +121,176 @@ impl HarnessOpts {
         let s = self.node_scale.unwrap_or(self.scale);
         ((base as f64 * s) as usize).max(min)
     }
+
+    /// The consecutive seed list `[seed, seed+1, …]` selected by `--seeds`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).map(|i| self.seed + i).collect()
+    }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: <bin> [--seed N] [--scale F] [--node-scale F]");
+    eprintln!(
+        "error: {msg}\n\
+         usage: <bin> [--seed N] [--scale F] [--node-scale F] [--seeds N] [--json]"
+    );
     std::process::exit(2);
+}
+
+/// Worker-thread count for [`run_seeds`]: the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `run(seed)` once per seed, fanning the independent runs out over
+/// `threads` worker threads, and returns the results **in seed order**.
+///
+/// Each seed gets its own simulation inside `run`, so runs share nothing
+/// and the merged output is bit-identical no matter how many threads
+/// execute them (asserted by `run_seeds_thread_count_is_invisible`). With
+/// `threads <= 1` the seeds run inline on the calling thread.
+///
+/// The worker pool is hand-rolled on `std::thread::scope` plus an atomic
+/// work index: the build environment cannot fetch `rayon`, and this is the
+/// only shape of parallelism the harnesses need.
+pub fn run_seeds<T, F>(seeds: &[u64], threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.clamp(1, seeds.len().max(1));
+    if threads == 1 {
+        return seeds.iter().map(|&s| run(s)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let out = run(seed);
+                done.lock().expect("result sink poisoned").push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().expect("workers finished");
+    done.sort_by_key(|(i, _)| *i);
+    assert_eq!(done.len(), seeds.len(), "every seed produced a result");
+    done.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Where `--json` appends benchmark records (relative to the working
+/// directory).
+pub const BENCH_JSON_PATH: &str = "BENCH_simnet.json";
+
+/// A flat JSON object under construction — the environment has no `serde`,
+/// so records are rendered by hand. Keys are emitted in insertion order.
+#[derive(Debug, Clone)]
+pub struct JsonRecord {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRecord {
+    /// Starts a record tagged with the benchmark name.
+    pub fn new(bench: &str) -> Self {
+        let mut r = JsonRecord { fields: Vec::new() };
+        r.push_raw("bench", &json_string(bench));
+        r
+    }
+
+    fn push_raw(&mut self, key: &str, rendered: &str) {
+        self.fields.push((key.to_string(), rendered.to_string()));
+    }
+
+    /// Adds a string field.
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        self.push_raw(key, &json_string(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.push_raw(key, &value.to_string());
+        self
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.push_raw(key, &rendered);
+        self
+    }
+
+    /// Renders the record as a single-line JSON object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", json_string(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Appends `record` to the JSON array in `path`, creating the file (as a
+/// one-element array) when missing. The file stays a valid JSON array
+/// after every append.
+pub fn append_json_record(path: &str, record: &JsonRecord) -> std::io::Result<()> {
+    let line = record.render();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let updated = if trimmed.is_empty() {
+        format!("[\n  {line}\n]\n")
+    } else {
+        let Some(body) = trimmed.strip_suffix(']') else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{path} is not a JSON array; refusing to append"),
+            ));
+        };
+        let body = body.trim_end();
+        if body == "[" {
+            format!("[\n  {line}\n]\n")
+        } else {
+            format!("{body},\n  {line}\n]\n")
+        }
+    };
+    std::fs::write(path, updated)
+}
+
+/// Appends `record` to [`BENCH_JSON_PATH`] when `opts.json` is set,
+/// reporting (but not failing on) I/O errors.
+pub fn emit_json(opts: &HarnessOpts, record: &JsonRecord) {
+    if !opts.json {
+        return;
+    }
+    if let Err(e) = append_json_record(BENCH_JSON_PATH, record) {
+        eprintln!("warning: could not write {BENCH_JSON_PATH}: {e}");
+    }
 }
 
 /// Basic statistics over a latency sample.
@@ -312,5 +506,80 @@ mod tests {
         let per_site = subscribe_latencies_by_site(&fed);
         assert_eq!(per_site.len(), 8);
         assert!(per_site.iter().all(|s| !s.is_empty()));
+    }
+
+    /// One independent simulation per seed, returning its full deterministic
+    /// fingerprint (clock, stats, trace).
+    fn fingerprint(seed: u64) -> (simnet::SimTime, simnet::NetStats, Vec<simnet::TraceEvent>) {
+        use simnet::{Actor, Context, MessageSize, SimTime, Simulation};
+
+        #[derive(Debug)]
+        struct Ping(u32);
+        impl MessageSize for Ping {}
+        struct Bouncer;
+        impl Actor for Bouncer {
+            type Msg = Ping;
+            fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeAddr, msg: Ping) {
+                if msg.0 > 0 {
+                    ctx.send(from, Ping(msg.0 - 1));
+                }
+            }
+        }
+        let mut sim = Simulation::new(Topology::aws_ec2_8_sites(2), seed, |_| Bouncer);
+        sim.enable_trace(1 << 12);
+        for i in 0..8u32 {
+            sim.schedule_call(SimTime::ZERO, NodeAddr(i), move |_, ctx| {
+                ctx.send(NodeAddr((i + 9) % 16), Ping(4 + i));
+            });
+        }
+        sim.run_until_idle();
+        (sim.now(), sim.stats().clone(), sim.trace().to_vec())
+    }
+
+    #[test]
+    fn run_seeds_thread_count_is_invisible() {
+        // The parallel driver must merge results in seed order: a 1-thread
+        // run and a 4-thread run over the same seeds are indistinguishable.
+        let seeds: Vec<u64> = (100..110).collect();
+        let serial = run_seeds(&seeds, 1, fingerprint);
+        let parallel = run_seeds(&seeds, 4, fingerprint);
+        assert_eq!(serial, parallel);
+        // And distinct seeds really exercise distinct schedules.
+        assert_ne!(serial[0], serial[1]);
+    }
+
+    #[test]
+    fn run_seeds_handles_edge_shapes() {
+        let empty: Vec<u64> = run_seeds(&[], 8, |s| s);
+        assert!(empty.is_empty());
+        let one = run_seeds(&[7], 8, |s| s * 2);
+        assert_eq!(one, vec![14]);
+        let more_threads_than_seeds = run_seeds(&[1, 2], 16, |s| s + 1);
+        assert_eq!(more_threads_than_seeds, vec![2, 3]);
+    }
+
+    #[test]
+    fn json_records_render_and_append() {
+        let rec = JsonRecord::new("fig8a")
+            .int("nodes", 1000)
+            .num("avg_hops", 2.5)
+            .num("bad", f64::NAN)
+            .text("note", "a \"quoted\" value");
+        assert_eq!(
+            rec.render(),
+            r#"{"bench": "fig8a", "nodes": 1000, "avg_hops": 2.5, "bad": null, "note": "a \"quoted\" value"}"#
+        );
+
+        let path = std::env::temp_dir().join(format!("rbay_bench_json_{}", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append_json_record(path, &rec).unwrap();
+        append_json_record(path, &JsonRecord::new("fig9").int("seeds", 3)).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert!(body.starts_with("[\n"), "{body}");
+        assert!(body.trim_end().ends_with(']'), "{body}");
+        assert_eq!(body.matches("\"bench\"").count(), 2, "{body}");
+        assert!(body.contains("},\n"), "records comma-separated: {body}");
     }
 }

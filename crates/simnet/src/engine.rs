@@ -4,14 +4,27 @@
 //! [`Context`] (send, timers, clock, randomness). The [`Simulation`] owns one
 //! actor per [`NodeAddr`] and executes events in deterministic virtual-time
 //! order: runs with the same seed produce identical traces.
+//!
+//! ## Hot path
+//!
+//! The engine keeps two queues. Message deliveries and timer fires — the
+//! overwhelming majority of events — live in a [`CalendarQueue`] keyed on
+//! `(at, seq)` and carry plain-data payloads, so scheduling and dispatching
+//! them allocates nothing (the per-callback pending buffer is pooled and
+//! reused). External [`Simulation::schedule_call`] closures, which are rare
+//! and inherently boxed, live in a small side heap; the pop path merges the
+//! two by key, preserving the exact global `(at, seq)` order a single heap
+//! would produce.
 
+use crate::queue::CalendarQueue;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeAddr, SiteId, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Application-chosen identifier distinguishing concurrent timers on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -81,49 +94,75 @@ pub trait Actor: Sized {
 /// A deferred external call against one actor.
 type CallFn<A> = Box<dyn FnOnce(&mut A, &mut Context<'_, <A as Actor>::Msg>)>;
 
-enum EventKind<A: Actor> {
+/// Plain-data event payloads stored in the calendar queue. Unlike the old
+/// single-heap design there is no `Call` variant here, so the per-message
+/// path never touches a boxed closure.
+enum EventPayload<M> {
     Deliver {
         from: NodeAddr,
         to: NodeAddr,
-        msg: A::Msg,
+        msg: M,
     },
     Timer {
         node: NodeAddr,
         token: TimerToken,
-    },
-    Call {
-        node: NodeAddr,
-        f: CallFn<A>,
+        generation: u64,
     },
 }
 
-struct Scheduled<A: Actor> {
+/// A boxed [`Simulation::schedule_call`] closure in the side heap.
+struct ScheduledCall<A: Actor> {
     at: SimTime,
     seq: u64,
-    kind: EventKind<A>,
+    node: NodeAddr,
+    f: CallFn<A>,
 }
 
-impl<A: Actor> PartialEq for Scheduled<A> {
+impl<A: Actor> PartialEq for ScheduledCall<A> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<A: Actor> Eq for Scheduled<A> {}
-impl<A: Actor> PartialOrd for Scheduled<A> {
+impl<A: Actor> Eq for ScheduledCall<A> {}
+impl<A: Actor> PartialOrd for ScheduledCall<A> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<A: Actor> Ord for Scheduled<A> {
+impl<A: Actor> Ord for ScheduledCall<A> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // BinaryHeap is a max-heap; invert so the earliest call pops first.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
 enum PendingEvent<M> {
     Deliver { to: NodeAddr, msg: M },
-    Timer { token: TimerToken },
+    Timer { token: TimerToken, generation: u64 },
+}
+
+/// Lazy timer cancellation: each `(node, token)` pair has a generation
+/// counter, bumped by a cancel. A queued timer remembers the generation it
+/// was armed under and is silently discarded at fire time if a cancel
+/// happened in between. Workloads that never cancel skip the map entirely.
+#[derive(Default)]
+struct TimerGens {
+    gens: HashMap<(NodeAddr, TimerToken), u64>,
+    any_cancels: bool,
+}
+
+impl TimerGens {
+    fn current(&self, node: NodeAddr, token: TimerToken) -> u64 {
+        if !self.any_cancels {
+            return 0;
+        }
+        self.gens.get(&(node, token)).copied().unwrap_or(0)
+    }
+
+    fn cancel(&mut self, node: NodeAddr, token: TimerToken) {
+        self.any_cancels = true;
+        *self.gens.entry((node, token)).or_insert(0) += 1;
+    }
 }
 
 /// Everything an actor callback may touch besides its own state.
@@ -136,6 +175,7 @@ pub struct Context<'a, M> {
     topology: &'a Topology,
     rng: &'a mut SmallRng,
     stats: &'a mut NetStats,
+    timers: &'a mut TimerGens,
     pending: Vec<(SimTime, PendingEvent<M>)>,
 }
 
@@ -183,10 +223,32 @@ impl<'a, M: MessageSize> Context<'a, M> {
     }
 
     /// Arms a timer on this actor that fires after `delay` with `token`.
+    ///
+    /// Arming the same token twice yields two independent fires; use
+    /// [`Context::cancel_timer`] to invalidate earlier arms.
     pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let generation = self.timers.current(self.self_addr, token);
         self.pending
-            .push((self.now + delay, PendingEvent::Timer { token }));
+            .push((self.now + delay, PendingEvent::Timer { token, generation }));
     }
+
+    /// Cancels every outstanding timer this actor armed with `token`.
+    ///
+    /// Cancellation is lazy: the queued events stay in the queue and are
+    /// discarded (and counted in [`NetStats::cancelled_timers`]) when they
+    /// reach the head. Timers armed *after* the cancel fire normally —
+    /// including ones armed later in the same callback.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        // Bumping the generation also invalidates arms buffered earlier in
+        // this same callback: they carry the pre-bump generation.
+        self.timers.cancel(self.self_addr, token);
+    }
+}
+
+/// What [`Simulation::pop_next`] found at the head of the merged queues.
+enum Next<A: Actor> {
+    Event(EventPayload<A::Msg>),
+    Call { node: NodeAddr, f: CallFn<A> },
 }
 
 /// A deterministic discrete-event simulation over a fixed set of actors.
@@ -216,15 +278,25 @@ impl<'a, M: MessageSize> Context<'a, M> {
 pub struct Simulation<A: Actor> {
     actors: Vec<A>,
     topology: Topology,
-    heap: BinaryHeap<Scheduled<A>>,
+    /// Deliveries and timer fires: the allocation-free hot path.
+    events: CalendarQueue<EventPayload<A::Msg>>,
+    /// Rare boxed external calls, merged with `events` by `(at, seq)`.
+    calls: BinaryHeap<ScheduledCall<A>>,
     now: SimTime,
     rng: SmallRng,
     stats: NetStats,
+    timers: TimerGens,
     failed: Vec<bool>,
     seq: u64,
     started: bool,
     trace: Option<Vec<TraceEvent>>,
     trace_cap: usize,
+    /// Recycled `Context::pending` buffer: swapped into each callback's
+    /// context and back, so steady-state dispatch does not allocate.
+    pending_pool: Vec<(SimTime, PendingEvent<A::Msg>)>,
+    /// Wall-clock nanoseconds spent inside `run_*` loops. Kept out of
+    /// [`NetStats`] so stats snapshots stay comparable across runs.
+    wall_nanos: u64,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -237,14 +309,18 @@ impl<A: Actor> Simulation<A> {
             actors,
             failed: vec![false; n],
             topology,
-            heap: BinaryHeap::new(),
+            events: CalendarQueue::new(),
+            calls: BinaryHeap::new(),
             now: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(seed),
             stats: NetStats::default(),
+            timers: TimerGens::default(),
             seq: 0,
             started: false,
             trace: None,
             trace_cap: 0,
+            pending_pool: Vec::new(),
+            wall_nanos: 0,
         }
     }
 
@@ -282,6 +358,23 @@ impl<A: Actor> Simulation<A> {
     /// Network statistics accumulated so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Wall-clock time spent executing events so far.
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_nanos(self.wall_nanos)
+    }
+
+    /// Engine throughput: executed events per wall-clock second, measured
+    /// over all `run_*` calls so far. Returns 0.0 before the first run.
+    ///
+    /// The event count itself is deterministic ([`NetStats::events`]); only
+    /// this rate depends on the host machine.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.stats.events() as f64 * 1e9 / self.wall_nanos as f64
     }
 
     /// Immutable access to the actor at `addr`.
@@ -326,6 +419,12 @@ impl<A: Actor> Simulation<A> {
         self.failed[addr.index()]
     }
 
+    /// Cancels every outstanding timer `node` armed with `token` (the
+    /// external counterpart of [`Context::cancel_timer`]).
+    pub fn cancel_timer(&mut self, node: NodeAddr, token: TimerToken) {
+        self.timers.cancel(node, token);
+    }
+
     /// Schedules `f` to run on the actor at `node` at absolute time `at`
     /// (clamped to now if already past).
     pub fn schedule_call(
@@ -336,13 +435,11 @@ impl<A: Actor> Simulation<A> {
     ) {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.heap.push(Scheduled {
+        self.calls.push(ScheduledCall {
             at,
             seq,
-            kind: EventKind::Call {
-                node,
-                f: Box::new(f),
-            },
+            node,
+            f: Box::new(f),
         });
     }
 
@@ -378,21 +475,66 @@ impl<A: Actor> Simulation<A> {
             topology: &self.topology,
             rng: &mut self.rng,
             stats: &mut self.stats,
-            pending: Vec::new(),
+            timers: &mut self.timers,
+            // Reuse the pooled buffer; callbacks cannot re-enter dispatch,
+            // so one buffer covers every callback in the simulation.
+            pending: std::mem::take(&mut self.pending_pool),
         };
         f(&mut self.actors[node.index()], &mut ctx);
-        let pending = ctx.pending;
-        for (at, ev) in pending {
+        let mut pending = ctx.pending;
+        for (at, ev) in pending.drain(..) {
             let seq = self.next_seq();
-            let kind = match ev {
-                PendingEvent::Deliver { to, msg } => EventKind::Deliver {
+            let payload = match ev {
+                PendingEvent::Deliver { to, msg } => EventPayload::Deliver {
                     from: node,
                     to,
                     msg,
                 },
-                PendingEvent::Timer { token } => EventKind::Timer { node, token },
+                PendingEvent::Timer { token, generation } => EventPayload::Timer {
+                    node,
+                    token,
+                    generation,
+                },
             };
-            self.heap.push(Scheduled { at, seq, kind });
+            self.events.push(at, seq, payload);
+        }
+        self.pending_pool = pending;
+    }
+
+    /// The `(at)` of the earliest queued event across both queues.
+    fn peek_next_at(&mut self) -> Option<SimTime> {
+        let ekey = self.events.peek_key();
+        let ckey = self.calls.peek().map(|c| (c.at, c.seq));
+        match (ekey, ckey) {
+            (None, None) => None,
+            (Some((at, _)), None) | (None, Some((at, _))) => Some(at),
+            (Some(e), Some(c)) => Some(e.min(c).0),
+        }
+    }
+
+    /// Pops the globally earliest event, merging the calendar queue and the
+    /// call heap by `(at, seq)`.
+    fn pop_next(&mut self) -> Option<(SimTime, Next<A>)> {
+        let ekey = self.events.peek_key();
+        let ckey = self.calls.peek().map(|c| (c.at, c.seq));
+        let take_event = match (ekey, ckey) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(e), Some(c)) => e < c,
+        };
+        if take_event {
+            let (at, _seq, payload) = self.events.pop().expect("peeked event exists");
+            Some((at, Next::Event(payload)))
+        } else {
+            let call = self.calls.pop().expect("peeked call exists");
+            Some((
+                call.at,
+                Next::Call {
+                    node: call.node,
+                    f: call.f,
+                },
+            ))
         }
     }
 
@@ -400,13 +542,15 @@ impl<A: Actor> Simulation<A> {
     /// Returns the number of events executed.
     pub fn run_until_idle_with_limit(&mut self, limit: u64) -> u64 {
         self.start_if_needed();
+        let wall = Instant::now();
         let mut n = 0;
         while n < limit {
-            let Some(ev) = self.heap.pop() else { break };
-            self.now = ev.at;
-            self.execute(ev.kind);
+            let Some((at, next)) = self.pop_next() else { break };
+            self.now = at;
+            self.execute(next);
             n += 1;
         }
+        self.wall_nanos += wall.elapsed().as_nanos() as u64;
         n
     }
 
@@ -427,17 +571,19 @@ impl<A: Actor> Simulation<A> {
     /// `deadline` even if the queue drained earlier.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
+        let wall = Instant::now();
         let mut n = 0;
-        while let Some(head) = self.heap.peek() {
-            if head.at > deadline {
+        while let Some(at) = self.peek_next_at() {
+            if at > deadline {
                 break;
             }
-            let ev = self.heap.pop().expect("peeked event exists");
-            self.now = ev.at;
-            self.execute(ev.kind);
+            let (at, next) = self.pop_next().expect("peeked event exists");
+            self.now = at;
+            self.execute(next);
             n += 1;
         }
         self.now = self.now.max(deadline);
+        self.wall_nanos += wall.elapsed().as_nanos() as u64;
         n
     }
 
@@ -447,9 +593,10 @@ impl<A: Actor> Simulation<A> {
         self.run_until(deadline)
     }
 
-    fn execute(&mut self, kind: EventKind<A>) {
-        match kind {
-            EventKind::Deliver { from, to, msg } => {
+    fn execute(&mut self, next: Next<A>) {
+        self.stats.record_event();
+        match next {
+            Next::Event(EventPayload::Deliver { from, to, msg }) => {
                 if self.failed[to.index()] || self.failed[from.index()] {
                     self.stats.record_drop();
                     return;
@@ -462,7 +609,15 @@ impl<A: Actor> Simulation<A> {
                 });
                 self.dispatch_call_now(to, move |a, ctx| a.on_message(ctx, from, msg));
             }
-            EventKind::Timer { node, token } => {
+            Next::Event(EventPayload::Timer {
+                node,
+                token,
+                generation,
+            }) => {
+                if self.timers.current(node, token) != generation {
+                    self.stats.record_cancelled_timer();
+                    return;
+                }
                 self.record_trace(TraceEvent::Timer {
                     at: self.now,
                     node,
@@ -470,7 +625,7 @@ impl<A: Actor> Simulation<A> {
                 });
                 self.dispatch_call_now(node, move |a, ctx| a.on_timer(ctx, token));
             }
-            EventKind::Call { node, f } => {
+            Next::Call { node, f } => {
                 self.dispatch_call_now(node, f);
             }
         }
@@ -525,9 +680,13 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(sim.actor(NodeAddr(1)).pings, 1);
         assert_eq!(sim.actor(NodeAddr(0)).pongs, 1);
-        // One round trip over a 1ms-RTT link takes about 1ms of virtual time.
-        assert!(sim.now().as_millis_f64() >= 1.0);
+        // One round trip over a 1ms-RTT link takes about 1ms of virtual
+        // time. The jitter model's minimum one-way latency is
+        // mean - jitter_scale = 0.5ms * (1 - 0.05), so the tightest valid
+        // lower bound for a round trip is 0.95ms.
+        assert!(sim.now().as_millis_f64() >= 0.9);
         assert!(sim.now().as_millis_f64() < 3.0);
+        assert_eq!(sim.stats().events(), 3); // call + ping + pong
     }
 
     #[test]
@@ -563,20 +722,94 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let trace = |seed: u64| {
+        // Full-fidelity determinism: two same-seed runs over the 8-site EC2
+        // topology must agree on the clock, every stats counter, and the
+        // complete event trace (delivery and timer order included).
+        let run = |seed: u64| {
             let mut sim = Simulation::new(Topology::aws_ec2_8_sites(4), seed, |_| {
                 PingPong::default()
             });
+            sim.enable_trace(1 << 16);
             for i in 0..16u32 {
                 sim.schedule_call(SimTime::ZERO, NodeAddr(i), move |_, ctx| {
                     ctx.send(NodeAddr((i + 7) % 32), Msg::Ping(i));
                 });
             }
             sim.run_until_idle();
-            (sim.now(), sim.stats().sent())
+            (
+                sim.now(),
+                sim.stats().clone(),
+                sim.trace().to_vec(),
+            )
         };
-        assert_eq!(trace(5), trace(5));
-        assert_ne!(trace(5).0, trace(6).0);
+        let (now_a, stats_a, trace_a) = run(5);
+        let (now_b, stats_b, trace_b) = run(5);
+        assert_eq!(now_a, now_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(!trace_a.is_empty());
+        assert_eq!(trace_a, trace_b);
+        assert_ne!(now_a, run(6).0);
+    }
+
+    #[test]
+    fn same_timestamp_events_pop_in_schedule_order() {
+        // With a zero-RTT topology every send lands at the same instant; the
+        // seq tie-break must preserve the order the events were scheduled.
+        struct Quiet;
+        #[derive(Debug)]
+        struct Nudge;
+        impl MessageSize for Nudge {}
+        impl Actor for Quiet {
+            type Msg = Nudge;
+            fn on_message(&mut self, _: &mut Context<'_, Nudge>, _: NodeAddr, _: Nudge) {}
+        }
+        let mut sim = Simulation::new(Topology::single_site(4, 0.0), 9, |_| Quiet);
+        sim.enable_trace(16);
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Nudge);
+            ctx.send(NodeAddr(2), Nudge);
+            ctx.send(NodeAddr(3), Nudge);
+            ctx.set_timer(SimDuration::ZERO, TimerToken(5));
+        });
+        sim.run_until_idle();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 4, "{trace:?}");
+        assert!(matches!(trace[0], TraceEvent::Deliver { to: NodeAddr(1), at: SimTime::ZERO, .. }));
+        assert!(matches!(trace[1], TraceEvent::Deliver { to: NodeAddr(2), .. }));
+        assert!(matches!(trace[2], TraceEvent::Deliver { to: NodeAddr(3), .. }));
+        assert!(matches!(trace[3], TraceEvent::Timer { token: TimerToken(5), .. }));
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut sim = two_node_sim();
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), TimerToken(1));
+            ctx.set_timer(SimDuration::from_millis(20), TimerToken(2));
+        });
+        sim.schedule_call(SimTime::from_millis(5), NodeAddr(0), |_, ctx| {
+            ctx.cancel_timer(TimerToken(1));
+        });
+        sim.run_until_idle();
+        // Token 1 was cancelled before its fire time; token 2 fires.
+        assert_eq!(sim.actor(NodeAddr(0)).last_timer, Some(TimerToken(2)));
+        assert_eq!(sim.stats().cancelled_timers(), 1);
+    }
+
+    #[test]
+    fn rearm_after_cancel_fires() {
+        // set, cancel, re-set in a single callback: only the re-arm fires.
+        let mut sim = two_node_sim();
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), TimerToken(7));
+            ctx.cancel_timer(TimerToken(7));
+            ctx.set_timer(SimDuration::from_millis(30), TimerToken(7));
+        });
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(sim.actor(NodeAddr(0)).last_timer, None);
+        assert_eq!(sim.stats().cancelled_timers(), 1);
+        sim.run_until(SimTime::from_millis(40));
+        assert_eq!(sim.actor(NodeAddr(0)).last_timer, Some(TimerToken(7)));
     }
 
     #[test]
@@ -618,6 +851,18 @@ mod tests {
         sim.run_until_idle();
         sim.run_until_idle();
         assert!(sim.actors().all(|(_, a)| a.started));
+    }
+
+    #[test]
+    fn events_per_sec_is_positive_after_running() {
+        let mut sim = two_node_sim();
+        sim.schedule_call(SimTime::ZERO, NodeAddr(0), |_, ctx| {
+            ctx.send(NodeAddr(1), Msg::Ping(0));
+        });
+        sim.run_until_idle();
+        assert!(sim.stats().events() > 0);
+        assert!(sim.events_per_sec() > 0.0);
+        assert!(sim.wall_time() > Duration::ZERO);
     }
 }
 

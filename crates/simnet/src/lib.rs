@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod queue;
 mod stats;
 mod time;
 pub mod topology;
 
 pub use engine::{Actor, Context, MessageSize, Simulation, TimerToken, TraceEvent};
+pub use queue::CalendarQueue;
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeAddr, SiteId, SiteSpec, Topology};

@@ -12,6 +12,8 @@ pub struct NetStats {
     bytes: u64,
     cross_site_sent: u64,
     cross_site_bytes: u64,
+    events: u64,
+    cancelled_timers: u64,
 }
 
 impl NetStats {
@@ -35,6 +37,14 @@ impl NetStats {
 
     pub(crate) fn record_drop(&mut self) {
         self.dropped += 1;
+    }
+
+    pub(crate) fn record_event(&mut self) {
+        self.events += 1;
+    }
+
+    pub(crate) fn record_cancelled_timer(&mut self) {
+        self.cancelled_timers += 1;
     }
 
     /// Total messages sent.
@@ -67,6 +77,21 @@ impl NetStats {
         self.cross_site_bytes
     }
 
+    /// Simulation events executed (deliveries, timer fires, scheduled calls).
+    ///
+    /// Deterministic: participates in snapshot equality, so two same-seed
+    /// runs must agree on it. Divide by a wall-clock measurement (see
+    /// [`crate::Simulation::events_per_sec`]) to get engine throughput.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Timer events that were lazily discarded because the timer was
+    /// cancelled (or superseded) before it fired.
+    pub fn cancelled_timers(&self) -> u64 {
+        self.cancelled_timers
+    }
+
     /// Difference of two snapshots (`self` must be the later one).
     pub fn since(&self, earlier: &NetStats) -> NetStats {
         NetStats {
@@ -76,6 +101,8 @@ impl NetStats {
             bytes: self.bytes - earlier.bytes,
             cross_site_sent: self.cross_site_sent - earlier.cross_site_sent,
             cross_site_bytes: self.cross_site_bytes - earlier.cross_site_bytes,
+            events: self.events - earlier.events,
+            cancelled_timers: self.cancelled_timers - earlier.cancelled_timers,
         }
     }
 }
@@ -103,11 +130,25 @@ mod tests {
     fn since_subtracts() {
         let mut s = NetStats::new();
         s.record_send(10, true);
+        s.record_event();
         let snap = s.clone();
         s.record_send(20, false);
+        s.record_event();
+        s.record_event();
         let d = s.since(&snap);
         assert_eq!(d.sent(), 1);
         assert_eq!(d.bytes(), 20);
         assert_eq!(d.cross_site_sent(), 0);
+        assert_eq!(d.events(), 2);
+    }
+
+    #[test]
+    fn event_and_cancellation_counters() {
+        let mut s = NetStats::new();
+        s.record_event();
+        s.record_event();
+        s.record_cancelled_timer();
+        assert_eq!(s.events(), 2);
+        assert_eq!(s.cancelled_timers(), 1);
     }
 }
