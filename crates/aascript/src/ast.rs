@@ -2,6 +2,13 @@
 
 use std::rc::Rc;
 
+/// An interned identifier or string literal.
+///
+/// Names are interned as `Rc<str>` at parse time so that the evaluators can
+/// clone them (for map keys, method lookups, string-literal values, …)
+/// without allocating.
+pub type Name = Rc<str>;
+
 /// A full script: a sequence of statements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
@@ -13,7 +20,7 @@ pub struct Block {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuncDef {
     /// Parameter names, in order.
-    pub params: Vec<String>,
+    pub params: Vec<Name>,
     /// The function body.
     pub body: Block,
 }
@@ -32,7 +39,7 @@ pub enum IterKind {
 #[allow(clippy::enum_variant_names)]
 pub enum Stmt {
     /// `local name = expr` (expr optional → nil).
-    Local(String, Option<Expr>),
+    Local(Name, Option<Expr>),
     /// `target = expr` where target is a name or index chain.
     Assign(Target, Expr),
     /// An expression evaluated for its side effects (must be a call).
@@ -46,7 +53,7 @@ pub enum Stmt {
     /// `for var = start, stop [, step] do block end`.
     NumericFor {
         /// Loop variable.
-        var: String,
+        var: Name,
         /// Start expression.
         start: Expr,
         /// Stop expression (inclusive).
@@ -59,9 +66,9 @@ pub enum Stmt {
     /// `for k, v in pairs(t) do block end` (and `ipairs`).
     GenericFor {
         /// Key (or index) variable.
-        k: String,
+        k: Name,
         /// Value variable (optional).
-        v: Option<String>,
+        v: Option<Name>,
         /// Which iterator.
         kind: IterKind,
         /// The table expression.
@@ -79,7 +86,7 @@ pub enum Stmt {
     /// `local function name(...) body end`.
     LocalFunc {
         /// Local name bound to the function.
-        name: String,
+        name: Name,
         /// The function itself.
         def: Rc<FuncDef>,
     },
@@ -93,7 +100,7 @@ pub enum Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Target {
     /// A plain variable.
-    Name(String),
+    Name(Name),
     /// `obj[key]` / `obj.key`.
     Index(Box<Expr>, Box<Expr>),
 }
@@ -150,7 +157,7 @@ pub enum TableItem {
     /// `value` — appended at the next array index.
     Positional(Expr),
     /// `name = value`.
-    Named(String, Expr),
+    Named(Name, Expr),
     /// `[key] = value`.
     Keyed(Expr, Expr),
 }
@@ -165,15 +172,15 @@ pub enum Expr {
     /// A number literal.
     Num(f64),
     /// A string literal.
-    Str(String),
+    Str(Name),
     /// A variable reference.
-    Var(String),
+    Var(Name),
     /// `expr[expr]` / `expr.name`.
     Index(Box<Expr>, Box<Expr>),
     /// `f(args)`.
     Call(Box<Expr>, Vec<Expr>),
     /// `obj:method(args)` — sugar for `obj.method(obj, args)`.
-    MethodCall(Box<Expr>, String, Vec<Expr>),
+    MethodCall(Box<Expr>, Name, Vec<Expr>),
     /// A binary operation.
     Bin(BinOp, Box<Expr>, Box<Expr>),
     /// A unary operation.

@@ -21,7 +21,7 @@ use std::rc::Rc;
 /// instances share one stdlib environment safely.
 #[derive(Debug, Default)]
 pub struct Scope {
-    vars: RefCell<HashMap<String, Value>>,
+    vars: RefCell<HashMap<Name, Value>>,
     parent: Option<Env>,
     sealed: bool,
 }
@@ -65,7 +65,23 @@ pub fn scope_size_bytes(env: &Env) -> usize {
 
 /// Declares `name` in exactly this scope (shadowing outer bindings).
 pub fn declare(env: &Env, name: &str, value: Value) {
-    env.vars.borrow_mut().insert(name.to_owned(), value);
+    let mut vars = env.vars.borrow_mut();
+    // Fast path: redeclaration updates in place without allocating a key.
+    if let Some(slot) = vars.get_mut(name) {
+        *slot = value;
+    } else {
+        vars.insert(Rc::from(name), value);
+    }
+}
+
+/// [`declare`] with an already-interned name: never allocates.
+pub fn declare_interned(env: &Env, name: &Name, value: Value) {
+    let mut vars = env.vars.borrow_mut();
+    if let Some(slot) = vars.get_mut(&**name) {
+        *slot = value;
+    } else {
+        vars.insert(Rc::clone(name), value);
+    }
 }
 
 /// Reads a variable by walking the scope chain; absent names read as nil
@@ -85,12 +101,15 @@ pub fn lookup(env: &Env, name: &str) -> Value {
 /// does, the assignment creates a binding in `globals` (the instance's
 /// global scope), like Lua's global assignment. Sealed scopes are never
 /// mutated — names found only there are shadowed in `globals`.
-pub fn assign(env: &Env, globals: &Env, name: &str, value: Value) {
+pub fn assign(env: &Env, globals: &Env, name: &Name, value: Value) {
     let mut cur = Rc::clone(env);
     loop {
-        if !cur.sealed && cur.vars.borrow().contains_key(name) {
-            cur.vars.borrow_mut().insert(name.to_owned(), value);
-            return;
+        if !cur.sealed {
+            // One borrow, one hash: update in place when the binding exists.
+            if let Some(slot) = cur.vars.borrow_mut().get_mut(&**name) {
+                *slot = value;
+                return;
+            }
         }
         match &cur.parent {
             Some(p) => {
@@ -98,7 +117,7 @@ pub fn assign(env: &Env, globals: &Env, name: &str, value: Value) {
                 cur = next;
             }
             None => {
-                globals.vars.borrow_mut().insert(name.to_owned(), value);
+                declare_interned(globals, name, value);
                 return;
             }
         }
@@ -198,7 +217,7 @@ impl Interp {
                 self.depth += 1;
                 let scope = child_env(&closure.env);
                 for (i, p) in closure.def.params.iter().enumerate() {
-                    declare(&scope, p, args.get(i).cloned().unwrap_or(Value::Nil));
+                    declare_interned(&scope, p, args.get(i).cloned().unwrap_or(Value::Nil));
                 }
                 let result = self.exec_block(&closure.def.body, &scope);
                 self.depth -= 1;
@@ -208,6 +227,14 @@ impl Interp {
                 }
             }
             Value::Native(_, nf) => nf(args),
+            // A bytecode closure can flow into tree-walked code through a
+            // shared global or table; delegate to the VM on the same budget.
+            Value::Compiled(_) => {
+                let mut vm = crate::vm::Vm::new(self.budget, Rc::clone(&self.globals));
+                let result = vm.call(f, args);
+                self.budget = vm.budget;
+                result
+            }
             other => Err(RuntimeError::TypeError(format!(
                 "attempt to call a {} value",
                 other.type_name()
@@ -233,7 +260,7 @@ impl Interp {
                     Some(e) => self.eval(e, env)?,
                     None => Value::Nil,
                 };
-                declare(env, name, v);
+                declare_interned(env, name, v);
                 Ok(Flow::Normal)
             }
             Stmt::Assign(target, expr) => {
@@ -306,7 +333,7 @@ impl Interp {
                 while (step > 0.0 && i <= stop) || (step < 0.0 && i >= stop) {
                     self.step()?;
                     let scope = child_env(env);
-                    declare(&scope, var, Value::Num(i));
+                    declare_interned(&scope, var, Value::Num(i));
                     match self.exec_block(body, &scope)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -356,11 +383,11 @@ impl Interp {
                     let scope = child_env(env);
                     let key_val = match key {
                         Key::Int(i) => Value::Num(i as f64),
-                        Key::Str(s) => Value::str(s),
+                        Key::Str(s) => Value::Str(s),
                     };
-                    declare(&scope, k, key_val);
+                    declare_interned(&scope, k, key_val);
                     if let Some(vname) = v {
-                        declare(&scope, vname, value);
+                        declare_interned(&scope, vname, value);
                     }
                     match self.exec_block(body, &scope)? {
                         Flow::Break => break,
@@ -380,12 +407,12 @@ impl Interp {
             }
             Stmt::LocalFunc { name, def } => {
                 // Declare first so the function can recurse.
-                declare(env, name, Value::Nil);
+                declare_interned(env, name, Value::Nil);
                 let f = Value::Func(Rc::new(Closure {
                     def: Rc::clone(def),
                     env: Rc::clone(env),
                 }));
-                declare(env, name, f);
+                declare_interned(env, name, f);
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {
@@ -432,7 +459,7 @@ impl Interp {
             Expr::Nil => Ok(Value::Nil),
             Expr::Bool(b) => Ok(Value::Bool(*b)),
             Expr::Num(n) => Ok(Value::Num(*n)),
-            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Str(s) => Ok(Value::Str(Rc::clone(s))),
             Expr::Var(n) => Ok(lookup(env, n)),
             Expr::Index(obj, key) => {
                 let obj = self.eval(obj, env)?;

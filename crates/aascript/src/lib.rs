@@ -42,18 +42,38 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod compile;
 mod error;
 mod interp;
 mod lexer;
 mod parser;
 mod stdlib;
 mod value;
+pub mod vm;
 
 pub use error::{CompileError, Pos, RuntimeError};
-pub use value::{display_value, Key, NativeFn, Table, Value};
+pub use value::{display_value, BcClosure, Key, NativeFn, Table, Value};
 
 use interp::{child_env, lookup, scope_size_bytes, sealed_env_from, Env, Interp};
 use std::rc::Rc;
+use vm::Vm;
+
+/// Which execution engine runs a script.
+///
+/// Both engines share the parser, values, stdlib, and sandbox rules, and
+/// are kept behaviorally identical (a differential property test asserts
+/// it). The tree-walker survives as the reference oracle; the bytecode VM
+/// is the production engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compile to bytecode and run on the VM (default). The instruction
+    /// budget is charged per opcode.
+    #[default]
+    Bytecode,
+    /// Walk the AST directly. The instruction budget is charged per
+    /// visited node.
+    TreeWalk,
+}
 
 /// The standard handler names of the active-attribute API (paper Table I).
 pub const HANDLER_NAMES: [&str; 5] = [
@@ -97,23 +117,46 @@ impl std::fmt::Debug for SharedSandbox {
 }
 
 /// A compiled AAScript program (parsed once, instantiable many times).
+///
+/// Holds both the AST (for the tree-walking oracle) and the lowered
+/// bytecode [`compile::Chunk`]; [`Script::engine`] selects which one
+/// [`Script::instantiate`] uses.
 #[derive(Debug, Clone)]
 pub struct Script {
     block: Rc<ast::Block>,
+    chunk: Rc<compile::Chunk>,
+    engine: Engine,
     source_len: usize,
 }
 
 impl Script {
-    /// Parses `src` into a reusable compiled script.
+    /// Parses and lowers `src` into a reusable compiled script running on
+    /// the default engine (the bytecode VM).
     ///
     /// # Errors
     ///
     /// Returns the first lexical or syntactic error.
     pub fn compile(src: &str) -> Result<Script, CompileError> {
+        let block = Rc::new(parser::parse(src)?);
+        let chunk = Rc::new(compile::compile(&block)?);
         Ok(Script {
-            block: Rc::new(parser::parse(src)?),
+            block,
+            chunk,
+            engine: Engine::default(),
             source_len: src.len(),
         })
+    }
+
+    /// Selects the execution engine for instances of this script.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine instances of this script will run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Runs the script top-to-bottom in a fresh instance environment,
@@ -130,10 +173,19 @@ impl Script {
         budget: u64,
     ) -> Result<AaInstance, RuntimeError> {
         let globals = child_env(&sandbox.env);
-        let mut interp = Interp::new(budget, globals.clone());
-        interp.exec_chunk(&self.block, &globals)?;
+        match self.engine {
+            Engine::Bytecode => {
+                let mut vm = Vm::new(budget, globals.clone());
+                vm.exec_main(&self.chunk)?;
+            }
+            Engine::TreeWalk => {
+                let mut interp = Interp::new(budget, globals.clone());
+                interp.exec_chunk(&self.block, &globals)?;
+            }
+        }
         Ok(AaInstance {
             globals,
+            engine: self.engine,
             source_len: self.source_len,
         })
     }
@@ -145,6 +197,7 @@ impl Script {
 #[derive(Debug)]
 pub struct AaInstance {
     globals: Env,
+    engine: Engine,
     source_len: usize,
 }
 
@@ -154,12 +207,12 @@ impl AaInstance {
     /// both styles).
     pub fn handler(&self, name: &str) -> Option<Value> {
         let direct = lookup(&self.globals, name);
-        if matches!(direct, Value::Func(_) | Value::Native(..)) {
+        if matches!(direct, Value::Func(_) | Value::Compiled(_) | Value::Native(..)) {
             return Some(direct);
         }
         if let Value::Table(aa) = lookup(&self.globals, "AA") {
-            let v = aa.borrow().get(&Key::Str(name.to_owned()));
-            if matches!(v, Value::Func(_) | Value::Native(..)) {
+            let v = aa.borrow().get(&Key::Str(name.into()));
+            if matches!(v, Value::Func(_) | Value::Compiled(_) | Value::Native(..)) {
                 return Some(v);
             }
         }
@@ -181,8 +234,21 @@ impl AaInstance {
         let f = self
             .handler(name)
             .ok_or_else(|| RuntimeError::Undefined(format!("handler `{name}`")))?;
-        let mut interp = Interp::new(budget, self.globals.clone());
-        interp.call(&f, args)
+        match self.engine {
+            Engine::Bytecode => {
+                let mut vm = Vm::new(budget, self.globals.clone());
+                vm.call(&f, args)
+            }
+            Engine::TreeWalk => {
+                let mut interp = Interp::new(budget, self.globals.clone());
+                interp.call(&f, args)
+            }
+        }
+    }
+
+    /// The engine this instance dispatches handlers on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Reads a global of the instance (e.g. the `AA` table).

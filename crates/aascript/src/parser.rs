@@ -3,6 +3,7 @@
 use crate::ast::*;
 use crate::error::{CompileError, Pos};
 use crate::lexer::{lex, Spanned, Tok};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Parses `src` into a [`Block`].
@@ -12,7 +13,7 @@ use std::rc::Rc;
 /// Returns the first lexical or syntactic error with its position.
 pub fn parse(src: &str) -> Result<Block, CompileError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0 };
+    let mut p = Parser { toks, i: 0, interner: HashMap::new() };
     let block = p.block()?;
     p.expect(Tok::Eof)?;
     Ok(block)
@@ -21,6 +22,8 @@ pub fn parse(src: &str) -> Result<Block, CompileError> {
 struct Parser {
     toks: Vec<Spanned>,
     i: usize,
+    /// Dedup map so each distinct identifier/string literal is one `Rc<str>`.
+    interner: HashMap<String, Name>,
 }
 
 impl Parser {
@@ -65,11 +68,20 @@ impl Parser {
         }
     }
 
-    fn name(&mut self) -> Result<String, CompileError> {
+    fn intern(&mut self, s: String) -> Name {
+        if let Some(n) = self.interner.get(&s) {
+            return n.clone();
+        }
+        let n: Name = Rc::from(s.as_str());
+        self.interner.insert(s, n.clone());
+        n
+    }
+
+    fn name(&mut self) -> Result<Name, CompileError> {
         match self.peek().clone() {
             Tok::Name(n) => {
                 self.bump();
-                Ok(n)
+                Ok(self.intern(n))
             }
             other => Err(self.err(format!("expected a name, found {other:?}"))),
         }
@@ -195,7 +207,7 @@ impl Parser {
                 };
                 self.expect(Tok::In)?;
                 let iter_name = self.name()?;
-                let kind = match iter_name.as_str() {
+                let kind = match &*iter_name {
                     "pairs" => IterKind::Pairs,
                     "ipairs" => IterKind::Ipairs,
                     other => {
@@ -432,6 +444,7 @@ impl Parser {
                 Tok::Str(s) => {
                     // Lua shorthand: f "literal".
                     self.bump();
+                    let s = self.intern(s);
                     e = Expr::Call(Box::new(e), vec![Expr::Str(s)]);
                 }
                 _ => break,
@@ -475,10 +488,12 @@ impl Parser {
             }
             Tok::Str(s) => {
                 self.bump();
+                let s = self.intern(s);
                 Ok(Expr::Str(s))
             }
             Tok::Name(n) => {
                 self.bump();
+                let n = self.intern(n);
                 Ok(Expr::Var(n))
             }
             Tok::LParen => {
@@ -503,6 +518,7 @@ impl Parser {
                         Tok::Name(n) if self.toks[self.i + 1].tok == Tok::Assign => {
                             self.bump();
                             self.bump();
+                            let n = self.intern(n);
                             let value = self.expr()?;
                             TableItem::Named(n, value)
                         }
@@ -534,8 +550,8 @@ mod tests {
     fn parses_local_and_assign() {
         let b = parse("local x = 1\nx = x + 1").unwrap();
         assert_eq!(b.stmts.len(), 2);
-        assert!(matches!(&b.stmts[0], Stmt::Local(n, Some(_)) if n == "x"));
-        assert!(matches!(&b.stmts[1], Stmt::Assign(Target::Name(n), _) if n == "x"));
+        assert!(matches!(&b.stmts[0], Stmt::Local(n, Some(_)) if &**n == "x"));
+        assert!(matches!(&b.stmts[1], Stmt::Assign(Target::Name(n), _) if &**n == "x"));
     }
 
     #[test]
@@ -554,7 +570,7 @@ mod tests {
         "#;
         let b = parse(src).unwrap();
         assert_eq!(b.stmts.len(), 2);
-        assert!(matches!(&b.stmts[1], Stmt::FuncDecl { target: Target::Name(n), .. } if n == "onGet"));
+        assert!(matches!(&b.stmts[1], Stmt::FuncDecl { target: Target::Name(n), .. } if &**n == "onGet"));
     }
 
     #[test]
@@ -592,7 +608,7 @@ mod tests {
         let b = parse("obj:poke(1, 2)").unwrap();
         assert!(matches!(
             &b.stmts[0],
-            Stmt::ExprStmt(Expr::MethodCall(_, m, args)) if m == "poke" && args.len() == 2
+            Stmt::ExprStmt(Expr::MethodCall(_, m, args)) if &**m == "poke" && args.len() == 2
         ));
     }
 
@@ -621,7 +637,7 @@ mod tests {
         };
         assert_eq!(items.len(), 4);
         assert!(matches!(items[0], TableItem::Positional(_)));
-        assert!(matches!(&items[2], TableItem::Named(n, _) if n == "name"));
+        assert!(matches!(&items[2], TableItem::Named(n, _) if &**n == "name"));
         assert!(matches!(items[3], TableItem::Keyed(_, _)));
     }
 

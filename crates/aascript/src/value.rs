@@ -17,8 +17,8 @@ use std::rc::Rc;
 pub enum Key {
     /// Integer key (array part, `t[1]`).
     Int(i64),
-    /// String key (`t.name`).
-    Str(String),
+    /// String key (`t.name`), interned.
+    Str(Rc<str>),
 }
 
 impl Key {
@@ -34,7 +34,7 @@ impl Key {
             Value::Num(_) => Err(RuntimeError::Other(
                 "table key must be an integer or string".into(),
             )),
-            Value::Str(s) => Ok(Key::Str(s.to_string())),
+            Value::Str(s) => Ok(Key::Str(Rc::clone(s))),
             other => Err(RuntimeError::Other(format!(
                 "invalid table key of type {}",
                 other.type_name()
@@ -160,6 +160,23 @@ impl fmt::Debug for Closure {
     }
 }
 
+/// A compiled (bytecode) function: a shared [`Chunk`](crate::compile::Chunk)
+/// plus the upvalue cells it closed over.
+pub struct BcClosure {
+    /// The compiled chunk this closure's code lives in.
+    pub chunk: Rc<crate::compile::Chunk>,
+    /// Index of this function's prototype within the chunk.
+    pub proto: usize,
+    /// Captured upvalue cells, in the prototype's declared order.
+    pub upvals: Vec<Rc<RefCell<Value>>>,
+}
+
+impl fmt::Debug for BcClosure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BcClosure(proto={})", self.proto)
+    }
+}
+
 /// A native (Rust) function exposed to scripts.
 pub type NativeFn = Rc<dyn Fn(&[Value]) -> Result<Value, RuntimeError>>;
 
@@ -176,8 +193,10 @@ pub enum Value {
     Str(Rc<str>),
     /// A shared, mutable table.
     Table(Rc<RefCell<Table>>),
-    /// A script-defined function.
+    /// A script-defined function (tree-walking engine).
     Func(Rc<Closure>),
+    /// A script-defined function compiled to bytecode (VM engine).
+    Compiled(Rc<BcClosure>),
     /// A built-in function from the sandboxed stdlib.
     Native(&'static str, NativeFn),
 }
@@ -206,7 +225,7 @@ impl Value {
             Value::Num(_) => "number",
             Value::Str(_) => "string",
             Value::Table(_) => "table",
-            Value::Func(_) | Value::Native(..) => "function",
+            Value::Func(_) | Value::Compiled(_) | Value::Native(..) => "function",
         }
     }
 
@@ -244,6 +263,7 @@ impl Value {
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Table(a), Value::Table(b)) => Rc::ptr_eq(a, b),
             (Value::Func(a), Value::Func(b)) => Rc::ptr_eq(a, b),
+            (Value::Compiled(a), Value::Compiled(b)) => Rc::ptr_eq(a, b),
             (Value::Native(a, _), Value::Native(b, _)) => a == b,
             _ => false,
         }
@@ -254,7 +274,7 @@ impl Value {
         self.size_bytes_depth(8)
     }
 
-    fn size_bytes_depth(&self, depth: u32) -> usize {
+    pub(crate) fn size_bytes_depth(&self, depth: u32) -> usize {
         std::mem::size_of::<Value>()
             + match self {
                 Value::Str(s) => s.len(),
@@ -267,6 +287,17 @@ impl Value {
                     }
                 }
                 Value::Table(_) => 0,
+                // A bytecode closure's persistent state is its captured
+                // cells (the chunk itself is shared, like the tree-walker's
+                // AST, and is not charged per instance).
+                Value::Compiled(c) if depth > 0 => c
+                    .upvals
+                    .iter()
+                    .map(|cell| match cell.try_borrow() {
+                        Ok(v) => v.size_bytes_depth(depth - 1),
+                        Err(_) => 0,
+                    })
+                    .sum(),
                 _ => 0,
             }
     }
@@ -316,7 +347,7 @@ fn display_value_depth(v: &Value, depth: u32) -> String {
                 .collect();
             format!("{{{}}}", inner.join(", "))
         }
-        Value::Func(_) => "function".into(),
+        Value::Func(_) | Value::Compiled(_) => "function".into(),
         Value::Native(name, _) => format!("function: {name}"),
     }
 }

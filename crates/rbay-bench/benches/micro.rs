@@ -59,12 +59,51 @@ fn bench_aa_invocation(c: &mut Criterion) {
         aascript::Value::str("joe"),
         aascript::Value::str("3053482032"),
     ];
+    // The historical name tracks whatever engine is the default.
     c.bench_function("aa_onget_password_check", |b| {
         b.iter(|| black_box(aa.invoke("onGet", &args, 10_000).unwrap()))
     });
     c.bench_function("aa_instantiate", |b| {
         b.iter(|| black_box(script.instantiate(&sandbox, 10_000).unwrap()))
     });
+
+    // Engine A/B variants: the same handlers pinned to each engine, so the
+    // bytecode-vs-tree-walk gap stays tracked by the harness.
+    let loop_script = aascript::Script::compile(
+        r#"
+        function onTimer(n)
+            local s = 0
+            for i = 1, n do
+                s = s + i % 7
+            end
+            return s
+        end
+    "#,
+    )
+    .unwrap();
+    for engine in [aascript::Engine::Bytecode, aascript::Engine::TreeWalk] {
+        let tag = match engine {
+            aascript::Engine::Bytecode => "vm",
+            aascript::Engine::TreeWalk => "treewalk",
+        };
+        let pinned = script.clone().with_engine(engine);
+        let aa = pinned.instantiate(&sandbox, 10_000).unwrap();
+        c.bench_function(&format!("aa_{tag}_onget_password_check"), |b| {
+            b.iter(|| black_box(aa.invoke("onGet", &args, 10_000).unwrap()))
+        });
+        c.bench_function(&format!("aa_{tag}_instantiate"), |b| {
+            b.iter(|| black_box(pinned.instantiate(&sandbox, 10_000).unwrap()))
+        });
+        let looper = loop_script
+            .clone()
+            .with_engine(engine)
+            .instantiate(&sandbox, 10_000)
+            .unwrap();
+        let n = [aascript::Value::Num(200.0)];
+        c.bench_function(&format!("aa_{tag}_sum_loop_200"), |b| {
+            b.iter(|| black_box(looper.invoke("onTimer", &n, 1_000_000).unwrap()))
+        });
+    }
 }
 
 fn bench_query_parse(c: &mut Criterion) {

@@ -9,7 +9,7 @@
 //! lookup load.
 
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryApp, PastryMsg, PastryNode, SimNet};
-use rbay_bench::HarnessOpts;
+use rbay_bench::{default_threads, emit_json, run_seeds, HarnessOpts, JsonRecord};
 use simnet::{Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, SiteId, Topology};
 
 #[derive(Debug, Clone, Copy)]
@@ -54,35 +54,44 @@ impl Actor for Agent {
     }
 }
 
-fn main() {
-    let opts = HarnessOpts::from_args();
-    let n_nodes = opts.scaled_nodes(10_000, 100);
-    let queries_per_key = opts.scaled(100, 10);
-    let n_keys = 10usize;
+/// Per-key forwarding-load summary of one seed's run.
+struct KeyCell {
+    total_fwds: u64,
+    distinct_forwarders: u32,
+    max_fwds: u64,
+}
 
-    let mut sim = Simulation::new(Topology::single_site(n_nodes, 0.5), opts.seed, |addr| Agent {
-        node: PastryNode::new(NodeInfo {
-            id: NodeId::hash_of(format!("agent:{}", addr.0).as_bytes()),
-            addr,
-            site: SiteId(0),
-        }),
-        app: Recorder::default(),
-    });
-    let mut nodes: Vec<PastryNode> = sim
-        .actors()
-        .map(|(_, a)| {
-            let mut n = PastryNode::new(a.node.info());
+/// One seed's full result: a row per query key plus run totals.
+struct Cell {
+    keys: Vec<KeyCell>,
+    distinct_top_forwarders: usize,
+    events: u64,
+    wall_secs: f64,
+}
+
+fn run_one(n_nodes: usize, queries_per_key: usize, n_keys: usize, seed: u64) -> Cell {
+    // Seed the overlay before the simulation exists so each (large)
+    // PastryNode is constructed exactly once and moved into its actor.
+    let mut nodes: Vec<PastryNode> = (0..n_nodes as u32)
+        .map(|i| {
+            let mut n = PastryNode::new(NodeInfo {
+                id: NodeId::hash_of(format!("agent:{i}").as_bytes()),
+                addr: NodeAddr(i),
+                site: SiteId(0),
+            });
             n.enable_forward_log();
             n
         })
         .collect();
     seed_overlay(&mut nodes, |_, _| 0.0);
-    for (i, n) in nodes.into_iter().enumerate() {
-        sim.actor_mut(NodeAddr(i as u32)).node = n;
-    }
+    let mut seeded = nodes.into_iter();
+    let mut sim = Simulation::new(Topology::single_site(n_nodes, 0.5), seed, |_| Agent {
+        node: seeded.next().expect("one node per address"),
+        app: Recorder::default(),
+    });
 
     let keys: Vec<NodeId> = (0..n_keys)
-        .map(|k| NodeId::hash_of(format!("Q{}:{}", k + 1, opts.seed).as_bytes()))
+        .map(|k| NodeId::hash_of(format!("Q{}:{}", k + 1, seed).as_bytes()))
         .collect();
     for (ki, key) in keys.iter().enumerate() {
         let key = *key;
@@ -97,17 +106,9 @@ fn main() {
     }
     sim.run_until_idle();
 
-    println!(
-        "Fig. 8b: forwarding load per query key ({n_nodes} nodes, {queries_per_key} queries/key)"
-    );
-    println!("(the max-loaded forwarder of each key carries ~queries_per_key forwards;");
-    println!(" distinct keys land on distinct forwarders, balancing the lookup load)\n");
-    println!(
-        "{:>5} {:>14} {:>12} {:>14} {:>18}",
-        "key", "total fwds", "forwarders", "max fwds/node", "top forwarder id"
-    );
+    let mut out = Vec::with_capacity(n_keys);
     let mut top_forwarders = Vec::new();
-    for (ki, key) in keys.iter().enumerate() {
+    for key in &keys {
         let mut total = 0u64;
         let mut max = 0u64;
         let mut distinct = 0u32;
@@ -119,39 +120,110 @@ fn main() {
                     distinct += 1;
                     if *c > max {
                         max = *c;
-                        top = Some((addr, a.node.id()));
+                        top = Some(addr);
                     }
                 }
             }
         }
-        match top {
-            Some((addr, id)) => {
-                top_forwarders.push(addr);
-                println!(
-                    "{:>5} {:>14} {:>12} {:>14} {:>18}",
-                    format!("Q{}", ki + 1),
-                    total,
-                    distinct,
-                    max,
-                    format!("{id}")
-                );
-            }
-            None => println!(
-                "{:>5} {:>14} {:>12} {:>14} {:>18}",
-                format!("Q{}", ki + 1),
-                0,
-                0,
-                0,
-                "(delivered in 0-1 hops)"
-            ),
+        if let Some(addr) = top {
+            top_forwarders.push(addr);
         }
+        out.push(KeyCell {
+            total_fwds: total,
+            distinct_forwarders: distinct,
+            max_fwds: max,
+        });
     }
     top_forwarders.sort();
     top_forwarders.dedup();
+    Cell {
+        keys: out,
+        distinct_top_forwarders: top_forwarders.len(),
+        events: sim.stats().events(),
+        wall_secs: sim.wall_time().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let n_nodes = opts.scaled_nodes(10_000, 100);
+    let queries_per_key = opts.scaled(100, 10);
+    let n_keys = 10usize;
+    let seeds = opts.seed_list();
+
+    // One independent simulation per seed; merge deterministically in seed
+    // order (per-key means across seeds).
+    let cells = run_seeds(&seeds, default_threads(), |seed| {
+        run_one(n_nodes, queries_per_key, n_keys, seed)
+    });
+
     println!(
-        "\ndistinct top-forwarders across the {} keys: {} (load balanced ⇔ close to {})",
-        n_keys,
-        top_forwarders.len(),
-        n_keys
+        "Fig. 8b: forwarding load per query key ({n_nodes} nodes, {queries_per_key} queries/key, {} seed(s))",
+        seeds.len()
+    );
+    println!("(the max-loaded forwarder of each key carries ~queries_per_key forwards;");
+    println!(" distinct keys land on distinct forwarders, balancing the lookup load)\n");
+    println!(
+        "{:>5} {:>14} {:>12} {:>14}",
+        "key", "total fwds", "forwarders", "max fwds/node"
+    );
+    for ki in 0..n_keys {
+        let total =
+            cells.iter().map(|c| c.keys[ki].total_fwds as f64).sum::<f64>() / cells.len() as f64;
+        let distinct = cells
+            .iter()
+            .map(|c| c.keys[ki].distinct_forwarders as f64)
+            .sum::<f64>()
+            / cells.len() as f64;
+        let max =
+            cells.iter().map(|c| c.keys[ki].max_fwds as f64).sum::<f64>() / cells.len() as f64;
+        println!(
+            "{:>5} {:>14.1} {:>12.1} {:>14.1}",
+            format!("Q{}", ki + 1),
+            total,
+            distinct,
+            max
+        );
+        emit_json(
+            &opts,
+            &JsonRecord::new("fig8b")
+                .int("nodes", n_nodes as u64)
+                .int("queries_per_key", queries_per_key as u64)
+                .int("seeds", seeds.len() as u64)
+                .int("key", ki as u64 + 1)
+                .num("mean_total_fwds", total)
+                .num("mean_distinct_forwarders", distinct)
+                .num("mean_max_fwds", max),
+        );
+    }
+    let distinct_top = cells
+        .iter()
+        .map(|c| c.distinct_top_forwarders as f64)
+        .sum::<f64>()
+        / cells.len() as f64;
+    let events: u64 = cells.iter().map(|c| c.events).sum();
+    let wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
+    println!(
+        "\ndistinct top-forwarders across the {} keys: {:.1} (load balanced ⇔ close to {})",
+        n_keys, distinct_top, n_keys
+    );
+    emit_json(
+        &opts,
+        &JsonRecord::new("fig8b")
+            .int("nodes", n_nodes as u64)
+            .int("queries_per_key", queries_per_key as u64)
+            .int("seeds", seeds.len() as u64)
+            .text("row", "summary")
+            .num("mean_distinct_top_forwarders", distinct_top)
+            .int("events", events)
+            .num("sim_wall_secs", wall)
+            .num(
+                "events_per_sec",
+                if wall > 0.0 { events as f64 / wall } else { 0.0 },
+            ),
+    );
+    eprintln!(
+        "\n[engine] {events} events in {wall:.3}s of simulation loop = {:.0} events/sec",
+        if wall > 0.0 { events as f64 / wall } else { 0.0 }
     );
 }

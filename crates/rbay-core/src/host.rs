@@ -44,6 +44,10 @@ pub struct RbayConfig {
     pub max_attempts: u32,
     /// Instruction budget per AA handler invocation.
     pub aa_budget: u64,
+    /// Which aascript engine executes AA handlers. Defaults to the
+    /// bytecode VM; the tree-walker remains available as a reference
+    /// oracle (and for A/B benchmarking).
+    pub aa_engine: aascript::Engine,
     /// Name under which RBAY trees are created (the "creator" of TreeIds).
     pub creator: String,
     /// Whether satisfied queries commit their chosen nodes (step 5). The
@@ -79,6 +83,7 @@ impl Default for RbayConfig {
             backoff_slot: SimDuration::from_millis(100),
             max_attempts: 5,
             aa_budget: 10_000,
+            aa_engine: aascript::Engine::default(),
             creator: "rbay".to_owned(),
             commit_results: true,
             site_isolation: true,
@@ -367,7 +372,7 @@ impl RbayHost {
     ///
     /// Compile or instantiation-time runtime errors.
     pub fn install_node_aa(&mut self, src: &str) -> Result<(), Box<dyn std::error::Error>> {
-        let script = Script::compile(src)?;
+        let script = Script::compile(src)?.with_engine(self.cfg.aa_engine);
         let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
         Self::add_runtime_natives(&inst);
         self.node_aa = Some(inst);
@@ -384,7 +389,7 @@ impl RbayHost {
         attr: &str,
         src: &str,
     ) -> Result<(), Box<dyn std::error::Error>> {
-        let script = Script::compile(src)?;
+        let script = Script::compile(src)?.with_engine(self.cfg.aa_engine);
         let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
         Self::add_runtime_natives(&inst);
         self.attr_aas.insert(attr.to_owned(), inst);
@@ -407,7 +412,7 @@ impl RbayHost {
         if let Value::Table(t) = &table {
             let mut t = t.borrow_mut();
             for (k, v) in &self.attrs {
-                t.set(aascript::Key::Str(k.clone()), Self::attr_to_script(v));
+                t.set(aascript::Key::Str(k.as_str().into()), Self::attr_to_script(v));
             }
         }
         aa.set_global("attrs", table);
