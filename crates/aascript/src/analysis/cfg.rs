@@ -1,0 +1,240 @@
+//! Basic-block control-flow graphs over compiled [`Proto`] bytecode.
+//!
+//! The compiler emits structured code (no computed jumps), so a CFG is
+//! recoverable exactly: block leaders are the entry point, every jump
+//! target, and every instruction following a branch or return. Dataflow
+//! ([`crate::analysis::dataflow`]) and reachability ([`Cfg::reachable`])
+//! both run over this graph.
+
+use crate::compile::{Op, Proto};
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index (inclusive).
+    pub lo: usize,
+    /// One past the last instruction index (exclusive).
+    pub hi: usize,
+    /// Indices (into [`Cfg::blocks`]) of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in instruction order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// The jump targets an instruction can transfer control to, not counting
+/// fall-through. `None` entries mean the op never falls through.
+fn jump_target(op: &Op) -> Option<u32> {
+    match op {
+        Op::Jump(t)
+        | Op::JumpIfFalse(t)
+        | Op::JumpIfFalseKeep(t)
+        | Op::JumpIfTrueKeep(t)
+        | Op::ForTest { exit: t, .. }
+        | Op::ForStep { top: t, .. }
+        | Op::IterNext { exit: t } => Some(*t),
+        _ => None,
+    }
+}
+
+/// Whether control can continue to the next instruction after `op`.
+fn falls_through(op: &Op) -> bool {
+    !matches!(op, Op::Jump(_) | Op::ForStep { .. } | Op::Return)
+}
+
+/// Whether `op` ends a basic block.
+fn is_terminator(op: &Op) -> bool {
+    jump_target(op).is_some() || matches!(op, Op::Return)
+}
+
+/// Builds the CFG of `proto`.
+pub fn build(proto: &Proto) -> Cfg {
+    let code = &proto.code;
+    let n = code.len();
+    let mut leader = vec![false; n.max(1)];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (i, op) in code.iter().enumerate() {
+        if let Some(t) = jump_target(op) {
+            if (t as usize) < n {
+                leader[t as usize] = true;
+            }
+        }
+        if is_terminator(op) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+
+    // Carve blocks at leaders.
+    let mut blocks = Vec::new();
+    let mut op_block = vec![0usize; n];
+    let mut lo = 0usize;
+    for (i, &is_leader) in leader.iter().enumerate() {
+        if i > lo && is_leader {
+            blocks.push(BasicBlock {
+                lo,
+                hi: i,
+                succs: Vec::new(),
+            });
+            lo = i;
+        }
+    }
+    if n > 0 {
+        blocks.push(BasicBlock {
+            lo,
+            hi: n,
+            succs: Vec::new(),
+        });
+    }
+    for (bi, b) in blocks.iter().enumerate() {
+        for slot in op_block.iter_mut().take(b.hi).skip(b.lo) {
+            *slot = bi;
+        }
+    }
+
+    // Wire successors from each block's final instruction.
+    for bi in 0..blocks.len() {
+        let last = blocks[bi].hi - 1;
+        let op = &code[last];
+        let mut succs = Vec::new();
+        if let Some(t) = jump_target(op) {
+            if (t as usize) < n {
+                succs.push(op_block[t as usize]);
+            }
+        }
+        if falls_through(op) && blocks[bi].hi < n {
+            let next = op_block[blocks[bi].hi];
+            if !succs.contains(&next) {
+                succs.push(next);
+            }
+        }
+        blocks[bi].succs = succs;
+    }
+
+    Cfg { blocks }
+}
+
+impl Cfg {
+    /// Which blocks are reachable from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Predecessor lists, computed on demand.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(bi);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn main_cfg(src: &str) -> (Cfg, Vec<Op>) {
+        let chunk = compile(&parse(src).unwrap()).unwrap();
+        let proto = &chunk.protos[chunk.main];
+        (build(proto), proto.code.clone())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (cfg, code) = main_cfg("x = 1 y = 2");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].lo, 0);
+        assert_eq!(cfg.blocks[0].hi, code.len());
+        assert!(cfg.blocks[0].succs.is_empty(), "Return has no successors");
+    }
+
+    #[test]
+    fn if_else_forks_and_joins() {
+        let (cfg, _) = main_cfg("if x then y = 1 else y = 2 end z = 3");
+        // cond / then / else / join — at minimum four blocks, every one
+        // reachable, and some block has two successors.
+        assert!(cfg.blocks.len() >= 4, "{cfg:?}");
+        assert!(cfg.blocks.iter().any(|b| b.succs.len() == 2));
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (cfg, _) = main_cfg("while x do y = y end");
+        let back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(bi, b)| b.succs.iter().any(|&s| s <= bi));
+        assert!(back, "loop must produce a back edge: {cfg:?}");
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        // Both arms return, so the join block can never run.
+        let (cfg, _) = main_cfg(
+            "function f()
+                 if x then return 1 else return 2 end
+             end",
+        );
+        assert!(cfg.reachable().iter().all(|&r| r), "main itself is linear");
+        // The function body is a separate proto; check it directly.
+        let chunk = compile(
+            &parse(
+                "function f()
+                 if x then return 1 else return 2 end
+             end",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let body = &chunk.protos[0];
+        let cfg = build(body);
+        let reach = cfg.reachable();
+        assert!(
+            reach.iter().any(|&r| !r),
+            "implicit trailing return is unreachable: {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn every_op_is_in_exactly_one_block() {
+        let (cfg, code) = main_cfg(
+            "for i = 1, 3 do
+                 if i > 1 then x = i end
+             end
+             for k, v in pairs(t) do y = k end",
+        );
+        let mut covered = vec![0u8; code.len()];
+        for b in &cfg.blocks {
+            for c in covered.iter_mut().take(b.hi).skip(b.lo) {
+                *c += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "{covered:?}");
+    }
+}

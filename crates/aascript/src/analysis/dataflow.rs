@@ -1,0 +1,423 @@
+//! Forward dataflow over the CFG: definite-initialization for register
+//! slots and defined-global tracking for name-addressed accesses.
+//!
+//! Both analyses are *must*-style (meet = intersection over predecessors),
+//! with one deliberate twist for globals: an [`Op::Call`] is assumed to
+//! define every global that *any* function in the chunk ever stores,
+//! because we cannot always resolve the callee. That biases the analysis
+//! toward suppression — the undefined-global lint only fires when no
+//! execution order could have produced a definition, which keeps it
+//! false-positive-free on real handler corpora.
+
+use super::cfg::Cfg;
+use super::diag::{Diagnostic, LintId};
+use crate::compile::{Chunk, Op, Proto, Slot};
+use std::collections::HashSet;
+
+/// Register-slot reads an opcode performs.
+fn reg_reads(op: &Op, out: &mut Vec<u16>) {
+    match op {
+        Op::LoadReg(r) | Op::ForZeroCheck(r) => out.push(*r),
+        Op::ForTest {
+            idx, stop, step, ..
+        } => {
+            out.push(*idx);
+            out.push(*stop);
+            out.push(*step);
+        }
+        Op::ForStep { idx, step, .. } => {
+            out.push(*idx);
+            out.push(*step);
+        }
+        _ => {}
+    }
+}
+
+/// AA009: flags reads of register slots that are not definitely
+/// initialized on every path. The compiler's slot allocation makes this
+/// structurally impossible for its own output, so any finding here is an
+/// internal-invariant violation (e.g. a hand-built or corrupted chunk).
+pub fn uninit_register_reads(proto: &Proto, cfg: &Cfg) -> Vec<Diagnostic> {
+    let nb = cfg.blocks.len();
+    if nb == 0 {
+        return Vec::new();
+    }
+    let entry_in: HashSet<u16> = proto
+        .params
+        .iter()
+        .filter_map(|s| match s {
+            Slot::Reg(r) => Some(*r),
+            Slot::Cell(_) => None,
+        })
+        .collect();
+    let all: HashSet<u16> = (0..proto.n_regs).collect();
+    let preds = cfg.preds();
+    let reachable = cfg.reachable();
+
+    // OUT[b], initialized to top (all registers) so the intersection meet
+    // starts permissive and tightens to the fixpoint.
+    let mut outs: Vec<HashSet<u16>> = vec![all.clone(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let mut cur = if b == 0 {
+                entry_in.clone()
+            } else {
+                let mut it = preds[b].iter();
+                match it.next() {
+                    None => all.clone(),
+                    Some(&p0) => {
+                        let mut acc = outs[p0].clone();
+                        for &p in it {
+                            acc.retain(|r| outs[p].contains(r));
+                        }
+                        acc
+                    }
+                }
+            };
+            for op in &proto.code[cfg.blocks[b].lo..cfg.blocks[b].hi] {
+                if let Op::StoreReg(r) = op {
+                    cur.insert(*r);
+                }
+            }
+            if cur != outs[b] {
+                outs[b] = cur;
+                changed = true;
+            }
+        }
+    }
+
+    // Check phase: replay each reachable block from its IN set.
+    let mut diags = Vec::new();
+    let mut reads = Vec::new();
+    for b in 0..nb {
+        if !reachable[b] {
+            continue;
+        }
+        let mut cur = if b == 0 {
+            entry_in.clone()
+        } else {
+            let mut it = preds[b].iter();
+            match it.next() {
+                None => all.clone(),
+                Some(&p0) => {
+                    let mut acc = outs[p0].clone();
+                    for &p in it {
+                        acc.retain(|r| outs[p].contains(r));
+                    }
+                    acc
+                }
+            }
+        };
+        for i in cfg.blocks[b].lo..cfg.blocks[b].hi {
+            let op = &proto.code[i];
+            reads.clear();
+            reg_reads(op, &mut reads);
+            for &r in &reads {
+                if !cur.contains(&r) {
+                    diags.push(Diagnostic::error(
+                        LintId::UninitRegister,
+                        proto.lines[i],
+                        format!("register slot {r} read before definite initialization"),
+                    ));
+                }
+            }
+            if let Op::StoreReg(r) = op {
+                cur.insert(*r);
+            }
+        }
+    }
+    diags
+}
+
+/// Global-name reads an opcode performs, as indices into [`Chunk::names`].
+fn global_reads(op: &Op) -> Option<u32> {
+    match op {
+        Op::LoadGlobal(n) | Op::GlobalIndexConst { name: n, .. } => Some(*n),
+        _ => None,
+    }
+}
+
+/// The set of global-name indices a proto may define (every
+/// [`Op::StoreGlobal`] target).
+pub fn stored_globals(proto: &Proto) -> HashSet<u32> {
+    proto
+        .code
+        .iter()
+        .filter_map(|op| match op {
+            Op::StoreGlobal(n) => Some(*n),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs the defined-globals analysis over one proto and returns
+/// `(diagnostics, exit_set)` where `exit_set` is the set of globals
+/// definitely defined at every `Return` (used to seed handler protos with
+/// what top-level code established).
+///
+/// `init` is the set of names defined before the proto runs (stdlib, host
+/// externs, and — for handlers — main's exit set). `ever_stored` is the
+/// union of [`stored_globals`] over the whole chunk; reads of names in it
+/// that are merely not *yet* defined downgrade to warnings, reads of names
+/// nowhere in it are errors (a typo nothing could ever define).
+pub fn undefined_global_reads(
+    proto: &Proto,
+    cfg: &Cfg,
+    chunk: &Chunk,
+    init: &HashSet<u32>,
+    ever_stored: &HashSet<u32>,
+) -> (Vec<Diagnostic>, HashSet<u32>) {
+    let nb = cfg.blocks.len();
+    if nb == 0 {
+        return (Vec::new(), init.clone());
+    }
+    let all: HashSet<u32> = (0..chunk.names.len() as u32).collect();
+    let preds = cfg.preds();
+    let reachable = cfg.reachable();
+
+    let transfer = |mut cur: HashSet<u32>, ops: &[Op]| -> HashSet<u32> {
+        for op in ops {
+            match op {
+                Op::StoreGlobal(n) => {
+                    cur.insert(*n);
+                }
+                // The callee may run arbitrary script code; credit it with
+                // everything the chunk could ever define (see module docs).
+                Op::Call(_) => cur.extend(ever_stored.iter().copied()),
+                _ => {}
+            }
+        }
+        cur
+    };
+
+    let block_in = |b: usize, outs: &[HashSet<u32>]| -> HashSet<u32> {
+        if b == 0 {
+            return init.clone();
+        }
+        let mut it = preds[b].iter();
+        match it.next() {
+            None => all.clone(),
+            Some(&p0) => {
+                let mut acc = outs[p0].clone();
+                for &p in it {
+                    acc.retain(|n| outs[p].contains(n));
+                }
+                acc
+            }
+        }
+    };
+
+    let mut outs: Vec<HashSet<u32>> = vec![all.clone(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let cur = transfer(
+                block_in(b, &outs),
+                &proto.code[cfg.blocks[b].lo..cfg.blocks[b].hi],
+            );
+            if cur != outs[b] {
+                outs[b] = cur;
+                changed = true;
+            }
+        }
+    }
+
+    // Check phase.
+    let mut diags = Vec::new();
+    let mut flagged: HashSet<(u32, u32, u32)> = HashSet::new();
+    for (b, &live) in reachable.iter().enumerate().take(nb) {
+        if !live {
+            continue;
+        }
+        let mut cur = block_in(b, &outs);
+        for i in cfg.blocks[b].lo..cfg.blocks[b].hi {
+            let op = &proto.code[i];
+            if let Some(n) = global_reads(op) {
+                if !cur.contains(&n) {
+                    let pos = proto.lines[i];
+                    if flagged.insert((n, pos.line, pos.col)) {
+                        let name = &chunk.names[n as usize];
+                        if ever_stored.contains(&n) {
+                            diags.push(Diagnostic::warning(
+                                LintId::UndefinedGlobal,
+                                pos,
+                                format!(
+                                    "global `{name}` may be read before it is defined \
+                                     (no definition is guaranteed to have run)"
+                                ),
+                            ));
+                        } else {
+                            diags.push(Diagnostic::error(
+                                LintId::UndefinedGlobal,
+                                pos,
+                                format!(
+                                    "undefined global `{name}` (never defined by the \
+                                     script, the host environment, or the stdlib)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            match op {
+                Op::StoreGlobal(n) => {
+                    cur.insert(*n);
+                }
+                Op::Call(_) => cur.extend(ever_stored.iter().copied()),
+                _ => {}
+            }
+        }
+    }
+
+    // Exit set: intersection of OUT over reachable blocks that end in
+    // Return (the compiler guarantees at least the implicit one).
+    let mut exit: Option<HashSet<u32>> = None;
+    for b in 0..nb {
+        if !reachable[b] {
+            continue;
+        }
+        if matches!(proto.code[cfg.blocks[b].hi - 1], Op::Return) {
+            exit = Some(match exit {
+                None => outs[b].clone(),
+                Some(mut acc) => {
+                    acc.retain(|n| outs[b].contains(n));
+                    acc
+                }
+            });
+        }
+    }
+    (diags, exit.unwrap_or_else(|| init.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cfg;
+    use crate::compile::compile;
+    use crate::error::Pos;
+    use crate::parser::parse;
+
+    fn chunk_of(src: &str) -> Chunk {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiler_output_never_reads_uninit_registers() {
+        let srcs = [
+            "function f(a) local b = a + 1 return b end",
+            "function g() for i = 1, 3 do local x = i end end",
+            "function h(n) if n then local y = 1 return y end return 2 end",
+            "for k, v in pairs(t) do local s = v end",
+        ];
+        for src in srcs {
+            let chunk = chunk_of(src);
+            for proto in &chunk.protos {
+                let g = cfg::build(proto);
+                assert!(
+                    uninit_register_reads(proto, &g).is_empty(),
+                    "false positive on {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hand_built_chunk_with_uninit_read_is_caught() {
+        // LoadReg(0) before any StoreReg(0): the invariant lint must fire.
+        let proto = Proto {
+            code: vec![Op::LoadReg(0), Op::Return],
+            lines: vec![Pos { line: 1, col: 1 }; 2],
+            n_regs: 1,
+            n_cells: 0,
+            params: vec![],
+            upvals: vec![],
+        };
+        let g = cfg::build(&proto);
+        let diags = uninit_register_reads(&proto, &g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].id, LintId::UninitRegister);
+    }
+
+    #[test]
+    fn branch_defined_register_is_not_must_defined_at_join() {
+        // StoreReg(0) on one arm only, read after the join.
+        let proto = Proto {
+            code: vec![
+                Op::True,
+                Op::JumpIfFalse(4),
+                Op::Nil,
+                Op::StoreReg(0),
+                Op::LoadReg(0), // join: only defined on the taken path
+                Op::Return,
+            ],
+            lines: vec![Pos { line: 1, col: 1 }; 6],
+            n_regs: 1,
+            n_cells: 0,
+            params: vec![],
+            upvals: vec![],
+        };
+        let g = cfg::build(&proto);
+        let diags = uninit_register_reads(&proto, &g);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn global_defined_then_read_is_clean() {
+        let chunk = chunk_of("x = 1 y = x + 1");
+        let proto = &chunk.protos[chunk.main];
+        let g = cfg::build(proto);
+        let ever = stored_globals(proto);
+        let (diags, exit) = undefined_global_reads(proto, &g, &chunk, &HashSet::new(), &ever);
+        assert!(diags.is_empty(), "{diags:?}");
+        // Both x and y are definitely defined at exit.
+        assert_eq!(exit.len(), 2);
+    }
+
+    #[test]
+    fn global_read_before_any_store_is_an_error_or_warning() {
+        // `z` is never stored anywhere: hard error.
+        let chunk = chunk_of("y = z");
+        let proto = &chunk.protos[chunk.main];
+        let g = cfg::build(proto);
+        let ever = stored_globals(proto);
+        let (diags, _) = undefined_global_reads(proto, &g, &chunk, &HashSet::new(), &ever);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, super::super::diag::Severity::Error);
+
+        // `w` is stored later: ordering hazard, warning.
+        let chunk = chunk_of("y = w w = 1");
+        let proto = &chunk.protos[chunk.main];
+        let g = cfg::build(proto);
+        let ever = stored_globals(proto);
+        let (diags, _) = undefined_global_reads(proto, &g, &chunk, &HashSet::new(), &ever);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, super::super::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn call_credits_globals_the_chunk_may_define() {
+        // `setup()` defines `cfgd`; reading it after the call is clean.
+        let chunk = chunk_of(
+            "function setup() cfgd = 1 end
+             setup()
+             y = cfgd",
+        );
+        let main = &chunk.protos[chunk.main];
+        let g = cfg::build(main);
+        let ever: HashSet<u32> = chunk.protos.iter().flat_map(stored_globals).collect();
+        let init: HashSet<u32> = chunk
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| &***n == "setup")
+            .map(|(i, _)| i as u32)
+            .collect();
+        // `setup` itself is stored by main before the call, so no init
+        // seeding is even needed for it; pass empty-ish init regardless.
+        let (diags, _) = undefined_global_reads(main, &g, &chunk, &init, &ever);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

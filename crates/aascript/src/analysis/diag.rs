@@ -1,0 +1,167 @@
+//! Structured diagnostics emitted by the static analyzer.
+//!
+//! Every finding carries a stable lint ID (the `AA0xx` catalog documented in
+//! DESIGN.md §11), a severity, a source position, and a human-readable
+//! message. Hosts decide what to do with them via their lint policy; the
+//! analyzer itself never rejects anything.
+
+use crate::error::Pos;
+use core::fmt;
+
+/// Stable identifiers for every lint the analyzer can raise.
+///
+/// IDs are append-only: a released ID never changes meaning, so host
+/// configurations and CI logs can reference them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// AA001 — a function named `on…` does not match any handler the
+    /// runtime dispatches, so it can never be invoked (deny-by-typo).
+    UnknownHandler,
+    /// AA002 — a global is read but never defined by the script, the host
+    /// environment, or the stdlib (or may be read before its definition).
+    UndefinedGlobal,
+    /// AA003 — an access to a stdlib member that does not exist
+    /// (e.g. `math.flor`).
+    UnknownStdlibMember,
+    /// AA004 — a stdlib function called with too few/many arguments, or a
+    /// non-function stdlib member (e.g. `math.pi`) used as a function.
+    StdlibMisuse,
+    /// AA005 — a handler body writes a global outside the `AA` namespace,
+    /// a determinism hazard for the differential oracle.
+    GlobalWriteOutsideAa,
+    /// AA006 — statements that can never execute (all paths before them
+    /// return).
+    UnreachableCode,
+    /// AA007 — the worst-case instruction cost of a handler provably
+    /// exceeds the configured budget: every invocation would be killed.
+    CostExceedsBudget,
+    /// AA008 — the worst-case instruction cost could not be bounded
+    /// statically (data-dependent loop, unresolvable call, recursion).
+    CostUnbounded,
+    /// AA009 — bytecode reads a register slot that is not definitely
+    /// initialized (compiler-invariant violation; should never fire on
+    /// compiler output).
+    UninitRegister,
+}
+
+impl LintId {
+    /// The catalog code, e.g. `"AA002"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::UnknownHandler => "AA001",
+            LintId::UndefinedGlobal => "AA002",
+            LintId::UnknownStdlibMember => "AA003",
+            LintId::StdlibMisuse => "AA004",
+            LintId::GlobalWriteOutsideAa => "AA005",
+            LintId::UnreachableCode => "AA006",
+            LintId::CostExceedsBudget => "AA007",
+            LintId::CostUnbounded => "AA008",
+            LintId::UninitRegister => "AA009",
+        }
+    }
+}
+
+/// How serious a finding is.
+///
+/// [`crate::analysis`] never rejects a script itself; severity is what host
+/// policies key on (`Deny` refuses installs with at least one error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; surfaced, never blocking under
+    /// any policy short of a host treating warnings as errors itself.
+    Warning,
+    /// Almost certainly a bug (typo'd handler, undefined global, provably
+    /// over-budget handler). `LintPolicy::Deny` refuses these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub id: LintId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Source position (1-based line:col) of the statement at fault.
+    pub pos: Pos,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds an error-severity diagnostic.
+    pub fn error(id: LintId, pos: Pos, message: impl Into<String>) -> Self {
+        Diagnostic {
+            id,
+            severity: Severity::Error,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a warning-severity diagnostic.
+    pub fn warning(id: LintId, pos: Pos, message: impl Into<String>) -> Self {
+        Diagnostic {
+            id,
+            severity: Severity::Warning,
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.id.code(),
+            self.pos,
+            self.message
+        )
+    }
+}
+
+/// Whether any diagnostic in the list is error-severity (what `Deny`
+/// policies and the `aalint` exit code key on).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_span() {
+        let d = Diagnostic::error(
+            LintId::UndefinedGlobal,
+            Pos { line: 3, col: 5 },
+            "undefined global `utilzation`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[AA002] 3:5: undefined global `utilzation`"
+        );
+        let w = Diagnostic::warning(LintId::CostUnbounded, Pos { line: 1, col: 1 }, "m");
+        assert!(w.to_string().starts_with("warning[AA008]"));
+    }
+
+    #[test]
+    fn has_errors_distinguishes_severity() {
+        let w = Diagnostic::warning(LintId::UnreachableCode, Pos { line: 1, col: 1 }, "m");
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        let e = Diagnostic::error(LintId::UnknownHandler, Pos { line: 1, col: 1 }, "m");
+        assert!(has_errors(&[w, e]));
+    }
+}

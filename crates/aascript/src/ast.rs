@@ -14,6 +14,9 @@ pub type Name = Rc<str>;
 pub struct Block {
     /// Statements in execution order.
     pub stmts: Vec<Stmt>,
+    /// Source position of each statement, parallel to `stmts`. Evaluators
+    /// ignore it; the static analyzer uses it to anchor diagnostics.
+    pub at: Vec<crate::error::Pos>,
 }
 
 /// A function definition (named or anonymous).

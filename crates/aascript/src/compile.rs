@@ -206,6 +206,10 @@ pub struct Proto {
     /// The instruction stream; execution begins at 0 and leaves via
     /// [`Op::Return`].
     pub code: Vec<Op>,
+    /// Source position of each instruction, parallel to `code` (the position
+    /// of the statement the op was emitted for). The VM never reads this;
+    /// the static analyzer uses it to anchor diagnostics.
+    pub lines: Vec<Pos>,
     /// Number of register slots the frame needs.
     pub n_regs: u16,
     /// Number of cell slots the frame needs.
@@ -288,6 +292,10 @@ struct LoopCtx {
 
 struct FnCtx {
     code: Vec<Op>,
+    lines: Vec<Pos>,
+    /// Position of the statement currently being compiled; stamped on every
+    /// emitted op.
+    cur_pos: Pos,
     scopes: Vec<BlockScope>,
     n_regs: u16,
     max_regs: u16,
@@ -326,9 +334,11 @@ impl Compiler {
     }
 
     fn emit(&mut self, op: Op) -> usize {
-        let code = &mut self.cur().code;
-        code.push(op);
-        code.len() - 1
+        let f = self.cur();
+        let pos = f.cur_pos;
+        f.code.push(op);
+        f.lines.push(pos);
+        f.code.len() - 1
     }
 
     fn here(&mut self) -> u32 {
@@ -411,7 +421,10 @@ impl Compiler {
     fn alloc_reg(&mut self) -> Result<u16, CompileError> {
         let f = self.cur();
         let r = f.n_regs;
-        f.n_regs = f.n_regs.checked_add(1).ok_or_else(|| err("too many locals"))?;
+        f.n_regs = f
+            .n_regs
+            .checked_add(1)
+            .ok_or_else(|| err("too many locals"))?;
         f.max_regs = f.max_regs.max(f.n_regs);
         Ok(r)
     }
@@ -419,7 +432,10 @@ impl Compiler {
     fn alloc_cell(&mut self) -> Result<u16, CompileError> {
         let f = self.cur();
         let c = f.n_cells;
-        f.n_cells = f.n_cells.checked_add(1).ok_or_else(|| err("too many captured locals"))?;
+        f.n_cells = f
+            .n_cells
+            .checked_add(1)
+            .ok_or_else(|| err("too many captured locals"))?;
         f.max_cells = f.max_cells.max(f.n_cells);
         Ok(c)
     }
@@ -506,6 +522,8 @@ impl Compiler {
         captured_names_block(body, &mut captured);
         self.fns.push(FnCtx {
             code: Vec::new(),
+            lines: Vec::new(),
+            cur_pos: Pos { line: 0, col: 0 },
             scopes: Vec::new(),
             n_regs: 0,
             max_regs: 0,
@@ -530,6 +548,7 @@ impl Compiler {
         let i = u32::try_from(self.protos.len()).map_err(|_| err("too many functions"))?;
         self.protos.push(Proto {
             code: f.code,
+            lines: f.lines,
             n_regs: f.max_regs,
             n_cells: f.max_cells,
             params: param_slots,
@@ -549,7 +568,10 @@ impl Compiler {
     /// Compiles a block's statements in the *current* scope (function
     /// bodies, `repeat` bodies whose scope must stay open for `until`).
     fn compile_stmts(&mut self, block: &Block) -> Result<(), CompileError> {
-        for stmt in &block.stmts {
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            if let Some(&p) = block.at.get(i) {
+                self.cur().cur_pos = p;
+            }
             self.compile_stmt(stmt)?;
         }
         Ok(())
@@ -1017,7 +1039,11 @@ fn captured_names_stmt(stmt: &Stmt, out: &mut HashSet<Name>) {
             captured_names_expr(c, out);
         }
         Stmt::NumericFor {
-            start, stop, step, body, ..
+            start,
+            stop,
+            step,
+            body,
+            ..
         } => {
             captured_names_expr(start, out);
             captured_names_expr(stop, out);
@@ -1130,7 +1156,11 @@ fn all_names_stmt(stmt: &Stmt, out: &mut HashSet<Name>) {
             all_names_expr(c, out);
         }
         Stmt::NumericFor {
-            start, stop, step, body, ..
+            start,
+            stop,
+            step,
+            body,
+            ..
         } => {
             all_names_expr(start, out);
             all_names_expr(stop, out);
@@ -1243,7 +1273,9 @@ mod tests {
         let c = chunk_of("function f(a) local b = a + 1 return b end");
         let f = &c.protos[0];
         assert!(
-            !f.code.iter().any(|op| matches!(op, Op::LoadGlobal(_) | Op::StoreGlobal(_))),
+            !f.code
+                .iter()
+                .any(|op| matches!(op, Op::LoadGlobal(_) | Op::StoreGlobal(_))),
             "locals must compile to register slots: {:?}",
             f.code
         );

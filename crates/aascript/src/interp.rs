@@ -360,9 +360,11 @@ impl Interp {
                 // Snapshot entries so body mutations cannot invalidate the
                 // walk (Lua forbids such mutation; we make it safe).
                 let entries: Vec<(Key, Value)> = match kind {
-                    IterKind::Pairs => {
-                        t.borrow().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
-                    }
+                    IterKind::Pairs => t
+                        .borrow()
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
                     IterKind::Ipairs => {
                         let tb = t.borrow();
                         let mut out = Vec::new();
@@ -398,6 +400,13 @@ impl Interp {
                 Ok(Flow::Normal)
             }
             Stmt::FuncDecl { target, def } => {
+                // divergence (DESIGN.md §10, item 3): walker closures
+                // capture their *whole* defining environment, so a handler
+                // stored into the globals it captures forms an `Rc` cycle
+                // this engine never breaks (pinned by
+                // `treewalk_closure_env_cycle_is_the_documented_divergence`
+                // in lib.rs). VM closures capture individual cells and are
+                // fully reclaimed — one reason the VM is the default.
                 let f = Value::Func(Rc::new(Closure {
                     def: Rc::clone(def),
                     env: Rc::clone(env),
@@ -540,6 +549,7 @@ impl Interp {
                 }
                 Ok(Value::Table(Rc::new(RefCell::new(table))))
             }
+            // divergence: whole-environment capture, same as FuncDecl above.
             Expr::Func(def) => Ok(Value::Func(Rc::new(Closure {
                 def: Rc::clone(def),
                 env: Rc::clone(env),

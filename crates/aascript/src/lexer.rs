@@ -240,11 +240,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     err!(pos, "malformed hex literal");
                 }
                 let hex: String = bytes[hstart..i].iter().collect();
-                let v = u64::from_str_radix(&hex, 16)
-                    .map_err(|_| CompileError {
-                        pos,
-                        message: "hex literal out of range".into(),
-                    })?;
+                let v = u64::from_str_radix(&hex, 16).map_err(|_| CompileError {
+                    pos,
+                    message: "hex literal out of range".into(),
+                })?;
                 out.push(Spanned {
                     tok: Tok::Num(v as f64),
                     pos,

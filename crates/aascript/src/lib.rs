@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod ast;
 pub mod compile;
 mod error;
@@ -147,6 +148,14 @@ impl Script {
         })
     }
 
+    /// Runs the static analyzer over the compiled script and returns its
+    /// findings (empty = lint-clean). This is the install-time gate hosts
+    /// enforce their `LintPolicy` over; see [`analysis`] for the lint
+    /// catalog.
+    pub fn analyze(&self, opts: &analysis::LintOptions) -> Vec<analysis::Diagnostic> {
+        analysis::analyze(&self.block, &self.chunk, opts)
+    }
+
     /// Selects the execution engine for instances of this script.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
@@ -207,7 +216,10 @@ impl AaInstance {
     /// both styles).
     pub fn handler(&self, name: &str) -> Option<Value> {
         let direct = lookup(&self.globals, name);
-        if matches!(direct, Value::Func(_) | Value::Compiled(_) | Value::Native(..)) {
+        if matches!(
+            direct,
+            Value::Func(_) | Value::Compiled(_) | Value::Native(..)
+        ) {
             return Some(direct);
         }
         if let Value::Table(aa) = lookup(&self.globals, "AA") {
@@ -313,7 +325,9 @@ mod tests {
     fn control_flow() {
         assert_eq!(num("if 1 < 2 then return 1 else return 2 end"), 1.0);
         assert_eq!(
-            num("local x = 0\nif x > 0 then return 1 elseif x == 0 then return 2 else return 3 end"),
+            num(
+                "local x = 0\nif x > 0 then return 1 elseif x == 0 then return 2 else return 3 end"
+            ),
             2.0
         );
         assert_eq!(
@@ -413,7 +427,10 @@ mod tests {
         let aa = eval_script("function f() return f() end", 100_000).unwrap();
         let err = aa.invoke("f", &[], 1_000_000).unwrap_err();
         assert!(
-            matches!(err, RuntimeError::StackOverflow | RuntimeError::BudgetExhausted),
+            matches!(
+                err,
+                RuntimeError::StackOverflow | RuntimeError::BudgetExhausted
+            ),
             "{err:?}"
         );
     }
@@ -441,7 +458,11 @@ mod tests {
         "#;
         let aa = eval_script(src, 100_000).unwrap();
         let granted = aa
-            .invoke("onGet", &[Value::str("joe"), Value::str("3053482032")], 10_000)
+            .invoke(
+                "onGet",
+                &[Value::str("joe"), Value::str("3053482032")],
+                10_000,
+            )
             .unwrap();
         assert_eq!(granted.as_num().unwrap(), 27.0);
         let denied = aa
@@ -462,7 +483,10 @@ mod tests {
         assert!(aa.has_handler("onGet"));
         assert!(!aa.has_handler("onDeliver"));
         assert_eq!(
-            aa.invoke("onGet", &[Value::Nil], 10_000).unwrap().as_num().unwrap(),
+            aa.invoke("onGet", &[Value::Nil], 10_000)
+                .unwrap()
+                .as_num()
+                .unwrap(),
             20.0
         );
     }
@@ -479,10 +503,9 @@ mod tests {
     #[test]
     fn instances_do_not_share_state() {
         let sandbox = SharedSandbox::new();
-        let script = Script::compile(
-            "count = 0\nfunction bump() count = count + 1\nreturn count end",
-        )
-        .unwrap();
+        let script =
+            Script::compile("count = 0\nfunction bump() count = count + 1\nreturn count end")
+                .unwrap();
         let a = script.instantiate(&sandbox, 10_000).unwrap();
         let b = script.instantiate(&sandbox, 10_000).unwrap();
         assert_eq!(a.invoke("bump", &[], 1_000).unwrap().as_num().unwrap(), 1.0);
@@ -562,6 +585,42 @@ mod tests {
     }
 
     #[test]
+    fn treewalk_closure_env_cycle_is_the_documented_divergence() {
+        // DESIGN.md §10, divergence (3): a walker handler stored in the
+        // globals it captures is an Rc cycle the walker never breaks, so
+        // dropping the instance leaks its globals scope. VM closures
+        // capture individual cells and are fully reclaimed. This test pins
+        // both halves of the documented behavior; if the walker is ever
+        // fixed, flip the first assertion and delete the note in interp.rs.
+        let src = "function onGet() return 1 end";
+        let sandbox = SharedSandbox::new();
+
+        let walker = Script::compile(src)
+            .unwrap()
+            .with_engine(Engine::TreeWalk)
+            .instantiate(&sandbox, 10_000)
+            .unwrap();
+        let weak = Rc::downgrade(&walker.globals);
+        drop(walker);
+        assert!(
+            weak.upgrade().is_some(),
+            "walker closure-env cycle keeps the dropped instance's globals alive"
+        );
+
+        let vm = Script::compile(src)
+            .unwrap()
+            .with_engine(Engine::Bytecode)
+            .instantiate(&sandbox, 10_000)
+            .unwrap();
+        let weak = Rc::downgrade(&vm.globals);
+        drop(vm);
+        assert!(
+            weak.upgrade().is_none(),
+            "VM instances must be fully reclaimed on drop"
+        );
+    }
+
+    #[test]
     fn type_errors_are_reported_not_panicking() {
         let aa = eval_script("function f() return {} + 1 end", 10_000).unwrap();
         assert!(matches!(
@@ -620,7 +679,10 @@ mod pcall_tests {
             100_000,
         )
         .unwrap();
-        assert_eq!(aa.invoke("main", &[], 10_000).unwrap().as_num().unwrap(), 42.0);
+        assert_eq!(
+            aa.invoke("main", &[], 10_000).unwrap().as_num().unwrap(),
+            42.0
+        );
     }
 
     #[test]
@@ -671,7 +733,10 @@ mod pcall_tests {
             100_000,
         )
         .unwrap();
-        assert_eq!(aa.invoke("main", &[], 10_000).unwrap().as_num().unwrap(), 7.0);
+        assert_eq!(
+            aa.invoke("main", &[], 10_000).unwrap().as_num().unwrap(),
+            7.0
+        );
     }
 }
 

@@ -13,7 +13,11 @@ use std::rc::Rc;
 /// Returns the first lexical or syntactic error with its position.
 pub fn parse(src: &str) -> Result<Block, CompileError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0, interner: HashMap::new() };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        interner: HashMap::new(),
+    };
     let block = p.block()?;
     p.expect(Tok::Eof)?;
     Ok(block)
@@ -97,20 +101,23 @@ impl Parser {
 
     fn block(&mut self) -> Result<Block, CompileError> {
         let mut stmts = Vec::new();
+        let mut at = Vec::new();
         loop {
             while self.eat(Tok::Semi) {}
             if self.block_ends() {
                 break;
             }
+            let pos = self.pos();
             let stmt = self.statement()?;
             let is_terminal = matches!(stmt, Stmt::Return(_) | Stmt::Break);
             stmts.push(stmt);
+            at.push(pos);
             if is_terminal {
                 while self.eat(Tok::Semi) {}
                 break;
             }
         }
-        Ok(Block { stmts })
+        Ok(Block { stmts, at })
     }
 
     fn statement(&mut self) -> Result<Stmt, CompileError> {
@@ -157,7 +164,11 @@ impl Parser {
                             self.bump();
                             break;
                         }
-                        other => return Err(self.err(format!("expected elseif/else/end, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected elseif/else/end, found {other:?}"))
+                            )
+                        }
                     }
                 }
                 Ok(Stmt::If(arms, else_body))
@@ -242,10 +253,7 @@ impl Parser {
                         Box::new(expr_so_far.clone()),
                         Box::new(Expr::Str(field.clone())),
                     );
-                    expr_so_far = Expr::Index(
-                        Box::new(expr_so_far),
-                        Box::new(Expr::Str(field)),
-                    );
+                    expr_so_far = Expr::Index(Box::new(expr_so_far), Box::new(Expr::Str(field)));
                 }
                 let def = self.func_body()?;
                 Ok(Stmt::FuncDecl { target, def })
@@ -570,7 +578,9 @@ mod tests {
         "#;
         let b = parse(src).unwrap();
         assert_eq!(b.stmts.len(), 2);
-        assert!(matches!(&b.stmts[1], Stmt::FuncDecl { target: Target::Name(n), .. } if &**n == "onGet"));
+        assert!(
+            matches!(&b.stmts[1], Stmt::FuncDecl { target: Target::Name(n), .. } if &**n == "onGet")
+        );
     }
 
     #[test]
@@ -615,16 +625,27 @@ mod tests {
     #[test]
     fn numeric_and_generic_for() {
         let b = parse("for i = 1, 10, 2 do x = i end").unwrap();
-        assert!(matches!(&b.stmts[0], Stmt::NumericFor { step: Some(_), .. }));
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::NumericFor { step: Some(_), .. }
+        ));
         let b = parse("for k, v in pairs(t) do x = k end").unwrap();
         assert!(matches!(
             &b.stmts[0],
-            Stmt::GenericFor { kind: IterKind::Pairs, v: Some(_), .. }
+            Stmt::GenericFor {
+                kind: IterKind::Pairs,
+                v: Some(_),
+                ..
+            }
         ));
         let b = parse("for i in ipairs(t) do x = i end").unwrap();
         assert!(matches!(
             &b.stmts[0],
-            Stmt::GenericFor { kind: IterKind::Ipairs, v: None, .. }
+            Stmt::GenericFor {
+                kind: IterKind::Ipairs,
+                v: None,
+                ..
+            }
         ));
         assert!(parse("for k in custom(t) do end").is_err());
     }
@@ -644,7 +665,13 @@ mod tests {
     #[test]
     fn nested_function_targets() {
         let b = parse("function a.b.c(x) return x end").unwrap();
-        assert!(matches!(&b.stmts[0], Stmt::FuncDecl { target: Target::Index(..), .. }));
+        assert!(matches!(
+            &b.stmts[0],
+            Stmt::FuncDecl {
+                target: Target::Index(..),
+                ..
+            }
+        ));
     }
 
     #[test]

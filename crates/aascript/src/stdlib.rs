@@ -83,12 +83,18 @@ fn str_range(len: usize, i: f64, j: f64) -> (usize, usize) {
 pub fn sandbox_globals() -> Env {
     let env = root_env();
 
-    declare(&env, "tostring", native("tostring", |args| {
-        Ok(Value::str(display_value(&arg(args, 0))))
-    }));
+    declare(
+        &env,
+        "tostring",
+        native("tostring", |args| {
+            Ok(Value::str(display_value(&arg(args, 0))))
+        }),
+    );
 
-    declare(&env, "tonumber", native("tonumber", |args| {
-        match arg(args, 0) {
+    declare(
+        &env,
+        "tonumber",
+        native("tonumber", |args| match arg(args, 0) {
             Value::Num(n) => Ok(Value::Num(n)),
             Value::Str(s) => Ok(s
                 .trim()
@@ -96,40 +102,54 @@ pub fn sandbox_globals() -> Env {
                 .map(Value::Num)
                 .unwrap_or(Value::Nil)),
             _ => Ok(Value::Nil),
-        }
-    }));
+        }),
+    );
 
-    declare(&env, "type", native("type", |args| {
-        Ok(Value::str(arg(args, 0).type_name()))
-    }));
+    declare(
+        &env,
+        "type",
+        native("type", |args| Ok(Value::str(arg(args, 0).type_name()))),
+    );
 
-    declare(&env, "assert", native("assert", |args| {
-        let v = arg(args, 0);
-        if v.truthy() {
-            Ok(v)
-        } else {
-            let msg = match arg(args, 1) {
-                Value::Str(s) => s.to_string(),
-                Value::Nil => "assertion failed!".into(),
-                other => display_value(&other),
-            };
-            Err(RuntimeError::Other(msg))
-        }
-    }));
+    declare(
+        &env,
+        "assert",
+        native("assert", |args| {
+            let v = arg(args, 0);
+            if v.truthy() {
+                Ok(v)
+            } else {
+                let msg = match arg(args, 1) {
+                    Value::Str(s) => s.to_string(),
+                    Value::Nil => "assertion failed!".into(),
+                    other => display_value(&other),
+                };
+                Err(RuntimeError::Other(msg))
+            }
+        }),
+    );
 
-    declare(&env, "error", native("error", |args| {
-        Err(RuntimeError::Other(display_value(&arg(args, 0))))
-    }));
+    declare(
+        &env,
+        "error",
+        native("error", |args| {
+            Err(RuntimeError::Other(display_value(&arg(args, 0))))
+        }),
+    );
 
     // `pcall` is dispatched specially by the interpreter (it must run the
     // callee); this binding only provides the name. Unlike Lua's
     // multi-value return, it returns a table: `{ok = bool, value = ...}`
     // on success, `{ok = false, error = "..."}` on a caught error.
-    declare(&env, "pcall", native("pcall", |_args| {
-        Err(RuntimeError::Other(
-            "pcall must be called directly, not through a variable".into(),
-        ))
-    }));
+    declare(
+        &env,
+        "pcall",
+        native("pcall", |_args| {
+            Err(RuntimeError::Other(
+                "pcall must be called directly, not through a variable".into(),
+            ))
+        }),
+    );
 
     // ---- math ----
     let math = Table::new();
@@ -137,196 +157,251 @@ pub fn sandbox_globals() -> Env {
     let mut m = math.borrow_mut();
     m.set(Key::Str("pi".into()), Value::Num(std::f64::consts::PI));
     m.set(Key::Str("huge".into()), Value::Num(f64::INFINITY));
-    m.set(Key::Str("abs".into()), native("math.abs", |a| {
-        Ok(Value::Num(num_arg(a, 0, "abs")?.abs()))
-    }));
-    m.set(Key::Str("ceil".into()), native("math.ceil", |a| {
-        Ok(Value::Num(num_arg(a, 0, "ceil")?.ceil()))
-    }));
-    m.set(Key::Str("floor".into()), native("math.floor", |a| {
-        Ok(Value::Num(num_arg(a, 0, "floor")?.floor()))
-    }));
-    m.set(Key::Str("sqrt".into()), native("math.sqrt", |a| {
-        Ok(Value::Num(num_arg(a, 0, "sqrt")?.sqrt()))
-    }));
-    m.set(Key::Str("max".into()), native("math.max", |a| {
-        if a.is_empty() {
-            return Err(RuntimeError::Other("math.max needs arguments".into()));
-        }
-        let mut best = num_arg(a, 0, "max")?;
-        for i in 1..a.len() {
-            best = best.max(num_arg(a, i, "max")?);
-        }
-        Ok(Value::Num(best))
-    }));
-    m.set(Key::Str("min".into()), native("math.min", |a| {
-        if a.is_empty() {
-            return Err(RuntimeError::Other("math.min needs arguments".into()));
-        }
-        let mut best = num_arg(a, 0, "min")?;
-        for i in 1..a.len() {
-            best = best.min(num_arg(a, i, "min")?);
-        }
-        Ok(Value::Num(best))
-    }));
-    m.set(Key::Str("fmod".into()), native("math.fmod", |a| {
-        Ok(Value::Num(num_arg(a, 0, "fmod")? % num_arg(a, 1, "fmod")?))
-    }));
+    m.set(
+        Key::Str("abs".into()),
+        native("math.abs", |a| Ok(Value::Num(num_arg(a, 0, "abs")?.abs()))),
+    );
+    m.set(
+        Key::Str("ceil".into()),
+        native("math.ceil", |a| {
+            Ok(Value::Num(num_arg(a, 0, "ceil")?.ceil()))
+        }),
+    );
+    m.set(
+        Key::Str("floor".into()),
+        native("math.floor", |a| {
+            Ok(Value::Num(num_arg(a, 0, "floor")?.floor()))
+        }),
+    );
+    m.set(
+        Key::Str("sqrt".into()),
+        native("math.sqrt", |a| {
+            Ok(Value::Num(num_arg(a, 0, "sqrt")?.sqrt()))
+        }),
+    );
+    m.set(
+        Key::Str("max".into()),
+        native("math.max", |a| {
+            if a.is_empty() {
+                return Err(RuntimeError::Other("math.max needs arguments".into()));
+            }
+            let mut best = num_arg(a, 0, "max")?;
+            for i in 1..a.len() {
+                best = best.max(num_arg(a, i, "max")?);
+            }
+            Ok(Value::Num(best))
+        }),
+    );
+    m.set(
+        Key::Str("min".into()),
+        native("math.min", |a| {
+            if a.is_empty() {
+                return Err(RuntimeError::Other("math.min needs arguments".into()));
+            }
+            let mut best = num_arg(a, 0, "min")?;
+            for i in 1..a.len() {
+                best = best.min(num_arg(a, i, "min")?);
+            }
+            Ok(Value::Num(best))
+        }),
+    );
+    m.set(
+        Key::Str("fmod".into()),
+        native("math.fmod", |a| {
+            Ok(Value::Num(num_arg(a, 0, "fmod")? % num_arg(a, 1, "fmod")?))
+        }),
+    );
     drop(m);
     declare(&env, "math", Value::Table(math));
 
     // ---- string ----
     let string = Rc::new(RefCell::new(Table::new()));
     let mut s = string.borrow_mut();
-    s.set(Key::Str("len".into()), native("string.len", |a| {
-        Ok(Value::Num(str_arg(a, 0, "len")?.len() as f64))
-    }));
-    s.set(Key::Str("upper".into()), native("string.upper", |a| {
-        Ok(Value::str(str_arg(a, 0, "upper")?.to_uppercase()))
-    }));
-    s.set(Key::Str("lower".into()), native("string.lower", |a| {
-        Ok(Value::str(str_arg(a, 0, "lower")?.to_lowercase()))
-    }));
-    s.set(Key::Str("sub".into()), native("string.sub", |a| {
-        let text = str_arg(a, 0, "sub")?;
-        let i = num_arg(a, 1, "sub")?;
-        let j = match arg(a, 2) {
-            Value::Nil => -1.0,
-            v => v.as_num()?,
-        };
-        let (lo, hi) = str_range(text.len(), i, j);
-        Ok(Value::str(&text[lo..hi]))
-    }));
-    s.set(Key::Str("rep".into()), native("string.rep", |a| {
-        let text = str_arg(a, 0, "rep")?;
-        let n = num_arg(a, 1, "rep")?.max(0.0) as usize;
-        if text.len().saturating_mul(n) > 1 << 20 {
-            return Err(RuntimeError::Other("string.rep result too large".into()));
-        }
-        Ok(Value::str(text.repeat(n)))
-    }));
-    s.set(Key::Str("find".into()), native("string.find", |a| {
-        // Plain substring find (no patterns in the sandbox); returns the
-        // 1-based start index or nil.
-        let hay = str_arg(a, 0, "find")?;
-        let needle = str_arg(a, 1, "find")?;
-        Ok(hay
-            .find(&needle)
-            .map(|i| Value::Num((i + 1) as f64))
-            .unwrap_or(Value::Nil))
-    }));
-    s.set(Key::Str("byte".into()), native("string.byte", |a| {
-        let text = str_arg(a, 0, "byte")?;
-        let i = match arg(a, 1) {
-            Value::Nil => 1.0,
-            v => v.as_num()?,
-        };
-        let (lo, hi) = str_range(text.len(), i, i);
-        if lo >= hi {
-            return Ok(Value::Nil);
-        }
-        Ok(Value::Num(text.as_bytes()[lo] as f64))
-    }));
-    s.set(Key::Str("char".into()), native("string.char", |a| {
-        let mut out = String::new();
-        for i in 0..a.len() {
-            let c = num_arg(a, i, "char")? as u32;
-            let c = char::from_u32(c)
-                .ok_or_else(|| RuntimeError::Other(format!("invalid char code {c}")))?;
-            out.push(c);
-        }
-        Ok(Value::str(out))
-    }));
-    s.set(Key::Str("format".into()), native("string.format", |a| {
-        // Minimal %s / %d / %f / %% support.
-        let fmt = str_arg(a, 0, "format")?;
-        let mut out = String::new();
-        let mut argi = 1usize;
-        let mut chars = fmt.chars().peekable();
-        while let Some(c) = chars.next() {
-            if c != '%' {
+    s.set(
+        Key::Str("len".into()),
+        native("string.len", |a| {
+            Ok(Value::Num(str_arg(a, 0, "len")?.len() as f64))
+        }),
+    );
+    s.set(
+        Key::Str("upper".into()),
+        native("string.upper", |a| {
+            Ok(Value::str(str_arg(a, 0, "upper")?.to_uppercase()))
+        }),
+    );
+    s.set(
+        Key::Str("lower".into()),
+        native("string.lower", |a| {
+            Ok(Value::str(str_arg(a, 0, "lower")?.to_lowercase()))
+        }),
+    );
+    s.set(
+        Key::Str("sub".into()),
+        native("string.sub", |a| {
+            let text = str_arg(a, 0, "sub")?;
+            let i = num_arg(a, 1, "sub")?;
+            let j = match arg(a, 2) {
+                Value::Nil => -1.0,
+                v => v.as_num()?,
+            };
+            let (lo, hi) = str_range(text.len(), i, j);
+            Ok(Value::str(&text[lo..hi]))
+        }),
+    );
+    s.set(
+        Key::Str("rep".into()),
+        native("string.rep", |a| {
+            let text = str_arg(a, 0, "rep")?;
+            let n = num_arg(a, 1, "rep")?.max(0.0) as usize;
+            if text.len().saturating_mul(n) > 1 << 20 {
+                return Err(RuntimeError::Other("string.rep result too large".into()));
+            }
+            Ok(Value::str(text.repeat(n)))
+        }),
+    );
+    s.set(
+        Key::Str("find".into()),
+        native("string.find", |a| {
+            // Plain substring find (no patterns in the sandbox); returns the
+            // 1-based start index or nil.
+            let hay = str_arg(a, 0, "find")?;
+            let needle = str_arg(a, 1, "find")?;
+            Ok(hay
+                .find(&needle)
+                .map(|i| Value::Num((i + 1) as f64))
+                .unwrap_or(Value::Nil))
+        }),
+    );
+    s.set(
+        Key::Str("byte".into()),
+        native("string.byte", |a| {
+            let text = str_arg(a, 0, "byte")?;
+            let i = match arg(a, 1) {
+                Value::Nil => 1.0,
+                v => v.as_num()?,
+            };
+            let (lo, hi) = str_range(text.len(), i, i);
+            if lo >= hi {
+                return Ok(Value::Nil);
+            }
+            Ok(Value::Num(text.as_bytes()[lo] as f64))
+        }),
+    );
+    s.set(
+        Key::Str("char".into()),
+        native("string.char", |a| {
+            let mut out = String::new();
+            for i in 0..a.len() {
+                let c = num_arg(a, i, "char")? as u32;
+                let c = char::from_u32(c)
+                    .ok_or_else(|| RuntimeError::Other(format!("invalid char code {c}")))?;
                 out.push(c);
-                continue;
             }
-            match chars.next() {
-                Some('%') => out.push('%'),
-                Some('s') => {
-                    out.push_str(&display_value(&arg(a, argi)));
-                    argi += 1;
+            Ok(Value::str(out))
+        }),
+    );
+    s.set(
+        Key::Str("format".into()),
+        native("string.format", |a| {
+            // Minimal %s / %d / %f / %% support.
+            let fmt = str_arg(a, 0, "format")?;
+            let mut out = String::new();
+            let mut argi = 1usize;
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '%' {
+                    out.push(c);
+                    continue;
                 }
-                Some('d') => {
-                    out.push_str(&format!("{}", num_arg(a, argi, "format")? as i64));
-                    argi += 1;
-                }
-                Some('f') => {
-                    out.push_str(&format!("{:.6}", num_arg(a, argi, "format")?));
-                    argi += 1;
-                }
-                other => {
-                    return Err(RuntimeError::Other(format!(
-                        "unsupported format directive %{}",
-                        other.map(String::from).unwrap_or_default()
-                    )))
+                match chars.next() {
+                    Some('%') => out.push('%'),
+                    Some('s') => {
+                        out.push_str(&display_value(&arg(a, argi)));
+                        argi += 1;
+                    }
+                    Some('d') => {
+                        out.push_str(&format!("{}", num_arg(a, argi, "format")? as i64));
+                        argi += 1;
+                    }
+                    Some('f') => {
+                        out.push_str(&format!("{:.6}", num_arg(a, argi, "format")?));
+                        argi += 1;
+                    }
+                    other => {
+                        return Err(RuntimeError::Other(format!(
+                            "unsupported format directive %{}",
+                            other.map(String::from).unwrap_or_default()
+                        )))
+                    }
                 }
             }
-        }
-        Ok(Value::str(out))
-    }));
+            Ok(Value::str(out))
+        }),
+    );
     drop(s);
     declare(&env, "string", Value::Table(string));
 
     // ---- table ----
     let table_lib = Rc::new(RefCell::new(Table::new()));
     let mut t = table_lib.borrow_mut();
-    t.set(Key::Str("insert".into()), native("table.insert", |a| {
-        let t = table_arg(a, 0, "insert")?;
-        match a.len() {
-            2 => {
-                let n = t.borrow().len();
-                t.borrow_mut().set(Key::Int(n + 1), arg(a, 1));
-                Ok(Value::Nil)
+    t.set(
+        Key::Str("insert".into()),
+        native("table.insert", |a| {
+            let t = table_arg(a, 0, "insert")?;
+            match a.len() {
+                2 => {
+                    let n = t.borrow().len();
+                    t.borrow_mut().set(Key::Int(n + 1), arg(a, 1));
+                    Ok(Value::Nil)
+                }
+                3 => {
+                    let pos = num_arg(a, 1, "insert")? as i64;
+                    t.borrow_mut().array_insert(pos, arg(a, 2));
+                    Ok(Value::Nil)
+                }
+                n => Err(RuntimeError::Other(format!(
+                    "wrong number of arguments to table.insert ({n})"
+                ))),
             }
-            3 => {
-                let pos = num_arg(a, 1, "insert")? as i64;
-                t.borrow_mut().array_insert(pos, arg(a, 2));
-                Ok(Value::Nil)
+        }),
+    );
+    t.set(
+        Key::Str("remove".into()),
+        native("table.remove", |a| {
+            let t = table_arg(a, 0, "remove")?;
+            let pos = match arg(a, 1) {
+                Value::Nil => t.borrow().len(),
+                v => v.as_num()? as i64,
+            };
+            if pos == 0 {
+                return Ok(Value::Nil);
             }
-            n => Err(RuntimeError::Other(format!(
-                "wrong number of arguments to table.insert ({n})"
-            ))),
-        }
-    }));
-    t.set(Key::Str("remove".into()), native("table.remove", |a| {
-        let t = table_arg(a, 0, "remove")?;
-        let pos = match arg(a, 1) {
-            Value::Nil => t.borrow().len(),
-            v => v.as_num()? as i64,
-        };
-        if pos == 0 {
-            return Ok(Value::Nil);
-        }
-        let removed = t.borrow_mut().array_remove(pos);
-        Ok(removed)
-    }));
-    t.set(Key::Str("concat".into()), native("table.concat", |a| {
-        let t = table_arg(a, 0, "concat")?;
-        let sep = match arg(a, 1) {
-            Value::Nil => String::new(),
-            Value::Str(s) => s.to_string(),
-            other => {
-                return Err(RuntimeError::TypeError(format!(
-                    "bad separator of type {}",
-                    other.type_name()
-                )))
+            let removed = t.borrow_mut().array_remove(pos);
+            Ok(removed)
+        }),
+    );
+    t.set(
+        Key::Str("concat".into()),
+        native("table.concat", |a| {
+            let t = table_arg(a, 0, "concat")?;
+            let sep = match arg(a, 1) {
+                Value::Nil => String::new(),
+                Value::Str(s) => s.to_string(),
+                other => {
+                    return Err(RuntimeError::TypeError(format!(
+                        "bad separator of type {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let t = t.borrow();
+            let mut parts = Vec::new();
+            for i in 1..=t.len() {
+                parts.push(t.get(&Key::Int(i)).concat_str()?);
             }
-        };
-        let t = t.borrow();
-        let mut parts = Vec::new();
-        for i in 1..=t.len() {
-            parts.push(t.get(&Key::Int(i)).concat_str()?);
-        }
-        Ok(Value::str(parts.join(&sep)))
-    }));
+            Ok(Value::str(parts.join(&sep)))
+        }),
+    );
     drop(t);
     declare(&env, "table", Value::Table(table_lib));
 
@@ -383,10 +458,7 @@ mod tests {
         ));
         assert_eq!(run_num(r#"return string.byte("A")"#), 65.0);
         assert_eq!(run_str("return string.char(104, 105)"), "hi");
-        assert_eq!(
-            run_str(r#"return string.format("%s=%d", "x", 7)"#),
-            "x=7"
-        );
+        assert_eq!(run_str(r#"return string.format("%s=%d", "x", 7)"#), "x=7");
     }
 
     #[test]
@@ -414,7 +486,10 @@ mod tests {
         assert_eq!(run_str("return tostring(42)"), "42");
         assert_eq!(run_str("return tostring(nil)"), "nil");
         assert_eq!(run_num(r#"return tonumber("3.5")"#), 3.5);
-        assert!(matches!(run(r#"return tonumber("zebra")"#).unwrap(), Value::Nil));
+        assert!(matches!(
+            run(r#"return tonumber("zebra")"#).unwrap(),
+            Value::Nil
+        ));
         assert_eq!(run_str("return type({})"), "table");
         assert_eq!(run_str(r#"return type("")"#), "string");
     }
@@ -435,7 +510,15 @@ mod tests {
     #[test]
     fn no_dangerous_libraries() {
         let env = sandbox_globals();
-        for name in ["io", "os", "require", "load", "loadstring", "dofile", "coroutine"] {
+        for name in [
+            "io",
+            "os",
+            "require",
+            "load",
+            "loadstring",
+            "dofile",
+            "coroutine",
+        ] {
             assert!(
                 matches!(lookup(&env, name), Value::Nil),
                 "{name} must not exist in the sandbox"

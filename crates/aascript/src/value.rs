@@ -404,7 +404,9 @@ mod tests {
             t.set(Key::Int(i), Value::Num(i as f64));
         }
         t.array_insert(2, Value::Num(99.0));
-        let vals: Vec<f64> = (1..=4).map(|i| t.get(&Key::Int(i)).as_num().unwrap()).collect();
+        let vals: Vec<f64> = (1..=4)
+            .map(|i| t.get(&Key::Int(i)).as_num().unwrap())
+            .collect();
         assert_eq!(vals, vec![1.0, 99.0, 2.0, 3.0]);
         let removed = t.array_remove(1);
         assert_eq!(removed.as_num().unwrap(), 1.0);

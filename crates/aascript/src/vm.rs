@@ -531,22 +531,20 @@ impl Vm {
                     };
                     iters.push(entries.into_iter());
                 }
-                Op::IterNext { exit } => {
-                    match iters.last_mut().and_then(Iterator::next) {
-                        Some((k, v)) => {
-                            let key_val = match k {
-                                Key::Int(i) => Value::Num(i as f64),
-                                Key::Str(s) => Value::Str(s),
-                            };
-                            self.stack.push(key_val);
-                            self.stack.push(v);
-                        }
-                        None => {
-                            pc = exit as usize;
-                            continue;
-                        }
+                Op::IterNext { exit } => match iters.last_mut().and_then(Iterator::next) {
+                    Some((k, v)) => {
+                        let key_val = match k {
+                            Key::Int(i) => Value::Num(i as f64),
+                            Key::Str(s) => Value::Str(s),
+                        };
+                        self.stack.push(key_val);
+                        self.stack.push(v);
                     }
-                }
+                    None => {
+                        pc = exit as usize;
+                        continue;
+                    }
+                },
                 Op::IterEnd => {
                     iters.pop();
                 }
@@ -586,10 +584,7 @@ impl Vm {
         Ok(())
     }
 
-    fn compare(
-        &mut self,
-        f: impl FnOnce(std::cmp::Ordering) -> bool,
-    ) -> Result<(), RuntimeError> {
+    fn compare(&mut self, f: impl FnOnce(std::cmp::Ordering) -> bool) -> Result<(), RuntimeError> {
         let r = self.pop();
         let l = self.pop();
         let ord = match (&l, &r) {

@@ -68,7 +68,7 @@ enum Stmt {
     /// Define-and-call a throwaway closure: `va = (function(p1) … end)(e)`.
     CallNow(usize, Expr, Expr),
     /// A statement that raises a runtime error (possibly pcall-contained).
-    ErrStmt(u8),
+    Raise(u8),
     /// Fold the scratch table through `pairs` into `g0` (iteration order).
     SumPairs,
 }
@@ -197,7 +197,7 @@ fn rstmt(s: &Stmt, lvl: u32, out: &mut String) {
                 rexpr(b, lvl, false)
             ));
         }
-        Stmt::ErrStmt(k) => out.push_str(match k % 4 {
+        Stmt::Raise(k) => out.push_str(match k % 4 {
             0 => "va = g9.x\n",
             1 => "vb = g9(1)\n",
             2 => "error(\"boom\")\n",
@@ -284,12 +284,21 @@ fn expr() -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(3, 24, 2, move |inner| {
         prop_oneof![
-            (bin_op.clone(), inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Bin(o, Box::new(a), Box::new(b))),
-            (cmp_op.clone(), inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Cmp(o, Box::new(a), Box::new(b))),
-            (logic_op.clone(), inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| Expr::Logic(o, Box::new(a), Box::new(b))),
+            (bin_op.clone(), inner.clone(), inner.clone()).prop_map(|(o, a, b)| Expr::Bin(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (cmp_op.clone(), inner.clone(), inner.clone()).prop_map(|(o, a, b)| Expr::Cmp(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (logic_op.clone(), inner.clone(), inner.clone()).prop_map(|(o, a, b)| Expr::Logic(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
             (inner.clone(), inner.clone())
@@ -307,14 +316,18 @@ fn stmt() -> BoxedStrategy<Stmt> {
         (0u8..8, expr()).prop_map(|(k, e)| Stmt::TableSet(k, e)),
         (0usize..4, expr()).prop_map(|(i, e)| Stmt::StoreFn(i, e)),
         (0usize..4, expr(), expr()).prop_map(|(i, a, b)| Stmt::CallNow(i, a, b)),
-        (0u8..4).prop_map(Stmt::ErrStmt),
+        (0u8..4).prop_map(Stmt::Raise),
         expr().prop_map(Stmt::BreakIf),
         Just(Stmt::SumPairs),
     ];
     leaf.prop_recursive(2, 16, 4, |inner| {
         let body = proptest::collection::vec(inner.clone(), 0..4).boxed();
         prop_oneof![
-            (expr(), body.clone(), proptest::collection::vec(inner.clone(), 0..3))
+            (
+                expr(),
+                body.clone(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(c, t, f)| Stmt::If(c, t, f)),
             (0u8..6, body.clone()).prop_map(|(n, b)| Stmt::For(n, b)),
             (0u8..5, body.clone()).prop_map(|(n, b)| Stmt::While(n, b)),

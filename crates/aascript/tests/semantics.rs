@@ -48,14 +48,16 @@ fn global_assignment_inside_function_is_visible_outside() {
 #[test]
 fn block_scopes_do_not_leak_locals() {
     assert_eq!(
-        text(r#"
+        text(
+            r#"
             function main()
                 if true then
                     local hidden = 1
                 end
                 return tostring(hidden)
             end
-        "#),
+        "#
+        ),
         "nil"
     );
 }
@@ -100,9 +102,18 @@ fn two_closures_share_one_upvalue() {
 
 #[test]
 fn and_or_return_operands_not_booleans() {
-    assert_eq!(text(r#"function main() return nil or "fallback" end"#), "fallback");
-    assert_eq!(text(r#"function main() return 1 and "second" end"#), "second");
-    assert_eq!(text(r#"function main() return false and crash() end"#), "false");
+    assert_eq!(
+        text(r#"function main() return nil or "fallback" end"#),
+        "fallback"
+    );
+    assert_eq!(
+        text(r#"function main() return 1 and "second" end"#),
+        "second"
+    );
+    assert_eq!(
+        text(r#"function main() return false and crash() end"#),
+        "false"
+    );
     assert_eq!(text(r#"function main() return 7 or crash() end"#), "7");
 }
 
@@ -126,7 +137,8 @@ fn short_circuit_prevents_side_effects() {
 #[test]
 fn argument_evaluation_is_left_to_right() {
     assert_eq!(
-        text(r#"
+        text(
+            r#"
             log = ""
             function mark(s) log = log .. s
             return s end
@@ -134,7 +146,8 @@ fn argument_evaluation_is_left_to_right() {
             function main()
                 return take(mark("a"), mark("b"), mark("c"))
             end
-        "#),
+        "#
+        ),
         "abc"
     );
 }
@@ -142,10 +155,12 @@ fn argument_evaluation_is_left_to_right() {
 #[test]
 fn missing_arguments_are_nil_extra_ignored() {
     assert_eq!(
-        text(r#"
+        text(
+            r#"
             function f(a, b) return tostring(a) .. "/" .. tostring(b) end
             function main() return f(1) end
-        "#),
+        "#
+        ),
         "1/nil"
     );
     assert_eq!(
@@ -173,7 +188,10 @@ fn numeric_for_edge_cases() {
 
 #[test]
 fn table_border_semantics() {
-    assert_eq!(num("function main()\nlocal t = {1, 2, 3}\nreturn #t end"), 3.0);
+    assert_eq!(
+        num("function main()\nlocal t = {1, 2, 3}\nreturn #t end"),
+        3.0
+    );
     // Setting t[5] does not extend the border past the hole.
     assert_eq!(
         num("function main()\nlocal t = {1, 2}\nt[5] = 9\nreturn #t end"),
@@ -253,7 +271,8 @@ fn return_inside_loop_exits_function() {
 fn pairs_iterates_deterministically_sorted() {
     // BTreeMap order: integer keys first (by value), then strings (lex).
     assert_eq!(
-        text(r#"
+        text(
+            r#"
             function main()
                 local t = {z = 1, a = 2, [10] = 3, [2] = 4}
                 local order = ""
@@ -262,7 +281,8 @@ fn pairs_iterates_deterministically_sorted() {
                 end
                 return order
             end
-        "#),
+        "#
+        ),
         "2;10;a;z;"
     );
 }
@@ -288,12 +308,14 @@ fn mutating_during_pairs_is_safe_snapshot() {
 #[test]
 fn nan_comparisons_are_false() {
     assert_eq!(
-        text(r#"
+        text(
+            r#"
             function main()
                 local nan = 0 / 0
                 return tostring(nan < 1) .. tostring(nan >= 1) .. tostring(nan == nan)
             end
-        "#),
+        "#
+        ),
         "falsefalsefalse"
     );
 }
@@ -314,7 +336,9 @@ fn deep_recursion_is_stopped_cleanly() {
     // Shallow recursion fine…
     assert!(aa.invoke("f", &[Value::Num(50.0)], 1_000_000).is_ok());
     // …deep recursion rejected without blowing the Rust stack.
-    let err = aa.invoke("f", &[Value::Num(100_000.0)], 100_000_000).unwrap_err();
+    let err = aa
+        .invoke("f", &[Value::Num(100_000.0)], 100_000_000)
+        .unwrap_err();
     assert!(matches!(
         err,
         RuntimeError::StackOverflow | RuntimeError::BudgetExhausted

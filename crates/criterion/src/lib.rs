@@ -223,7 +223,9 @@ fn run_one(id: &str, config: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
     let median = samples[samples.len() / 2];
     let min = samples[0];
     let max = samples[samples.len() - 1];
-    println!("{id:<44} time: [{min:>10.1} ns {median:>10.1} ns {max:>10.1} ns]  ({batch} iters/sample)");
+    println!(
+        "{id:<44} time: [{min:>10.1} ns {median:>10.1} ns {max:>10.1} ns]  ({batch} iters/sample)"
+    );
 }
 
 /// Declares a benchmark group function, mirroring criterion's macro.

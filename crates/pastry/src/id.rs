@@ -185,7 +185,11 @@ mod tests {
         for i in 0..160 {
             seen.insert(NodeId::hash_of(format!("addr:{i}").as_bytes()).digit(0));
         }
-        assert!(seen.len() >= 12, "only {} distinct leading digits", seen.len());
+        assert!(
+            seen.len() >= 12,
+            "only {} distinct leading digits",
+            seen.len()
+        );
     }
 
     #[test]

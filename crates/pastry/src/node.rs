@@ -454,8 +454,7 @@ impl PastryNode {
                 let l = self.info.id.common_prefix_len(joiner.id).min(ID_DIGITS - 1);
                 while rows.len() <= l {
                     let r = rows.len();
-                    let row: Vec<NodeInfo> =
-                        self.rt.row(r).iter().filter_map(|e| *e).collect();
+                    let row: Vec<NodeInfo> = self.rt.row(r).iter().filter_map(|e| *e).collect();
                     rows.push(row);
                 }
                 let next = Self::next_hop_in(&self.rt, &self.leaf, self.info, joiner.id, None);
@@ -463,8 +462,7 @@ impl PastryNode {
                 self.insert_peer(net, joiner);
                 match next {
                     None => {
-                        let mut leaves: Vec<NodeInfo> =
-                            self.leaf.members().copied().collect();
+                        let mut leaves: Vec<NodeInfo> = self.leaf.members().copied().collect();
                         leaves.push(self.info);
                         net.send(
                             joiner.addr,
@@ -562,10 +560,7 @@ impl PastryNode {
                 .copied()
                 .or_else(|| self.leaf.members().next().copied());
             if let Some(h) = helper {
-                net.send(
-                    h.addr,
-                    PastryMsg::RowRequest { row: row as u8 },
-                );
+                net.send(h.addr, PastryMsg::RowRequest { row: row as u8 });
             }
         }
     }

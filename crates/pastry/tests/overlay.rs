@@ -132,7 +132,12 @@ fn protocol_join_converges_and_routes_correctly() {
         let root = oracle_root(&infos, key);
         let (addr, actor) = sim
             .actors()
-            .find(|(_, a)| a.app.delivered.iter().any(|(dk, p, _)| *dk == key && *p == Payload(k)))
+            .find(|(_, a)| {
+                a.app
+                    .delivered
+                    .iter()
+                    .any(|(dk, p, _)| *dk == key && *p == Payload(k))
+            })
             .expect("someone delivered the key");
         assert_eq!(actor.node.id(), root, "key {k} landed on wrong node {addr}");
     }
@@ -155,7 +160,12 @@ fn seeded_overlay_routes_all_keys_to_oracle_root() {
         let root = oracle_root(&infos, key);
         let delivered_at: Vec<NodeId> = sim
             .actors()
-            .filter(|(_, a)| a.app.delivered.iter().any(|(dk, p, _)| *dk == key && *p == Payload(k)))
+            .filter(|(_, a)| {
+                a.app
+                    .delivered
+                    .iter()
+                    .any(|(dk, p, _)| *dk == key && *p == Payload(k))
+            })
             .map(|(_, a)| a.node.id())
             .collect();
         assert_eq!(delivered_at, vec![root], "key {k}");
@@ -245,7 +255,11 @@ fn site_scoped_routing_stays_in_site() {
     let infos: Vec<NodeInfo> = sim.actors().map(|(_, a)| a.node.info()).collect();
     // Route keys scoped to site 2 from a site-2 node; the delivering node
     // must always be in site 2 and be the in-site oracle root.
-    let site2: Vec<NodeInfo> = infos.iter().filter(|e| e.site == SiteId(2)).copied().collect();
+    let site2: Vec<NodeInfo> = infos
+        .iter()
+        .filter(|e| e.site == SiteId(2))
+        .copied()
+        .collect();
     for k in 0..30u64 {
         let key = NodeId::hash_of(format!("scoped:{k}").as_bytes());
         let src = site2[(k % site2.len() as u64) as usize].addr;
@@ -263,7 +277,12 @@ fn site_scoped_routing_stays_in_site() {
             .unwrap();
         let delivered_at: Vec<NodeInfo> = sim
             .actors()
-            .filter(|(_, a)| a.app.delivered.iter().any(|(dk, p, _)| *dk == key && *p == Payload(k)))
+            .filter(|(_, a)| {
+                a.app
+                    .delivered
+                    .iter()
+                    .any(|(dk, p, _)| *dk == key && *p == Payload(k))
+            })
             .map(|(_, a)| a.node.info())
             .collect();
         assert_eq!(delivered_at.len(), 1, "key {k}");

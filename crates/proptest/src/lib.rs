@@ -56,10 +56,7 @@ impl TestRng {
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -395,7 +392,8 @@ fn parse_pattern(pat: &str) -> Vec<PatternElem> {
             let close = chars[i..]
                 .iter()
                 .position(|&c| c == '}')
-                .expect("unterminated repetition") + i;
+                .expect("unterminated repetition")
+                + i;
             let body: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match body.split_once(',') {

@@ -10,9 +10,7 @@
 //! roots.
 
 use rbay_query::AttrValue;
-use simnet::{
-    Actor, Context, MessageSize, NodeAddr, SimDuration, SimTime, Simulation, Topology,
-};
+use simnet::{Actor, Context, MessageSize, NodeAddr, SimDuration, SimTime, Simulation, Topology};
 use std::collections::BTreeMap;
 
 /// Node state shipped in snapshots: attribute → value.
@@ -160,8 +158,7 @@ impl Actor for CentralNode {
                 // Head: fan a poll out to every leaf.
                 self.pending_leaves = self.leaves.len();
                 self.collected.clear();
-                self.collected
-                    .push((ctx.self_addr(), self.attrs.clone()));
+                self.collected.push((ctx.self_addr(), self.attrs.clone()));
                 if self.pending_leaves == 0 {
                     let nodes = std::mem::take(&mut self.collected);
                     ctx.send(self.master, CentralMsg::ClusterSnapshot { nodes });
@@ -318,7 +315,15 @@ impl CentralPlane {
                 completed_at: None,
                 result: Vec::new(),
             });
-            ctx.send(master, CentralMsg::Query { seq, attr, value, k });
+            ctx.send(
+                master,
+                CentralMsg::Query {
+                    seq,
+                    attr,
+                    value,
+                    k,
+                },
+            );
         });
         seq
     }
@@ -389,7 +394,10 @@ mod tests {
         cp.poll_round();
         let seq = cp.query(NodeAddr(20), "FPGA", AttrValue::Bool(true), 1);
         cp.settle();
-        assert_eq!(cp.queries(NodeAddr(20))[seq as usize].result, vec![NodeAddr(9)]);
+        assert_eq!(
+            cp.queries(NodeAddr(20))[seq as usize].result,
+            vec![NodeAddr(9)]
+        );
     }
 
     #[test]

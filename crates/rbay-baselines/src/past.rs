@@ -107,6 +107,9 @@ mod tests {
         let at_200 = s.size_bytes();
         let per_attr_1 = at_100 as f64 / 100.0;
         let per_attr_2 = (at_200 - at_100) as f64 / 100.0;
-        assert!((per_attr_1 - per_attr_2).abs() / per_attr_1 < 0.2, "roughly linear");
+        assert!(
+            (per_attr_1 - per_attr_2).abs() / per_attr_1 < 0.2,
+            "roughly linear"
+        );
     }
 }

@@ -134,12 +134,20 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q: CalendarQueue<()> = CalendarQueue::new();
             let mut seq = 0u64;
             for _ in 0..n {
-                q.push(SimTime::from_micros(rng.gen_range(0..2_000_000u64)), seq, ());
+                q.push(
+                    SimTime::from_micros(rng.gen_range(0..2_000_000u64)),
+                    seq,
+                    (),
+                );
                 seq += 1;
             }
             b.iter(|| {
                 let (at, _, ()) = q.pop().expect("queue stays full");
-                q.push(at + SimDuration::from_micros(rng.gen_range(0..2_000_000u64)), seq, ());
+                q.push(
+                    at + SimDuration::from_micros(rng.gen_range(0..2_000_000u64)),
+                    seq,
+                    (),
+                );
                 seq += 1;
                 at
             });

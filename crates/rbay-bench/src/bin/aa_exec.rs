@@ -62,14 +62,22 @@ fn time_engine(case: &Case, engine: Engine, iters: u32) -> f64 {
     let script = Script::compile(case.src)
         .expect("handler compiles")
         .with_engine(engine);
-    let aa = script.instantiate(&sandbox, case.budget).expect("instantiates");
+    let aa = script
+        .instantiate(&sandbox, case.budget)
+        .expect("instantiates");
     // Warm-up: touch every path once so lazy setup is off the clock.
     for _ in 0..1_000 {
-        black_box(aa.invoke(case.handler, &case.args, case.budget).expect("runs"));
+        black_box(
+            aa.invoke(case.handler, &case.args, case.budget)
+                .expect("runs"),
+        );
     }
     let started = Instant::now();
     for _ in 0..iters {
-        black_box(aa.invoke(case.handler, &case.args, case.budget).expect("runs"));
+        black_box(
+            aa.invoke(case.handler, &case.args, case.budget)
+                .expect("runs"),
+        );
     }
     started.elapsed().as_nanos() as f64 / iters as f64
 }
@@ -78,7 +86,9 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let iters = opts.scaled(200_000, 1_000) as u32;
 
-    println!("AA handler execution: bytecode VM vs tree-walking oracle ({iters} invocations/cell)\n");
+    println!(
+        "AA handler execution: bytecode VM vs tree-walking oracle ({iters} invocations/cell)\n"
+    );
     println!(
         "{:>24} {:>16} {:>16} {:>9}",
         "handler", "treewalk ns/inv", "vm ns/inv", "speedup"

@@ -9,11 +9,11 @@
 //! churn, how far is the root's tree-size estimate from the truth as a
 //! function of the aggregation interval?
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rbay_bench::HarnessOpts;
 use rbay_core::{Federation, RbayConfig};
 use rbay_query::AttrValue;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use simnet::{NodeAddr, SimDuration, SiteId, Topology};
 
 /// Runs churning membership with the given aggregation interval; returns
@@ -35,10 +35,7 @@ fn run(interval_ms: u64, seed: u64, n_nodes: usize) -> (f64, f64) {
     fed.settle();
     fed.run_maintenance(6, SimDuration::from_millis(interval_ms));
     fed.settle();
-    let topic = fed
-        .node(NodeAddr(0))
-        .host
-        .tree_topic("GPU=true", SiteId(0));
+    let topic = fed.node(NodeAddr(0)).host.tree_topic("GPU=true", SiteId(0));
 
     let start_msgs = fed.sim().stats().sent();
     let start_time = fed.sim().now();
@@ -57,8 +54,11 @@ fn run(interval_ms: u64, seed: u64, n_nodes: usize) -> (f64, f64) {
                     fed.sim_mut().schedule_call(now, addr, move |a, ctx| {
                         let mut net = pastry::SimNet::new(ctx);
                         let topic = a.host.tree_topic("GPU=true", SiteId(0));
-                        a.scribe
-                            .unsubscribe::<rbay_core::RbayPayload, _>(&mut a.pastry, &mut net, topic);
+                        a.scribe.unsubscribe::<rbay_core::RbayPayload, _>(
+                            &mut a.pastry,
+                            &mut net,
+                            topic,
+                        );
                     });
                     member[i] = false;
                 } else {
@@ -92,12 +92,7 @@ fn run(interval_ms: u64, seed: u64, n_nodes: usize) -> (f64, f64) {
         fed.settle();
     }
     let msgs = (fed.sim().stats().sent() - start_msgs) as f64;
-    let secs = fed
-        .sim()
-        .now()
-        .saturating_since(start_time)
-        .as_millis_f64()
-        / 1_000.0;
+    let secs = fed.sim().now().saturating_since(start_time).as_millis_f64() / 1_000.0;
     (
         err_sum / samples as f64,
         msgs / n_nodes as f64 / secs.max(1e-9),

@@ -42,7 +42,9 @@ fn main() {
                 failures.push(bin);
             }
             Err(e) => {
-                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p rbay-bench`)");
+                eprintln!(
+                    "{bin} failed to start: {e} (build with `cargo build --release -p rbay-bench`)"
+                );
                 failures.push(bin);
             }
         }

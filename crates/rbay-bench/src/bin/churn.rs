@@ -9,12 +9,12 @@
 //! the recall of the inventory (fraction of live resource holders a
 //! `SELECT all` finds) after automatic repair.
 
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
 use rbay_bench::{default_threads, emit_json, run_seeds, stats, HarnessOpts, JsonRecord};
 use rbay_core::{Federation, RbayConfig};
 use rbay_query::AttrValue;
 use rbay_workloads::WORKLOAD_PASSWORD;
-use rand::rngs::SmallRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
 use simnet::{NodeAddr, SimDuration, Topology};
 
 struct Outcome {
@@ -75,7 +75,11 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome
         for q in 0..3 {
             let origin = NodeAddr(live_queriers[q % live_queriers.len()]);
             let id = fed
-                .issue_query(origin, "SELECT 1 FROM * WHERE GPU = true", Some(WORKLOAD_PASSWORD))
+                .issue_query(
+                    origin,
+                    "SELECT 1 FROM * WHERE GPU = true",
+                    Some(WORKLOAD_PASSWORD),
+                )
                 .unwrap();
             fed.settle();
             let rec = fed.query_record(origin, id).unwrap();
@@ -130,7 +134,11 @@ fn run_value_churn(n_nodes: usize, flip_frac: f64, epochs: u32, seed: u64) -> f6
     "#;
     let mut utils: Vec<f64> = (0..n_nodes).map(|_| rng.gen_range(0.0..100.0)).collect();
     for i in 0..n_nodes as u32 {
-        fed.update_attr(NodeAddr(i), "CPU_utilization", AttrValue::Num(utils[i as usize]));
+        fed.update_attr(
+            NodeAddr(i),
+            "CPU_utilization",
+            AttrValue::Num(utils[i as usize]),
+        );
         fed.install_node_aa(NodeAddr(i), policy);
         fed.register_dynamic_tree(NodeAddr(i), "CPU_utilization<10");
     }
@@ -144,7 +152,11 @@ fn run_value_churn(n_nodes: usize, flip_frac: f64, epochs: u32, seed: u64) -> f6
         for i in 0..n_nodes {
             if rng.gen_bool(flip_frac) {
                 utils[i] = rng.gen_range(0.0..100.0);
-                fed.update_attr(NodeAddr(i as u32), "CPU_utilization", AttrValue::Num(utils[i]));
+                fed.update_attr(
+                    NodeAddr(i as u32),
+                    "CPU_utilization",
+                    AttrValue::Num(utils[i]),
+                );
             }
         }
         fed.settle();

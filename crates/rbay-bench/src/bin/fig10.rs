@@ -42,9 +42,7 @@ fn main() {
     let queries_per_cell = opts.scaled(25, 5);
     let seeds = opts.seed_list();
 
-    println!(
-        "Fig. 10: avg ± stddev of composite-query latency (ms) vs requesting sites"
-    );
+    println!("Fig. 10: avg ± stddev of composite-query latency (ms) vs requesting sites");
     println!(
         "({} nodes/site, {} queries per cell, {} seed(s))\n",
         nodes_per_site,

@@ -8,7 +8,10 @@
 //! RTT and fluctuates — noticeably worse for the unstable Asia /
 //! South-America sites.
 
-use rbay_bench::{build_ec2_federation_with, delivery_latencies_by_site, stats, subscribe_latencies_by_site, HarnessOpts};
+use rbay_bench::{
+    build_ec2_federation_with, delivery_latencies_by_site, stats, subscribe_latencies_by_site,
+    HarnessOpts,
+};
 use rbay_query::AttrValue;
 use rbay_workloads::EC2_INSTANCE_TYPES;
 use simnet::topology::AWS8_SITE_NAMES;
@@ -17,10 +20,11 @@ use simnet::SiteId;
 fn main() {
     let opts = HarnessOpts::from_args();
     let nodes_per_site = opts.scaled_nodes(40, 8);
+    println!("Fig. 11: tree construction (onSubscribe) and command delivery (onDeliver)");
     println!(
-        "Fig. 11: tree construction (onSubscribe) and command delivery (onDeliver)"
+        "per-site latency in ms ({} nodes/site, 23 instance trees/site)\n",
+        nodes_per_site
     );
-    println!("per-site latency in ms ({} nodes/site, 23 instance trees/site)\n", nodes_per_site);
 
     // Building the federation constructs all 23 instance trees per site;
     // subscription events were recorded along the way. The paper's Fig. 11

@@ -112,7 +112,10 @@ fn main() {
         "({queries} queries per point, {} seed(s); expectation: linear in log16 N)\n",
         seeds.len()
     );
-    println!("{:>8} {:>12} {:>10} {:>10}", "nodes", "log16(N)", "avg hops", "max hops");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "nodes", "log16(N)", "avg hops", "max hops"
+    );
     let mut total_events = 0u64;
     let mut total_wall = 0.0f64;
     for &n in &[10usize, 50, 100, 500, 1_000, 5_000, 10_000] {
@@ -143,7 +146,14 @@ fn main() {
                 .num("max_hops", max)
                 .int("events", events)
                 .num("sim_wall_secs", wall)
-                .num("events_per_sec", if wall > 0.0 { events as f64 / wall } else { 0.0 }),
+                .num(
+                    "events_per_sec",
+                    if wall > 0.0 {
+                        events as f64 / wall
+                    } else {
+                        0.0
+                    },
+                ),
         );
     }
     eprintln!(

@@ -168,15 +168,21 @@ fn main() {
         "key", "total fwds", "forwarders", "max fwds/node"
     );
     for ki in 0..n_keys {
-        let total =
-            cells.iter().map(|c| c.keys[ki].total_fwds as f64).sum::<f64>() / cells.len() as f64;
+        let total = cells
+            .iter()
+            .map(|c| c.keys[ki].total_fwds as f64)
+            .sum::<f64>()
+            / cells.len() as f64;
         let distinct = cells
             .iter()
             .map(|c| c.keys[ki].distinct_forwarders as f64)
             .sum::<f64>()
             / cells.len() as f64;
-        let max =
-            cells.iter().map(|c| c.keys[ki].max_fwds as f64).sum::<f64>() / cells.len() as f64;
+        let max = cells
+            .iter()
+            .map(|c| c.keys[ki].max_fwds as f64)
+            .sum::<f64>()
+            / cells.len() as f64;
         println!(
             "{:>5} {:>14.1} {:>12.1} {:>14.1}",
             format!("Q{}", ki + 1),
@@ -219,11 +225,19 @@ fn main() {
             .num("sim_wall_secs", wall)
             .num(
                 "events_per_sec",
-                if wall > 0.0 { events as f64 / wall } else { 0.0 },
+                if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                },
             ),
     );
     eprintln!(
         "\n[engine] {events} events in {wall:.3}s of simulation loop = {:.0} events/sec",
-        if wall > 0.0 { events as f64 / wall } else { 0.0 }
+        if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        }
     );
 }

@@ -90,8 +90,7 @@ fn main() {
         // RBAY stores the same NodeId entry *plus* the handler state.
         let rbay_bytes = past_bytes + aa_bytes;
         let overhead_pct = 100.0 * aa_bytes as f64 / past_bytes as f64;
-        let wall = cells.iter().map(|c| c.instantiate_wall_secs).sum::<f64>()
-            / cells.len() as f64;
+        let wall = cells.iter().map(|c| c.instantiate_wall_secs).sum::<f64>() / cells.len() as f64;
         println!("{n:>10} {rbay_bytes:>14} {past_bytes:>14} {overhead_pct:>11.0}% {wall:>14.4}");
         emit_json(
             &opts,

@@ -24,7 +24,8 @@ fn main() {
         commit_results: false,
         ..RbayConfig::default()
     };
-    let mut fed = Federation::with_config(Topology::aws_ec2_8_sites(nodes_per_site), opts.seed, cfg);
+    let mut fed =
+        Federation::with_config(Topology::aws_ec2_8_sites(nodes_per_site), opts.seed, cfg);
     let scenario = ScenarioConfig {
         extra_attrs_per_node: 5,
         ..ScenarioConfig::default()
@@ -82,7 +83,10 @@ fn main() {
     lats.sort_by(f64::total_cmp);
     let st = stats(&lats).expect("queries completed");
     println!("completed: {}/{}", lats.len(), issued.len());
-    println!("satisfied: {satisfied} ({:.0}%)", 100.0 * satisfied as f64 / issued.len() as f64);
+    println!(
+        "satisfied: {satisfied} ({:.0}%)",
+        100.0 * satisfied as f64 / issued.len() as f64
+    );
     println!("retried (conflict/backoff): {retried}");
     println!(
         "latency ms: mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={:.1}",

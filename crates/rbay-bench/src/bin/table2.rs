@@ -9,9 +9,7 @@
 
 use rbay_bench::HarnessOpts;
 use simnet::topology::AWS8_SITE_NAMES;
-use simnet::{
-    Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, SiteId, Topology,
-};
+use simnet::{Actor, Context, MessageSize, NodeAddr, SimTime, Simulation, SiteId, Topology};
 
 #[derive(Debug)]
 enum Msg {
@@ -47,7 +45,9 @@ impl Actor for Pinger {
 fn main() {
     let opts = HarnessOpts::from_args();
     let pings = opts.scaled(50, 5);
-    let mut sim = Simulation::new(Topology::aws_ec2_8_sites(2), opts.seed, |_| Pinger::default());
+    let mut sim = Simulation::new(Topology::aws_ec2_8_sites(2), opts.seed, |_| {
+        Pinger::default()
+    });
 
     // Node 2*s is site s's prober; it pings one node in every site
     // (including its own) `pings` times.

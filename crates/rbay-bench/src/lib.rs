@@ -416,8 +416,7 @@ pub fn subscribe_latencies_by_site(fed: &Federation) -> Vec<Vec<f64>> {
                 ..
             } = ev
             {
-                per_site[site]
-                    .push(attached_at.saturating_since(*requested_at).as_millis_f64());
+                per_site[site].push(attached_at.saturating_since(*requested_at).as_millis_f64());
             }
         }
     }
@@ -440,8 +439,7 @@ pub fn delivery_latencies_by_site(fed: &Federation, cmd_ids: &[u64]) -> Vec<Vec<
             } = ev
             {
                 if cmd_ids.contains(cmd_id) {
-                    per_site[site]
-                        .push(delivered_at.saturating_since(*issued_at).as_millis_f64());
+                    per_site[site].push(delivered_at.saturating_since(*issued_at).as_millis_f64());
                 }
             }
         }

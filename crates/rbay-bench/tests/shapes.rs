@@ -80,7 +80,11 @@ fn fig9_shape_latency_rises_then_plateaus() {
     let names = aws8_site_names();
     let mean = |fed: &mut Federation, n_sites: usize| {
         let sites: Vec<String> = (0..n_sites).map(|i| format!("\"{}\"", names[i])).collect();
-        let from = if n_sites == 8 { "*".into() } else { sites.join(", ") };
+        let from = if n_sites == 8 {
+            "*".into()
+        } else {
+            sites.join(", ")
+        };
         let mut lats = Vec::new();
         for i in 0..6 {
             let origin = home_nodes[3 + i % 8];
@@ -105,7 +109,10 @@ fn fig9_shape_latency_rises_then_plateaus() {
     let five = mean(&mut fed, 5);
     let eight = mean(&mut fed, 8);
     assert!(local < 50.0, "local-site queries are local: {local}");
-    assert!(five > local * 5.0, "multi-site adds cross-site RTTs: {five}");
+    assert!(
+        five > local * 5.0,
+        "multi-site adds cross-site RTTs: {five}"
+    );
     // Plateau: adding sites 6-8 barely moves the mean (all already
     // bounded by the farthest RTT).
     assert!(

@@ -9,9 +9,7 @@
 //! 5. Commit the chosen nodes; release the rest. Conflicts retry under
 //!    truncated exponential backoff.
 
-use crate::host::{
-    query_timer_token, Op, RbayHost, TIMER_KIND_RETRY, TIMER_KIND_TIMEOUT,
-};
+use crate::host::{query_timer_token, Op, RbayHost, TIMER_KIND_RETRY, TIMER_KIND_TIMEOUT};
 use crate::types::{
     Candidate, QueryId, QueryPending, QueryRecord, RbayEvent, RbayPayload, SearchState,
 };
@@ -28,9 +26,7 @@ fn cmp_keys(a: &Option<AttrValue>, b: &Option<AttrValue>) -> Ordering {
         (None, Some(_)) => Ordering::Greater,
         (Some(_), None) => Ordering::Less,
         (Some(x), Some(y)) => match (x, y) {
-            (AttrValue::Num(p), AttrValue::Num(q)) => {
-                p.partial_cmp(q).unwrap_or(Ordering::Equal)
-            }
+            (AttrValue::Num(p), AttrValue::Num(q)) => p.partial_cmp(q).unwrap_or(Ordering::Equal),
             (AttrValue::Str(p), AttrValue::Str(q)) => p.cmp(q),
             _ => x.canonical().cmp(&y.canonical()),
         },
@@ -62,8 +58,7 @@ impl RbayHost {
         self.next_seq += 1;
         let id = QueryId::new(self.addr, seq);
         let query = Rc::new(query);
-        let anchor_trees: Vec<String> =
-            query.anchors().map(|p| self.naming.tree_for(p)).collect();
+        let anchor_trees: Vec<String> = query.anchors().map(|p| self.naming.tree_for(p)).collect();
         let record = QueryRecord {
             id,
             query: Rc::clone(&query),
@@ -496,8 +491,7 @@ mod tests {
     #[test]
     fn results_sort_by_groupby_direction_and_commit_k() {
         let mut h = host_with_sites(1);
-        let q =
-            parse_query("SELECT 2 FROM * WHERE a = 1 GROUPBY CPU_utilization DESC").unwrap();
+        let q = parse_query("SELECT 2 FROM * WHERE a = 1 GROUPBY CPU_utilization DESC").unwrap();
         let id = h.issue_query(q, None);
         drain_ops(&mut h);
         h.record_probe(id, 0, SiteId(0), Some(10), true);
@@ -508,7 +502,12 @@ mod tests {
             site: SiteId(0),
             sort_key: Some(AttrValue::Num(key)),
         };
-        h.record_site_result(id, SiteId(0), vec![mk(1, 5.0), mk(2, 9.0), mk(3, 7.0)], true);
+        h.record_site_result(
+            id,
+            SiteId(0),
+            vec![mk(1, 5.0), mk(2, 9.0), mk(3, 7.0)],
+            true,
+        );
         let rec = &h.queries[&id];
         assert!(rec.satisfied);
         let picked: Vec<u32> = rec.result.iter().map(|c| c.addr.0).collect();

@@ -231,10 +231,7 @@ impl Federation {
             a.host.ops.push_back(crate::host::Op::Probe {
                 topic,
                 scope,
-                payload: RbayPayload::StatsProbe {
-                    reply_to: me,
-                    tree,
-                },
+                payload: RbayPayload::StatsProbe { reply_to: me, tree },
             });
             a.drain_ops(ctx);
         });

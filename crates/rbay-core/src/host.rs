@@ -7,9 +7,8 @@
 //! (see [`crate::actor`]).
 
 use crate::naming::HybridNaming;
-use crate::types::{
-    Candidate, QueryId, QueryRecord, RbayEvent, RbayPayload, SearchState,
-};
+use crate::types::{Candidate, QueryId, QueryRecord, RbayEvent, RbayPayload, SearchState};
+use aascript::analysis::{has_errors, Diagnostic, LintOptions};
 use aascript::{AaInstance, Script, SharedSandbox, Value};
 use pastry::NodeId;
 use rbay_query::AttrValue;
@@ -73,6 +72,71 @@ pub struct RbayConfig {
     /// alongside its size: `Multi[Count, Mean, Min, Max]` rolled up to the
     /// root ("the average value of all nodes' attributes", §II.B.3).
     pub aggregate_attr: Option<String>,
+    /// What install does with `aalint` findings on a submitted AA script.
+    pub lint_policy: LintPolicy,
+    /// Extra globals this deployment injects into AA environments (via
+    /// `set_global`) beyond the standard `now_ms`/`attrs`/`sha1hex`; the
+    /// linter treats reads of these as defined.
+    pub lint_externs: Vec<String>,
+}
+
+/// Install-time enforcement level for static analysis of AA scripts
+/// (RBAY accepts arbitrary client code into the information plane, so the
+/// host vets it before instantiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Refuse installation when the linter reports any error-severity
+    /// diagnostic (warnings still install, but are recorded).
+    Deny,
+    /// Install regardless, recording all diagnostics in
+    /// [`RbayHost::lint_reports`]. The default: existing deployments keep
+    /// working while operators gain visibility.
+    #[default]
+    Warn,
+    /// Skip analysis entirely.
+    Off,
+}
+
+/// Why an AA script was rejected at install time.
+#[derive(Debug)]
+pub enum InstallError {
+    /// The source failed to parse or compile.
+    Compile(aascript::CompileError),
+    /// The linter found error-severity diagnostics and the policy is
+    /// [`LintPolicy::Deny`].
+    Lint(Vec<Diagnostic>),
+    /// Top-level code raised while instantiating the script.
+    Runtime(aascript::RuntimeError),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::Compile(e) => write!(f, "compile error: {e}"),
+            InstallError::Lint(diags) => {
+                write!(f, "rejected by lint policy:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            InstallError::Runtime(e) => write!(f, "instantiation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<aascript::CompileError> for InstallError {
+    fn from(e: aascript::CompileError) -> Self {
+        InstallError::Compile(e)
+    }
+}
+
+impl From<aascript::RuntimeError> for InstallError {
+    fn from(e: aascript::RuntimeError) -> Self {
+        InstallError::Runtime(e)
+    }
 }
 
 impl Default for RbayConfig {
@@ -90,6 +154,8 @@ impl Default for RbayConfig {
             failure_detection: false,
             heartbeat_timeout: SimDuration::from_millis(1_500),
             aggregate_attr: None,
+            lint_policy: LintPolicy::default(),
+            lint_externs: Vec::new(),
         }
     }
 }
@@ -236,6 +302,11 @@ pub struct RbayHost {
     pub aa_denials: u64,
     /// Count of AA runtime errors (budget exhaustion etc.).
     pub aa_errors: u64,
+    /// Lint diagnostics from installed scripts, per install: `(label,
+    /// diagnostics)` where `label` is `"node"` or the attribute name.
+    /// Populated under [`LintPolicy::Warn`] (all diagnostics) and
+    /// [`LintPolicy::Deny`] (warnings of accepted scripts).
+    pub lint_reports: Vec<(String, Vec<Diagnostic>)>,
 }
 
 impl RbayHost {
@@ -277,6 +348,7 @@ impl RbayHost {
             ops: VecDeque::new(),
             aa_denials: 0,
             aa_errors: 0,
+            lint_reports: Vec::new(),
         }
     }
 
@@ -366,32 +438,68 @@ impl RbayHost {
         inst.set_global("sha1hex", Value::Native("sha1hex", f));
     }
 
-    /// Installs the node-level policy AA from source.
+    /// Lints a compiled script under this host's policy, recording
+    /// diagnostics in [`Self::lint_reports`] under `label`. Returns the
+    /// error diagnostics the installer must refuse on (empty unless the
+    /// policy is [`LintPolicy::Deny`]).
+    fn lint_script(&mut self, label: &str, script: &Script) -> Vec<Diagnostic> {
+        if self.cfg.lint_policy == LintPolicy::Off {
+            return Vec::new();
+        }
+        let mut externs: Vec<String> = ["now_ms", "attrs", "sha1hex"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        externs.extend(self.cfg.lint_externs.iter().cloned());
+        let opts = LintOptions {
+            budget: Some(self.cfg.aa_budget),
+            externs,
+        };
+        let diags = script.analyze(&opts);
+        if self.cfg.lint_policy == LintPolicy::Deny && has_errors(&diags) {
+            return diags;
+        }
+        if !diags.is_empty() {
+            self.lint_reports.push((label.to_owned(), diags));
+        }
+        Vec::new()
+    }
+
+    /// Compiles, lints, and instantiates one AA script.
+    fn build_aa(&mut self, label: &str, src: &str) -> Result<AaInstance, InstallError> {
+        let script = Script::compile(src)?.with_engine(self.cfg.aa_engine);
+        let rejected = self.lint_script(label, &script);
+        if !rejected.is_empty() {
+            return Err(InstallError::Lint(rejected));
+        }
+        let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
+        Self::add_runtime_natives(&inst);
+        Ok(inst)
+    }
+
+    /// Installs the node-level policy AA from source. The script is vetted
+    /// by the `aalint` static analysis first, per
+    /// [`RbayConfig::lint_policy`].
     ///
     /// # Errors
     ///
-    /// Compile or instantiation-time runtime errors.
-    pub fn install_node_aa(&mut self, src: &str) -> Result<(), Box<dyn std::error::Error>> {
-        let script = Script::compile(src)?.with_engine(self.cfg.aa_engine);
-        let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
-        Self::add_runtime_natives(&inst);
+    /// Compile errors, lint rejections (under [`LintPolicy::Deny`]), or
+    /// instantiation-time runtime errors.
+    pub fn install_node_aa(&mut self, src: &str) -> Result<(), InstallError> {
+        let inst = self.build_aa("node", src)?;
         self.node_aa = Some(inst);
         Ok(())
     }
 
-    /// Installs a per-attribute AA from source.
+    /// Installs a per-attribute AA from source. The script is vetted by
+    /// the `aalint` static analysis first, per [`RbayConfig::lint_policy`].
     ///
     /// # Errors
     ///
-    /// Compile or instantiation-time runtime errors.
-    pub fn install_attr_aa(
-        &mut self,
-        attr: &str,
-        src: &str,
-    ) -> Result<(), Box<dyn std::error::Error>> {
-        let script = Script::compile(src)?.with_engine(self.cfg.aa_engine);
-        let inst = script.instantiate(&self.sandbox, self.cfg.aa_budget)?;
-        Self::add_runtime_natives(&inst);
+    /// Compile errors, lint rejections (under [`LintPolicy::Deny`]), or
+    /// instantiation-time runtime errors.
+    pub fn install_attr_aa(&mut self, attr: &str, src: &str) -> Result<(), InstallError> {
+        let inst = self.build_aa(attr, src)?;
         self.attr_aas.insert(attr.to_owned(), inst);
         Ok(())
     }
@@ -399,7 +507,8 @@ impl RbayHost {
     /// The AA consulted for a query anchored at `attr`: the attribute's own
     /// AA if present, else the node AA.
     fn aa_for(&self, attr: Option<&str>) -> Option<&AaInstance> {
-        attr.and_then(|a| self.attr_aas.get(a)).or(self.node_aa.as_ref())
+        attr.and_then(|a| self.attr_aas.get(a))
+            .or(self.node_aa.as_ref())
     }
 
     /// Refreshes the runtime globals handlers may read: `now_ms` (virtual
@@ -412,7 +521,10 @@ impl RbayHost {
         if let Value::Table(t) = &table {
             let mut t = t.borrow_mut();
             for (k, v) in &self.attrs {
-                t.set(aascript::Key::Str(k.as_str().into()), Self::attr_to_script(v));
+                t.set(
+                    aascript::Key::Str(k.as_str().into()),
+                    Self::attr_to_script(v),
+                );
             }
         }
         aa.set_global("attrs", table);
@@ -420,7 +532,12 @@ impl RbayHost {
 
     /// Invokes `onGet` (paper Table I): returns whether access is granted.
     /// A missing handler grants by default; a runtime error denies.
-    pub fn check_on_get(&mut self, anchor_attr: Option<&str>, caller: &str, password: Option<&str>) -> bool {
+    pub fn check_on_get(
+        &mut self,
+        anchor_attr: Option<&str>,
+        caller: &str,
+        password: Option<&str>,
+    ) -> bool {
         let budget = self.cfg.aa_budget;
         let Some(aa) = self.aa_for(anchor_attr) else {
             return true;
@@ -483,9 +600,7 @@ impl RbayHost {
         if state.slots.len() >= k {
             return Visit::Stop;
         }
-        let matches = state
-            .query
-            .matches_all(|attr| self.attrs.get(attr));
+        let matches = state.query.matches_all(|attr| self.attrs.get(attr));
         if !matches {
             return Visit::Continue;
         }
@@ -541,21 +656,13 @@ impl RbayHost {
             let (mut join, mut leave) = (false, false);
             if let Some(aa) = &self.node_aa {
                 if aa.has_handler("onSubscribe") {
-                    match aa.invoke(
-                        "onSubscribe",
-                        &[Value::Nil, Value::str(&tree)],
-                        budget,
-                    ) {
+                    match aa.invoke("onSubscribe", &[Value::Nil, Value::str(&tree)], budget) {
                         Ok(v) => join = v.truthy(),
                         Err(_) => self.aa_errors += 1,
                     }
                 }
                 if aa.has_handler("onUnsubscribe") {
-                    match aa.invoke(
-                        "onUnsubscribe",
-                        &[Value::Nil, Value::str(&tree)],
-                        budget,
-                    ) {
+                    match aa.invoke("onUnsubscribe", &[Value::Nil, Value::str(&tree)], budget) {
                         Ok(v) => leave = v.truthy(),
                         Err(_) => self.aa_errors += 1,
                     }
@@ -631,7 +738,10 @@ impl RbayHost {
     /// Total memory attributable to active attributes on this node
     /// (Fig. 8c accounting).
     pub fn aa_bytes(&self) -> usize {
-        self.attr_aas.values().map(|a| a.size_bytes()).sum::<usize>()
+        self.attr_aas
+            .values()
+            .map(|a| a.size_bytes())
+            .sum::<usize>()
             + self.node_aa.as_ref().map(|a| a.size_bytes()).unwrap_or(0)
     }
 }
@@ -945,12 +1055,27 @@ mod tests {
     fn commit_and_release_lifecycle() {
         let mut h = host();
         h.reservation = Some((QueryId(5), SimTime::from_millis(100)));
-        h.on_direct(NodeAddr(0), RbayPayload::Commit { query_id: QueryId(5) });
+        h.on_direct(
+            NodeAddr(0),
+            RbayPayload::Commit {
+                query_id: QueryId(5),
+            },
+        );
         assert_eq!(h.committed, vec![QueryId(5)]);
         // Commit from the wrong query does nothing.
-        h.on_direct(NodeAddr(0), RbayPayload::Commit { query_id: QueryId(6) });
+        h.on_direct(
+            NodeAddr(0),
+            RbayPayload::Commit {
+                query_id: QueryId(6),
+            },
+        );
         assert_eq!(h.committed.len(), 1);
-        h.on_direct(NodeAddr(0), RbayPayload::Release { query_id: QueryId(5) });
+        h.on_direct(
+            NodeAddr(0),
+            RbayPayload::Release {
+                query_id: QueryId(5),
+            },
+        );
         assert!(h.reservation.is_none());
     }
 
@@ -1188,5 +1313,149 @@ mod heartbeat_tests {
         // Attached topics are not retried.
         h.retry_pending_subscriptions(|_| true);
         assert!(h.ops.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod lint_tests {
+    use super::*;
+    use aascript::analysis::LintId;
+
+    fn host_with_policy(policy: LintPolicy) -> RbayHost {
+        let cfg = RbayConfig {
+            lint_policy: policy,
+            ..RbayConfig::default()
+        };
+        RbayHost::new(
+            Rc::new(cfg),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["local".into()],
+        )
+    }
+
+    #[test]
+    fn deny_refuses_unknown_handler_name() {
+        let mut h = host_with_policy(LintPolicy::Deny);
+        let err = h
+            .install_node_aa("AA = { onGte = function(q) return true end }")
+            .unwrap_err();
+        match err {
+            InstallError::Lint(diags) => {
+                assert!(diags.iter().any(|d| d.id == LintId::UnknownHandler));
+                // Spanned: the diagnostic points into the source.
+                assert!(diags.iter().all(|d| d.pos.line >= 1));
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+        assert!(h.node_aa.is_none(), "rejected script must not be installed");
+    }
+
+    #[test]
+    fn deny_refuses_undefined_global_read() {
+        let mut h = host_with_policy(LintPolicy::Deny);
+        let src = "AA = { onGet = function(q) return threshhold < 10 end }";
+        let err = h.install_attr_aa("GPU", src).unwrap_err();
+        match err {
+            InstallError::Lint(diags) => {
+                assert!(diags.iter().any(|d| d.id == LintId::UndefinedGlobal));
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+        assert!(h.attr_aas.is_empty());
+    }
+
+    #[test]
+    fn deny_refuses_over_budget_handler() {
+        let cfg = RbayConfig {
+            lint_policy: LintPolicy::Deny,
+            aa_budget: 50,
+            ..RbayConfig::default()
+        };
+        let mut h = RbayHost::new(
+            Rc::new(cfg),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["local".into()],
+        );
+        let src = "AA = { onGet = function(q)\n\
+                   local s = 0\n\
+                   for i = 1, 1000 do s = s + i end\n\
+                   return s > 0 end }";
+        let err = h.install_node_aa(src).unwrap_err();
+        match err {
+            InstallError::Lint(diags) => {
+                assert!(diags.iter().any(|d| d.id == LintId::CostExceedsBudget));
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn warn_installs_and_surfaces_diagnostics() {
+        let mut h = host_with_policy(LintPolicy::Warn);
+        h.install_node_aa("AA = { onGte = function(q) return true end }")
+            .unwrap();
+        assert!(h.node_aa.is_some(), "Warn policy still installs");
+        assert_eq!(h.lint_reports.len(), 1);
+        let (label, diags) = &h.lint_reports[0];
+        assert_eq!(label, "node");
+        assert!(diags.iter().any(|d| d.id == LintId::UnknownHandler));
+    }
+
+    #[test]
+    fn off_skips_analysis_entirely() {
+        let mut h = host_with_policy(LintPolicy::Off);
+        h.install_node_aa("AA = { onGte = function(q) return true end }")
+            .unwrap();
+        assert!(h.node_aa.is_some());
+        assert!(h.lint_reports.is_empty());
+    }
+
+    #[test]
+    fn clean_script_installs_under_deny_with_host_externs() {
+        let mut h = host_with_policy(LintPolicy::Deny);
+        // Reads now_ms (host-injected) and sha1hex (runtime native):
+        // both are linted as externs, so Deny accepts this.
+        let src = "AA = { onGet = function(q)\n\
+                   if now_ms < 0 then return false end\n\
+                   return sha1hex(\"x\") ~= \"\" end }";
+        h.install_node_aa(src).unwrap();
+        assert!(h.node_aa.is_some());
+        assert!(h.lint_reports.is_empty(), "clean script: nothing to report");
+    }
+
+    #[test]
+    fn deploy_specific_externs_suppress_undefined_global() {
+        let cfg = RbayConfig {
+            lint_policy: LintPolicy::Deny,
+            lint_externs: vec!["utilization".into()],
+            ..RbayConfig::default()
+        };
+        let mut h = RbayHost::new(
+            Rc::new(cfg),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["local".into()],
+        );
+        let src = "AA = { onGet = function(q) return utilization < 90 end }";
+        h.install_node_aa(src).unwrap();
+        assert!(h.node_aa.is_some());
+    }
+
+    #[test]
+    fn compile_errors_are_typed() {
+        let mut h = host_with_policy(LintPolicy::Warn);
+        let err = h.install_node_aa("AA = {").unwrap_err();
+        assert!(matches!(err, InstallError::Compile(_)));
     }
 }

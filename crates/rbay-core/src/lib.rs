@@ -38,7 +38,7 @@ mod types;
 
 pub use actor::{RbayMsg, RbayNode};
 pub use federation::Federation;
-pub use host::{Op, RbayConfig, RbayHost};
+pub use host::{InstallError, LintPolicy, Op, RbayConfig, RbayHost};
 pub use naming::HybridNaming;
 pub use types::{
     AdminCommand, Candidate, QueryId, QueryPending, QueryRecord, RbayEvent, RbayPayload,

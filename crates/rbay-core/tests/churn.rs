@@ -22,8 +22,7 @@ fn maintain(fed: &mut Federation, rounds: u32) {
 
 #[test]
 fn heartbeats_detect_silent_crashes() {
-    let mut fed =
-        Federation::with_config(Topology::single_site(40, 0.5), 31, churn_config());
+    let mut fed = Federation::with_config(Topology::single_site(40, 0.5), 31, churn_config());
     for n in [5u32, 9, 14] {
         fed.post_resource(NodeAddr(n), "GPU", AttrValue::Bool(true));
     }
@@ -59,8 +58,7 @@ fn heartbeats_detect_silent_crashes() {
 
 #[test]
 fn queries_survive_churn_without_manual_repair() {
-    let mut fed =
-        Federation::with_config(Topology::single_site(60, 0.5), 33, churn_config());
+    let mut fed = Federation::with_config(Topology::single_site(60, 0.5), 33, churn_config());
     let holders: Vec<NodeAddr> = (10..22).map(NodeAddr).collect();
     for &h in &holders {
         fed.post_resource(h, "SSD", AttrValue::Bool(true));
@@ -97,8 +95,7 @@ fn queries_survive_churn_without_manual_repair() {
 
 #[test]
 fn tree_parent_failure_triggers_automatic_rejoin() {
-    let mut fed =
-        Federation::with_config(Topology::single_site(50, 0.5), 35, churn_config());
+    let mut fed = Federation::with_config(Topology::single_site(50, 0.5), 35, churn_config());
     let holders: Vec<NodeAddr> = (0..16).map(NodeAddr).collect();
     for &h in &holders {
         fed.post_resource(h, "NVMe", AttrValue::Bool(true));
@@ -180,7 +177,11 @@ fn gateway_failover_rotates_border_routers() {
     // A Virginia user queries Tokyo: attempt 0 times out against the dead
     // gateway, the retry reaches gateway #1.
     let id = fed
-        .issue_query(NodeAddr(2), r#"SELECT 1 FROM "Tokyo" WHERE GPU = true"#, None)
+        .issue_query(
+            NodeAddr(2),
+            r#"SELECT 1 FROM "Tokyo" WHERE GPU = true"#,
+            None,
+        )
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(2), id).unwrap();

@@ -71,11 +71,7 @@ fn cross_site_queries_search_sites_in_parallel() {
 
     // Ask for 8 nodes from all sites: one per site must be found.
     let q = fed
-        .issue_query(
-            NodeAddr(0),
-            r#"SELECT 8 FROM * WHERE Matlab = "8.0""#,
-            None,
-        )
+        .issue_query(NodeAddr(0), r#"SELECT 8 FROM * WHERE Matlab = "8.0""#, None)
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(0), q).unwrap();
@@ -132,7 +128,11 @@ fn password_policy_enforced_end_to_end() {
     maintain(&mut fed, 4);
 
     let denied = fed
-        .issue_query(NodeAddr(30), "SELECT 1 FROM * WHERE GPU = true", Some("wrong"))
+        .issue_query(
+            NodeAddr(30),
+            "SELECT 1 FROM * WHERE GPU = true",
+            Some("wrong"),
+        )
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(30), denied).unwrap();
@@ -174,7 +174,10 @@ fn concurrent_queries_conflict_then_backoff_resolves() {
     // retried until the reservation TTL freed it (then the winner had
     // committed, so the node stays visible but reserved) or gave up.
     let winner_count = [&ra, &rb].iter().filter(|r| r.satisfied).count();
-    assert!(winner_count >= 1, "at least one query must win: {ra:?} {rb:?}");
+    assert!(
+        winner_count >= 1,
+        "at least one query must win: {ra:?} {rb:?}"
+    );
     let committed = &fed.node(NodeAddr(9)).host.committed;
     assert_eq!(committed.len(), winner_count, "commits match winners");
 }
@@ -290,7 +293,10 @@ fn dynamic_tree_membership_tracks_utilization() {
             .set_global("utilization", aascript::Value::Num(4.0));
     });
     maintain(&mut fed, 2);
-    let topic = fed.node(node).host.tree_topic("CPU_utilization<10", SiteId(0));
+    let topic = fed
+        .node(node)
+        .host
+        .tree_topic("CPU_utilization<10", SiteId(0));
     assert!(
         fed.node(node).scribe.topic(topic).is_some(),
         "node should have joined the low-utilization tree"
@@ -364,7 +370,11 @@ fn queries_complete_even_when_nothing_matches() {
     let mut fed = Federation::new(Topology::single_site(20, 0.5), 13);
     fed.settle();
     let q = fed
-        .issue_query(NodeAddr(0), "SELECT 1 FROM * WHERE Unobtainium = true", None)
+        .issue_query(
+            NodeAddr(0),
+            "SELECT 1 FROM * WHERE Unobtainium = true",
+            None,
+        )
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(0), q).unwrap();
@@ -420,7 +430,11 @@ fn keypair_policy_via_sha1hex_native() {
     fed.settle();
 
     let bad = fed
-        .issue_query(NodeAddr(20), "SELECT 1 FROM * WHERE GPU = true", Some("stolen-pubkey"))
+        .issue_query(
+            NodeAddr(20),
+            "SELECT 1 FROM * WHERE GPU = true",
+            Some("stolen-pubkey"),
+        )
         .unwrap();
     fed.settle();
     assert!(!fed.query_record(NodeAddr(20), bad).unwrap().satisfied);
@@ -557,7 +571,11 @@ fn queries_work_without_site_isolation() {
     let horizon = fed.sim().now() + SimDuration::from_secs(8);
     fed.run_until(horizon);
     let q = fed
-        .issue_query(NodeAddr(1), r#"SELECT 8 FROM "Ireland" WHERE GPU = true"#, None)
+        .issue_query(
+            NodeAddr(1),
+            r#"SELECT 8 FROM "Ireland" WHERE GPU = true"#,
+            None,
+        )
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(1), q).unwrap();

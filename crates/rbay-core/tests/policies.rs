@@ -57,7 +57,11 @@ fn history_credit_check_with_strikes() {
     // Three password-less queries succeed but accumulate strikes...
     for round in 0..3 {
         let id = fed
-            .issue_query(NodeAddr(9), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+            .issue_query(
+                NodeAddr(9),
+                r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#,
+                None,
+            )
             .unwrap();
         fed.settle();
         assert!(
@@ -68,7 +72,11 @@ fn history_credit_check_with_strikes() {
     }
     // ...the fourth is refused.
     let id = fed
-        .issue_query(NodeAddr(9), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+        .issue_query(
+            NodeAddr(9),
+            r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#,
+            None,
+        )
         .unwrap();
     fed.settle();
     assert!(
@@ -77,7 +85,11 @@ fn history_credit_check_with_strikes() {
     );
     // A different caller is unaffected (per-caller history).
     let id = fed
-        .issue_query(NodeAddr(14), r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#, None)
+        .issue_query(
+            NodeAddr(14),
+            r#"SELECT 1 FROM * WHERE Cassandra = "2.0""#,
+            None,
+        )
         .unwrap();
     fed.settle();
     assert!(fed.query_record(NodeAddr(14), id).unwrap().satisfied);
@@ -163,7 +175,10 @@ fn lease_expiry_via_on_timer() {
         .issue_query(NodeAddr(12), "SELECT 1 FROM * WHERE FPGA = true", None)
         .unwrap();
     fed.settle();
-    assert!(fed.query_record(NodeAddr(12), id).unwrap().satisfied, "lease active");
+    assert!(
+        fed.query_record(NodeAddr(12), id).unwrap().satisfied,
+        "lease active"
+    );
     wait_out_reservations(&mut fed);
 
     // Push the clock past the lease end and run the periodic timer.
@@ -207,7 +222,10 @@ fn buggy_handlers_fail_closed() {
     assert!(!rec.satisfied);
     assert_eq!(rec.result.len(), 1);
     assert_eq!(rec.result[0].addr, NodeAddr(8));
-    assert!(fed.node(NodeAddr(2)).host.aa_errors > 0, "error was counted");
+    assert!(
+        fed.node(NodeAddr(2)).host.aa_errors > 0,
+        "error was counted"
+    );
 }
 
 /// The same buggy logic wrapped in `pcall` lets the admin degrade

@@ -81,10 +81,7 @@ pub struct Query {
 impl Query {
     /// Whether a node (given its attribute lookup function) satisfies every
     /// predicate.
-    pub fn matches_all<'a>(
-        &self,
-        mut get: impl FnMut(&str) -> Option<&'a AttrValue>,
-    ) -> bool {
+    pub fn matches_all<'a>(&self, mut get: impl FnMut(&str) -> Option<&'a AttrValue>) -> bool {
         self.predicates.iter().all(|p| p.matches(get(&p.attr)))
     }
 

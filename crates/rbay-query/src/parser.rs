@@ -31,7 +31,11 @@ pub struct ParseQueryError {
 
 impl fmt::Display for ParseQueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -169,7 +173,11 @@ impl QParser {
 
     fn err(&self, msg: impl Into<String>) -> ParseQueryError {
         ParseQueryError {
-            offset: if self.offset() == usize::MAX { 0 } else { self.offset() },
+            offset: if self.offset() == usize::MAX {
+                0
+            } else {
+                self.offset()
+            },
             message: msg.into(),
         }
     }
@@ -238,7 +246,11 @@ impl QParser {
             self.bump();
             let attr = match self.bump() {
                 Some(QTok::Word(w)) => w,
-                other => return Err(self.err(format!("expected attribute after GROUPBY, found {other:?}"))),
+                other => {
+                    return Err(
+                        self.err(format!("expected attribute after GROUPBY, found {other:?}"))
+                    )
+                }
             };
             let dir = if self.at_keyword("DESC") {
                 self.bump();
@@ -271,7 +283,9 @@ impl QParser {
         };
         let op = match self.bump() {
             Some(QTok::Op(op)) => op,
-            other => return Err(self.err(format!("expected a comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.err(format!("expected a comparison operator, found {other:?}")))
+            }
         };
         let value = match self.bump() {
             Some(QTok::Num(n)) => {

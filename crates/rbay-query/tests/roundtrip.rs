@@ -7,9 +7,11 @@ use rbay_query::{parse_query, AttrValue, CmpOp, FromClause, Predicate, Query, So
 
 fn attr_name() -> impl Strategy<Value = String> {
     "[A-Za-z_][A-Za-z0-9_]{0,12}".prop_filter("not a keyword", |s| {
-        !["SELECT", "FROM", "WHERE", "AND", "GROUPBY", "ASC", "DESC", "true", "false", "NodeId"]
-            .iter()
-            .any(|k| k.eq_ignore_ascii_case(s))
+        ![
+            "SELECT", "FROM", "WHERE", "AND", "GROUPBY", "ASC", "DESC", "true", "false", "NodeId",
+        ]
+        .iter()
+        .any(|k| k.eq_ignore_ascii_case(s))
     })
 }
 
@@ -41,10 +43,14 @@ fn query() -> impl Strategy<Value = Query> {
         1u32..1000,
         prop_oneof![
             Just(FromClause::AllSites),
-            proptest::collection::vec("[A-Za-z][A-Za-z0-9_]{0,10}", 1..4).prop_map(FromClause::Sites),
+            proptest::collection::vec("[A-Za-z][A-Za-z0-9_]{0,10}", 1..4)
+                .prop_map(FromClause::Sites),
         ],
         proptest::collection::vec(predicate(), 0..5),
-        proptest::option::of((attr_name(), prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)])),
+        proptest::option::of((
+            attr_name(),
+            prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
+        )),
     )
         .prop_map(|(k, from, predicates, order_by)| Query {
             k,

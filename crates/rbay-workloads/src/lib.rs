@@ -360,7 +360,10 @@ mod tests {
             .unwrap();
         fed.settle();
         let rec = fed.query_record(NodeAddr(30), q).unwrap();
-        assert!(rec.satisfied, "type {target} has {expected} holders: {rec:?}");
+        assert!(
+            rec.satisfied,
+            "type {target} has {expected} holders: {rec:?}"
+        );
     }
 
     #[test]

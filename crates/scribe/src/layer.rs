@@ -319,7 +319,16 @@ impl ScribeLayer {
     {
         let origin = pastry.info().addr;
         if self.is_member(topic) {
-            self.process_walk(pastry, net, host, topic, payload, origin, Vec::new(), Vec::new());
+            self.process_walk(
+                pastry,
+                net,
+                host,
+                topic,
+                payload,
+                origin,
+                Vec::new(),
+                Vec::new(),
+            );
             return;
         }
         match pastry.next_hop(topic.key(), scope) {

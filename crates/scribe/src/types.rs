@@ -104,10 +104,7 @@ impl AggValue {
             (AggValue::Sum(a), AggValue::Sum(b)) => *a += b,
             (AggValue::Min(a), AggValue::Min(b)) => *a = a.min(*b),
             (AggValue::Max(a), AggValue::Max(b)) => *a = a.max(*b),
-            (
-                AggValue::Mean { sum: s1, count: c1 },
-                AggValue::Mean { sum: s2, count: c2 },
-            ) => {
+            (AggValue::Mean { sum: s1, count: c1 }, AggValue::Mean { sum: s2, count: c2 }) => {
                 *s1 += s2;
                 *c1 += c2;
             }
@@ -376,19 +373,28 @@ mod tests {
     fn merge_all_handles_empty_and_order() {
         assert_eq!(AggValue::merge_all([]), None);
         let vals = [AggValue::Count(1), AggValue::Count(2), AggValue::Count(3)];
-        assert_eq!(AggValue::merge_all(vals.iter()).unwrap().as_count(), Some(6));
+        assert_eq!(
+            AggValue::merge_all(vals.iter()).unwrap().as_count(),
+            Some(6)
+        );
     }
 
     #[test]
     fn multi_merges_element_wise() {
         let mut a = AggValue::Multi(vec![
             AggValue::Count(2),
-            AggValue::Mean { sum: 10.0, count: 2 },
+            AggValue::Mean {
+                sum: 10.0,
+                count: 2,
+            },
             AggValue::Max(3.0),
         ]);
         a.merge(&AggValue::Multi(vec![
             AggValue::Count(1),
-            AggValue::Mean { sum: 20.0, count: 1 },
+            AggValue::Mean {
+                sum: 20.0,
+                count: 1,
+            },
             AggValue::Max(9.0),
         ]));
         assert_eq!(a.as_count(), Some(3));
@@ -400,8 +406,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn multi_arity_mismatch_panics() {
-        AggValue::Multi(vec![AggValue::Count(1)])
-            .merge(&AggValue::Multi(vec![AggValue::Count(1), AggValue::Count(2)]));
+        AggValue::Multi(vec![AggValue::Count(1)]).merge(&AggValue::Multi(vec![
+            AggValue::Count(1),
+            AggValue::Count(2),
+        ]));
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryMsg, PastryNode, SimNet};
 use scribe::{AggValue, ScribeApp, ScribeHost, ScribeLayer, ScribeMsg, TopicId, Visit};
-use simnet::{
-    Actor, Context, MessageSize, NodeAddr, SimDuration, Simulation, SiteId, Topology,
-};
+use simnet::{Actor, Context, MessageSize, NodeAddr, SimDuration, Simulation, SiteId, Topology};
 use std::collections::HashSet;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -134,7 +132,13 @@ fn join_paths_form_a_spanning_tree() {
     let oracle = infos
         .iter()
         .map(|e| e.id)
-        .reduce(|best, id| if id.closer_to(topic.key(), best) { id } else { best })
+        .reduce(|best, id| {
+            if id.closer_to(topic.key(), best) {
+                id
+            } else {
+                best
+            }
+        })
         .unwrap();
     assert_eq!(sim.actor(root).pastry.id(), oracle);
 
@@ -287,7 +291,11 @@ fn aggregation_converges_to_tree_size() {
 
     // Run several aggregation rounds: every member pushes up once per round.
     for _ in 0..6 {
-        for (addr, _) in sim.actors().map(|(a, n)| (a, n.pastry.info())).collect::<Vec<_>>() {
+        for (addr, _) in sim
+            .actors()
+            .map(|(a, n)| (a, n.pastry.info()))
+            .collect::<Vec<_>>()
+        {
             let now = sim.now();
             sim.schedule_call(now, addr, |a, ctx| {
                 let Node { pastry, scribe, .. } = a;

@@ -545,7 +545,9 @@ impl<A: Actor> Simulation<A> {
         let wall = Instant::now();
         let mut n = 0;
         while n < limit {
-            let Some((at, next)) = self.pop_next() else { break };
+            let Some((at, next)) = self.pop_next() else {
+                break;
+            };
             self.now = at;
             self.execute(next);
             n += 1;
@@ -563,7 +565,10 @@ impl<A: Actor> Simulation<A> {
     pub fn run_until_idle(&mut self) -> u64 {
         let limit = 500_000_000;
         let n = self.run_until_idle_with_limit(limit);
-        assert!(n < limit, "simulation did not quiesce within {limit} events");
+        assert!(
+            n < limit,
+            "simulation did not quiesce within {limit} events"
+        );
         n
     }
 
@@ -726,9 +731,8 @@ mod tests {
         // topology must agree on the clock, every stats counter, and the
         // complete event trace (delivery and timer order included).
         let run = |seed: u64| {
-            let mut sim = Simulation::new(Topology::aws_ec2_8_sites(4), seed, |_| {
-                PingPong::default()
-            });
+            let mut sim =
+                Simulation::new(Topology::aws_ec2_8_sites(4), seed, |_| PingPong::default());
             sim.enable_trace(1 << 16);
             for i in 0..16u32 {
                 sim.schedule_call(SimTime::ZERO, NodeAddr(i), move |_, ctx| {
@@ -736,11 +740,7 @@ mod tests {
                 });
             }
             sim.run_until_idle();
-            (
-                sim.now(),
-                sim.stats().clone(),
-                sim.trace().to_vec(),
-            )
+            (sim.now(), sim.stats().clone(), sim.trace().to_vec())
         };
         let (now_a, stats_a, trace_a) = run(5);
         let (now_b, stats_b, trace_b) = run(5);
@@ -774,10 +774,35 @@ mod tests {
         sim.run_until_idle();
         let trace = sim.trace();
         assert_eq!(trace.len(), 4, "{trace:?}");
-        assert!(matches!(trace[0], TraceEvent::Deliver { to: NodeAddr(1), at: SimTime::ZERO, .. }));
-        assert!(matches!(trace[1], TraceEvent::Deliver { to: NodeAddr(2), .. }));
-        assert!(matches!(trace[2], TraceEvent::Deliver { to: NodeAddr(3), .. }));
-        assert!(matches!(trace[3], TraceEvent::Timer { token: TimerToken(5), .. }));
+        assert!(matches!(
+            trace[0],
+            TraceEvent::Deliver {
+                to: NodeAddr(1),
+                at: SimTime::ZERO,
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace[1],
+            TraceEvent::Deliver {
+                to: NodeAddr(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace[2],
+            TraceEvent::Deliver {
+                to: NodeAddr(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace[3],
+            TraceEvent::Timer {
+                token: TimerToken(5),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -895,9 +920,27 @@ mod trace_tests {
         sim.run_until_idle();
         let trace = sim.trace();
         assert_eq!(trace.len(), 3, "{trace:?}");
-        assert!(matches!(trace[0], TraceEvent::Deliver { to: NodeAddr(1), .. }));
-        assert!(matches!(trace[1], TraceEvent::Deliver { to: NodeAddr(0), .. }));
-        assert!(matches!(trace[2], TraceEvent::Timer { token: TimerToken(9), .. }));
+        assert!(matches!(
+            trace[0],
+            TraceEvent::Deliver {
+                to: NodeAddr(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace[1],
+            TraceEvent::Deliver {
+                to: NodeAddr(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            trace[2],
+            TraceEvent::Timer {
+                token: TimerToken(9),
+                ..
+            }
+        ));
         // Monotone timestamps.
         let times: Vec<SimTime> = trace
             .iter()

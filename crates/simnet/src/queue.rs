@@ -291,9 +291,9 @@ mod tests {
             let seq = round;
             // Mix of near (same-bucket), mid (wheel), and far (overflow).
             let delta = match rng() % 10 {
-                0..=5 => rng() % 700,                  // near: < 1ms
-                6..=8 => rng() % 200_000,              // mid: < 200ms
-                _ => 1_000_000 + rng() % 30_000_000,   // far: 1s..31s
+                0..=5 => rng() % 700,                // near: < 1ms
+                6..=8 => rng() % 200_000,            // mid: < 200ms
+                _ => 1_000_000 + rng() % 30_000_000, // far: 1s..31s
             };
             let at = now + crate::SimDuration::from_micros(delta);
             q.push(at, seq, seq);

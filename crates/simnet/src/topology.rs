@@ -230,8 +230,12 @@ impl Topology {
 /// Ireland, Singapore, Tokyo, Sydney, São Paulo.
 pub fn table2_rtt_matrix() -> Vec<Vec<f64>> {
     let upper: [[f64; 8]; 8] = [
-        [0.559, 60.018, 83.407, 87.407, 275.549, 191.601, 239.897, 123.966],
-        [0.0, 0.576, 20.441, 166.223, 200.296, 133.825, 190.985, 205.493],
+        [
+            0.559, 60.018, 83.407, 87.407, 275.549, 191.601, 239.897, 123.966,
+        ],
+        [
+            0.0, 0.576, 20.441, 166.223, 200.296, 133.825, 190.985, 205.493,
+        ],
         [0.0, 0.0, 0.489, 163.944, 174.701, 132.695, 186.027, 195.109],
         [0.0, 0.0, 0.0, 0.513, 194.371, 274.962, 322.284, 325.274],
         [0.0, 0.0, 0.0, 0.0, 0.540, 92.850, 184.894, 396.856],
@@ -282,7 +286,10 @@ mod tests {
         let topo = Topology::aws_ec2_8_sites(1);
         for i in 0..8u16 {
             for j in 0..8u16 {
-                assert_eq!(topo.rtt_ms(SiteId(i), SiteId(j)), topo.rtt_ms(SiteId(j), SiteId(i)));
+                assert_eq!(
+                    topo.rtt_ms(SiteId(i), SiteId(j)),
+                    topo.rtt_ms(SiteId(j), SiteId(i))
+                );
             }
         }
         // Spot-check values from Table II.

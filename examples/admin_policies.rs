@@ -7,12 +7,19 @@
 //! ```
 
 use rbay::aascript::Value;
-use rbay::core::{Federation, RbayEvent};
+use rbay::core::{Federation, RbayConfig, RbayEvent};
 use rbay::query::AttrValue;
 use rbay::simnet::{NodeAddr, SimDuration, SiteId, Topology};
 
 fn main() {
-    let mut fed = Federation::new(Topology::single_site(60, 0.5), 5);
+    // The dynamic-membership policy below reads `utilization`, a global
+    // this example injects directly via `set_global`; declaring it keeps
+    // the install-time linter (DESIGN.md §11) from flagging the read.
+    let cfg = RbayConfig {
+        lint_externs: vec!["utilization".into()],
+        ..RbayConfig::default()
+    };
+    let mut fed = Federation::with_config(Topology::single_site(60, 0.5), 5, cfg);
 
     // Twelve m3.large holders; their rental price is admin-controlled.
     let members: Vec<NodeAddr> = (0..12).map(NodeAddr).collect();
@@ -45,7 +52,12 @@ fn main() {
         let price = fed.node(m).host.attrs.get("price").cloned();
         assert_eq!(price, Some(AttrValue::Num(0.12)), "{m}: 0.10 * 1.2");
         for e in fed.events(m) {
-            if let RbayEvent::AdminDelivered { cmd_id, issued_at, delivered_at } = e {
+            if let RbayEvent::AdminDelivered {
+                cmd_id,
+                issued_at,
+                delivered_at,
+            } = e
+            {
                 if *cmd_id == cmd {
                     latencies.push(delivered_at.saturating_since(*issued_at).as_millis_f64());
                 }
@@ -77,12 +89,19 @@ fn main() {
            end"#,
     );
     fed.settle();
-    let topic = fed.node(node).host.tree_topic("CPU_utilization<10", SiteId(0));
+    let topic = fed
+        .node(node)
+        .host
+        .tree_topic("CPU_utilization<10", SiteId(0));
 
     let set_util = |fed: &mut Federation, u: f64| {
         let now = fed.sim().now();
         fed.sim_mut().schedule_call(now, node, move |a, _| {
-            a.host.node_aa.as_ref().unwrap().set_global("utilization", Value::Num(u));
+            a.host
+                .node_aa
+                .as_ref()
+                .unwrap()
+                .set_global("utilization", Value::Num(u));
         });
     };
 

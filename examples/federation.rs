@@ -15,9 +15,21 @@ use rbay::workloads::WORKLOAD_PASSWORD;
 fn main() {
     // Three autonomous sites with realistic WAN RTTs between them.
     let sites = vec![
-        SiteSpec { name: "Grace".into(), nodes: 24, instability: 1.0 },
-        SiteSpec { name: "James".into(), nodes: 24, instability: 1.0 },
-        SiteSpec { name: "Kevin".into(), nodes: 24, instability: 1.5 },
+        SiteSpec {
+            name: "Grace".into(),
+            nodes: 24,
+            instability: 1.0,
+        },
+        SiteSpec {
+            name: "James".into(),
+            nodes: 24,
+            instability: 1.0,
+        },
+        SiteSpec {
+            name: "Kevin".into(),
+            nodes: 24,
+            instability: 1.5,
+        },
     ];
     let rtt = vec![
         vec![0.5, 60.0, 180.0],

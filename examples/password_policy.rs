@@ -31,7 +31,11 @@ fn main() {
     let script = Script::compile(FIG5).expect("Fig. 5 compiles");
     let aa = script.instantiate(&sandbox, 10_000).expect("runs");
     let granted = aa
-        .invoke("onGet", &[Value::str("joe"), Value::str("3053482032")], 10_000)
+        .invoke(
+            "onGet",
+            &[Value::str("joe"), Value::str("3053482032")],
+            10_000,
+        )
         .unwrap();
     let denied = aa
         .invoke("onGet", &[Value::str("joe"), Value::str("123")], 10_000)
@@ -56,14 +60,17 @@ fn main() {
     fed.settle();
 
     let bad = fed
-        .issue_query(NodeAddr(5), "SELECT 1 FROM * WHERE GPU = true", Some("guess"))
+        .issue_query(
+            NodeAddr(5),
+            "SELECT 1 FROM * WHERE GPU = true",
+            Some("guess"),
+        )
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(5), bad).unwrap();
     println!(
         "federation query with wrong password: satisfied={} after {} attempts",
-        rec.satisfied,
-        rec.attempts
+        rec.satisfied, rec.attempts
     );
     assert!(!rec.satisfied);
 

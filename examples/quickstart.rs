@@ -40,7 +40,10 @@ fn main() {
     println!(
         "satisfied: {} in {:.1} ms (attempt {})",
         rec.satisfied,
-        rec.completed_at.unwrap().saturating_since(rec.issued_at).as_millis_f64(),
+        rec.completed_at
+            .unwrap()
+            .saturating_since(rec.issued_at)
+            .as_millis_f64(),
         rec.attempts + 1,
     );
     for c in &rec.result {

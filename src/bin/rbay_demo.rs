@@ -62,7 +62,9 @@ fn main() {
             break;
         }
         if line == ":help" {
-            println!("  SELECT k FROM *|\"Site\",… WHERE attr op value [AND …] [GROUPBY attr ASC|DESC];");
+            println!(
+                "  SELECT k FROM *|\"Site\",… WHERE attr op value [AND …] [GROUPBY attr ASC|DESC];"
+            );
             println!("  :password <pw>    set the password presented to onGet handlers");
             println!("  :stats <tree> <Site>   probe a tree root's size/mean/min/max");
             println!("  :quit");
@@ -127,7 +129,10 @@ fn main() {
                 );
                 for c in &rec.result {
                     let site = fed.sim().topology().site(c.site).name.clone();
-                    println!("   -> node {} at {} ({site}) sort_key={:?}", c.id, c.addr, c.sort_key);
+                    println!(
+                        "   -> node {} at {} ({site}) sort_key={:?}",
+                        c.id, c.addr, c.sort_key
+                    );
                 }
                 // Let reservations lapse so the demo can re-query freely.
                 let horizon = fed.sim().now() + SimDuration::from_secs(6);

@@ -28,17 +28,15 @@ fn query_results_match_brute_force_oracle() {
     maintain(&mut fed, 5);
 
     for (qi, itype) in ["t2.micro", "c3.8xlarge", "m3.large"].iter().enumerate() {
-        let text = format!(
-            "SELECT 50 FROM * WHERE instance = \"{itype}\" AND CPU_utilization < 60"
-        );
+        let text =
+            format!("SELECT 50 FROM * WHERE instance = \"{itype}\" AND CPU_utilization < 60");
         let parsed = parse_query(&text).unwrap();
         // Oracle: scan the ground truth.
         let oracle: Vec<NodeAddr> = (0..fed.sim().topology().node_count() as u32)
             .map(NodeAddr)
             .filter(|n| {
                 let host = &fed.node(*n).host;
-                assigned[n.index()] == *itype
-                    && parsed.matches_all(|a| host.attrs.get(a))
+                assigned[n.index()] == *itype && parsed.matches_all(|a| host.attrs.get(a))
             })
             .collect();
         let origin = NodeAddr(7 + qi as u32);
@@ -103,7 +101,10 @@ fn churn_during_queries_is_survivable() {
         .unwrap();
     fed.settle();
     let rec = fed.query_record(NodeAddr(70), id).unwrap();
-    assert!(rec.completed_at.is_some(), "query must terminate under churn");
+    assert!(
+        rec.completed_at.is_some(),
+        "query must terminate under churn"
+    );
     assert!(
         rec.result.len() >= 8,
         "most live holders reachable after repair: {:?}",
@@ -145,10 +146,7 @@ fn administrative_isolation_holds() {
     // The SSD trees are distinct per site: each site's scoped topic has
     // its own root inside that site.
     for s in 0..8u16 {
-        let topic = fed
-            .node(NodeAddr(0))
-            .host
-            .tree_topic("SSD=true", SiteId(s));
+        let topic = fed.node(NodeAddr(0)).host.tree_topic("SSD=true", SiteId(s));
         let roots: Vec<NodeAddr> = (0..fed.sim().topology().node_count() as u32)
             .map(NodeAddr)
             .filter(|n| {

@@ -43,7 +43,11 @@ fn tree_joins_survive_message_loss() {
                 .is_some_and(|st| st.is_root || st.parent.is_some())
         })
         .count();
-    assert_eq!(attached, holders.len(), "every subscriber eventually attached");
+    assert_eq!(
+        attached,
+        holders.len(),
+        "every subscriber eventually attached"
+    );
 }
 
 #[test]
