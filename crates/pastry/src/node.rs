@@ -9,6 +9,7 @@
 
 use crate::id::{NodeId, ID_DIGITS};
 use crate::state::{LeafSet, NodeInfo, RoutingTable};
+use simnet::obs::{ObsEvent, Recorder};
 use simnet::{MessageSize, NodeAddr, SiteId};
 use std::collections::HashMap;
 
@@ -181,6 +182,8 @@ pub struct PastryNode {
     pub stats: PastryStats,
     /// When enabled, counts forwards per destination key (Fig. 8b).
     forward_log: Option<HashMap<NodeId, u64>>,
+    /// Observability-plane handle; disabled (a no-op) by default.
+    obs: Recorder,
 }
 
 impl PastryNode {
@@ -195,6 +198,7 @@ impl PastryNode {
             joined: false,
             stats: PastryStats::default(),
             forward_log: None,
+            obs: Recorder::default(),
         }
     }
 
@@ -227,6 +231,12 @@ impl PastryNode {
     /// Starts per-key forward counting (Fig. 8b instrumentation).
     pub fn enable_forward_log(&mut self) {
         self.forward_log = Some(HashMap::new());
+    }
+
+    /// Installs an observability recorder (a clone of the federation-wide
+    /// handle); routing hooks stay no-ops while the recorder is disabled.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// The per-key forward counts, if logging was enabled.
@@ -372,6 +382,15 @@ impl PastryNode {
         match self.next_hop(key, scope) {
             None => {
                 self.stats.delivered += 1;
+                let me = self.info.addr;
+                self.obs.count(me, "route_deliver");
+                self.obs.observe_hops(0);
+                self.obs.record_with(|at| ObsEvent::RouteDeliver {
+                    at,
+                    node: me,
+                    key: key.as_u128(),
+                    hops: 0,
+                });
                 app.deliver(self, net, key, payload, 0);
             }
             Some(next) => {
@@ -424,6 +443,15 @@ impl PastryNode {
             } => match self.next_hop(key, scope) {
                 None => {
                     self.stats.delivered += 1;
+                    let me = self.info.addr;
+                    self.obs.count(me, "route_deliver");
+                    self.obs.observe_hops(hops);
+                    self.obs.record_with(|at| ObsEvent::RouteDeliver {
+                        at,
+                        node: me,
+                        key: key.as_u128(),
+                        hops,
+                    });
                     app.deliver(self, net, key, payload, hops);
                 }
                 Some(next) => {
@@ -431,6 +459,14 @@ impl PastryNode {
                     if let Some(log) = &mut self.forward_log {
                         *log.entry(key).or_insert(0) += 1;
                     }
+                    let me = self.info.addr;
+                    self.obs.count(me, "route_forward");
+                    self.obs.record_with(|at| ObsEvent::RouteForward {
+                        at,
+                        node: me,
+                        key: key.as_u128(),
+                        hops,
+                    });
                     if let Some(payload) = app.forward(self, net, key, payload, &next) {
                         net.send(
                             next.addr,

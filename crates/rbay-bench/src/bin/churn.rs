@@ -15,15 +15,31 @@ use rbay_bench::{default_threads, emit_json, run_seeds, stats, HarnessOpts, Json
 use rbay_core::{Federation, RbayConfig};
 use rbay_query::AttrValue;
 use rbay_workloads::WORKLOAD_PASSWORD;
-use simnet::{NodeAddr, SimDuration, Topology};
+use simnet::{NodeAddr, ObsEvent, SimDuration, SimTime, SiteId, Topology};
+use std::collections::BTreeMap;
+
+/// Observability-derived metrics for one seed's run (`--metrics`).
+struct ObsOutcome {
+    /// Mean latency (ms) from a node crash to the first heartbeat-based
+    /// failure declaration naming it, over all detected victims.
+    fd_latency_ms: f64,
+    /// Heartbeat expirations naming a peer that had not (yet) crashed.
+    false_positives: u64,
+    /// Mean maintenance rounds per crash epoch until the root aggregate
+    /// count matches the live-holder count again (9 = not within 8).
+    converge_rounds: f64,
+    /// Structured events held in the recorder at the end of the run.
+    events: u64,
+}
 
 struct Outcome {
     success_rate: f64,
     recall: f64,
     avg_latency: f64,
+    obs: Option<ObsOutcome>,
 }
 
-fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome {
+fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: bool) -> Outcome {
     let cfg = RbayConfig {
         failure_detection: true,
         heartbeat_timeout: SimDuration::from_millis(400),
@@ -31,6 +47,8 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome
         ..RbayConfig::default()
     };
     let mut fed = Federation::with_config(Topology::single_site(n_nodes, 0.5), seed, cfg);
+    let rec = metrics.then(|| fed.enable_obs(1 << 18));
+    let topic = fed.node(NodeAddr(0)).host.tree_topic("GPU=true", SiteId(0));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
 
     // A third of the fleet holds the resource.
@@ -48,6 +66,9 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome
     let mut attempts = 0u32;
     let mut recall_sum = 0.0;
     let mut recall_n = 0u32;
+    let mut fail_at: BTreeMap<NodeAddr, SimTime> = BTreeMap::new();
+    let mut converge_rounds_sum = 0.0;
+    let mut converge_epochs = 0u32;
 
     for _ in 0..epochs {
         // Crash `churn_frac` of the currently-alive nodes (sparing one
@@ -60,11 +81,29 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome
             .collect();
         for v in &victims {
             alive[*v as usize] = false;
+            fail_at.insert(NodeAddr(*v), fed.sim().now());
             fed.sim_mut().fail_node(NodeAddr(*v));
         }
         holders.retain(|h| alive[h.index()]);
-        // Heartbeats detect and repair.
-        fed.run_maintenance(8, SimDuration::from_millis(250));
+        // Heartbeats detect and repair. With `--metrics`, run the same 8
+        // rounds one at a time (byte-identical schedule) and record the
+        // first round after which the root aggregate matches the live
+        // holder count again.
+        if metrics {
+            let mut converged_at = None;
+            for r in 1..=8u32 {
+                fed.run_maintenance(1, SimDuration::from_millis(250));
+                if converged_at.is_none()
+                    && fed.tree_root_count(topic) == Some(holders.len() as u64)
+                {
+                    converged_at = Some(r);
+                }
+            }
+            converge_rounds_sum += converged_at.unwrap_or(9) as f64;
+            converge_epochs += 1;
+        } else {
+            fed.run_maintenance(8, SimDuration::from_millis(250));
+        }
         fed.settle();
 
         // Measure: a few k=1 queries plus one full-inventory query.
@@ -108,11 +147,133 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64) -> Outcome
         fed.run_until(horizon);
     }
 
+    let obs = rec.map(|rec| {
+        // Failure-detection latency: first HeartbeatExpire naming each
+        // victim at or after its crash. Any expiration naming a peer that
+        // was alive at that moment is a false positive.
+        let mut first_detect: BTreeMap<NodeAddr, SimTime> = BTreeMap::new();
+        let mut false_positives = 0u64;
+        for ev in rec.events() {
+            if let ObsEvent::HeartbeatExpire { at, peer, .. } = ev {
+                match fail_at.get(&peer) {
+                    Some(&crashed) if at >= crashed => {
+                        let first = first_detect.entry(peer).or_insert(at);
+                        *first = (*first).min(at);
+                    }
+                    _ => false_positives += 1,
+                }
+            }
+        }
+        let det: Vec<f64> = first_detect
+            .iter()
+            .map(|(p, &d)| d.saturating_since(fail_at[p]).as_millis_f64())
+            .collect();
+        ObsOutcome {
+            fd_latency_ms: stats(&det).map(|s| s.mean).unwrap_or(f64::NAN),
+            false_positives,
+            converge_rounds: converge_rounds_sum / converge_epochs.max(1) as f64,
+            events: rec.snapshot().events_recorded,
+        }
+    });
+
     Outcome {
         success_rate: successes as f64 / attempts.max(1) as f64,
         recall: recall_sum / recall_n.max(1) as f64,
         avg_latency: stats(&latencies).map(|s| s.mean).unwrap_or(f64::NAN),
+        obs,
     }
+}
+
+/// `--trace`: runs one small traced federation through a crash epoch and
+/// prints the tree-repair timeline of the `GPU=true` tree (the same
+/// reconstruction the `trace_dump` tool performs on a canned scenario).
+fn print_repair_timeline(n_nodes: usize, churn_frac: f64, seed: u64) {
+    let cfg = RbayConfig {
+        failure_detection: true,
+        heartbeat_timeout: SimDuration::from_millis(400),
+        commit_results: false,
+        ..RbayConfig::default()
+    };
+    let mut fed = Federation::with_config(Topology::single_site(n_nodes, 0.5), seed, cfg);
+    let rec = fed.enable_obs(1 << 16);
+    let topic = fed.node(NodeAddr(0)).host.tree_topic("GPU=true", SiteId(0));
+    for h in (0..(n_nodes / 3) as u32).map(NodeAddr) {
+        fed.post_resource(h, "GPU", AttrValue::Bool(true));
+    }
+    fed.settle();
+    fed.run_maintenance(3, SimDuration::from_millis(250));
+    fed.settle();
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let victims: Vec<u32> = (4..n_nodes as u32)
+        .collect::<Vec<_>>()
+        .choose_multiple(&mut rng, ((n_nodes as f64) * churn_frac) as usize)
+        .copied()
+        .collect();
+    let crash_at = fed.sim().now();
+    for v in &victims {
+        fed.sim_mut().fail_node(NodeAddr(*v));
+    }
+    fed.run_maintenance(8, SimDuration::from_millis(250));
+    fed.settle();
+
+    println!(
+        "\nRepair timeline, GPU=true tree ({n_nodes} nodes, seed {seed}, victims {victims:?}):"
+    );
+    let key = topic.key().as_u128();
+    for ev in rec.events() {
+        if ev.at() < crash_at {
+            continue;
+        }
+        let line = match ev {
+            ObsEvent::HeartbeatExpire { at, detector, peer } => {
+                Some((at, format!("{detector:?} declares {peer:?} failed")))
+            }
+            ObsEvent::TreeParent {
+                at,
+                node,
+                topic,
+                old,
+                new,
+            } if topic == key => Some((
+                at,
+                match old {
+                    Some(old) => format!("{node:?} re-parents {old:?} -> {new:?}"),
+                    None => format!("{node:?} attaches under {new:?}"),
+                },
+            )),
+            ObsEvent::TreeGraft {
+                at,
+                parent,
+                child,
+                topic,
+            } if topic == key => Some((at, format!("{parent:?} grafts child {child:?}"))),
+            ObsEvent::TreeLeave {
+                at,
+                parent,
+                child,
+                topic,
+            } if topic == key => Some((at, format!("{parent:?} drops child {child:?}"))),
+            ObsEvent::NotChild {
+                at,
+                node,
+                orphan,
+                topic,
+            } if topic == key => Some((at, format!("{node:?} NACKs orphan {orphan:?}"))),
+            _ => None,
+        };
+        if let Some((at, what)) = line {
+            println!(
+                "  +{:>8.1} ms  {what}",
+                at.saturating_since(crash_at).as_millis_f64()
+            );
+        }
+    }
+    println!(
+        "  final: root count {:?}, {} tree edges",
+        fed.tree_root_count(topic),
+        fed.tree_edge_count(topic)
+    );
 }
 
 /// Attribute-value churn: each epoch a fraction of nodes flips its
@@ -200,7 +361,7 @@ fn main() {
     for &frac in &[0.0, 0.02, 0.05, 0.10, 0.20] {
         // One independent federation per seed; averages merged in seed order.
         let outcomes = run_seeds(&seeds, default_threads(), |seed| {
-            run_level(n_nodes, frac, epochs, seed)
+            run_level(n_nodes, frac, epochs, seed, opts.metrics)
         });
         let n = outcomes.len() as f64;
         let success = outcomes.iter().map(|o| o.success_rate).sum::<f64>() / n;
@@ -218,16 +379,39 @@ fn main() {
             recall * 100.0,
             avg_latency
         );
-        emit_json(
-            &opts,
-            &JsonRecord::new("churn")
-                .num("churn_frac", frac)
-                .int("nodes", n_nodes as u64)
-                .int("seeds", seeds.len() as u64)
-                .num("success_rate", success)
-                .num("recall", recall)
-                .num("avg_latency_ms", avg_latency),
-        );
+        let mut record = JsonRecord::new("churn")
+            .num("churn_frac", frac)
+            .int("nodes", n_nodes as u64)
+            .int("seeds", seeds.len() as u64)
+            .num("success_rate", success)
+            .num("recall", recall)
+            .num("avg_latency_ms", avg_latency);
+        if opts.metrics {
+            let m: Vec<&ObsOutcome> = outcomes.iter().filter_map(|o| o.obs.as_ref()).collect();
+            let det: Vec<f64> = m
+                .iter()
+                .map(|o| o.fd_latency_ms)
+                .filter(|l| l.is_finite())
+                .collect();
+            let fd_latency = stats(&det).map(|s| s.mean).unwrap_or(f64::NAN);
+            let false_positives: u64 = m.iter().map(|o| o.false_positives).sum();
+            let converge =
+                m.iter().map(|o| o.converge_rounds).sum::<f64>() / (m.len().max(1)) as f64;
+            let events: u64 = m.iter().map(|o| o.events).sum();
+            println!(
+                "{:>12} fd-lat {:>7.1} ms   false-pos {:>3}   converge {:>4.2} rounds   {:>8} events",
+                "", fd_latency, false_positives, converge, events
+            );
+            record = record
+                .num("fd_latency_ms", fd_latency)
+                .int("false_positives", false_positives)
+                .num("agg_converge_rounds", converge)
+                .int("obs_events", events);
+        }
+        emit_json(&opts, &record);
+    }
+    if opts.trace {
+        print_repair_timeline(n_nodes.min(40), 0.20, opts.seed);
     }
     println!("\n(success and recall stay high while churn grows; the repair cost is");
     println!(" heartbeat traffic plus O(log N) rejoin messages per orphaned subtree)");

@@ -1,0 +1,186 @@
+//! Trace-dump tool — reconstructs, from the structured observability
+//! trace, (a) the overlay route one query's probe took hop by hop and
+//! (b) the repair timeline of a resource tree after a node crash.
+//!
+//! Runs a small canned federation (deterministic under `--seed`), so the
+//! output doubles as a worked example of what the trace records. The same
+//! reconstruction is available on real runs through `churn --trace`.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use rbay_bench::HarnessOpts;
+use rbay_core::{Federation, RbayConfig};
+use rbay_query::AttrValue;
+use rbay_workloads::WORKLOAD_PASSWORD;
+use simnet::{NodeAddr, ObsEvent, SimDuration, SimTime, SiteId, Topology};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let n_nodes = opts.scaled(40, 16);
+
+    let cfg = RbayConfig {
+        failure_detection: true,
+        heartbeat_timeout: SimDuration::from_millis(400),
+        commit_results: false,
+        ..RbayConfig::default()
+    };
+    let mut fed = Federation::with_config(Topology::single_site(n_nodes, 0.5), opts.seed, cfg);
+    let rec = fed.enable_obs(1 << 16);
+    let topic = fed.node(NodeAddr(0)).host.tree_topic("GPU=true", SiteId(0));
+    let key = topic.key().as_u128();
+
+    // A third of the fleet holds the resource; warm the tree.
+    let holders: Vec<NodeAddr> = (0..(n_nodes / 3) as u32).map(NodeAddr).collect();
+    for &h in &holders {
+        fed.post_resource(h, "GPU", AttrValue::Bool(true));
+    }
+    fed.settle();
+    fed.run_maintenance(3, SimDuration::from_millis(250));
+    fed.settle();
+
+    // ---- Part 1: one query's route path ------------------------------
+    let origin = NodeAddr(n_nodes as u32 - 1);
+    let issued_at = fed.sim().now();
+    let id = fed
+        .issue_query(
+            origin,
+            "SELECT 1 FROM * WHERE GPU = true",
+            Some(WORKLOAD_PASSWORD),
+        )
+        .expect("query parses");
+    fed.settle();
+    let rec_q = fed.query_record(origin, id).expect("record exists");
+    let satisfied = rec_q.satisfied;
+    let completed = rec_q.completed_at;
+
+    println!("Query route path ({n_nodes} nodes, seed {}):", opts.seed);
+    println!("  query from {origin:?} towards tree key {key:#034x}");
+    for ev in rec.events() {
+        if ev.at() < issued_at {
+            continue;
+        }
+        match ev {
+            ObsEvent::QueryAttempt {
+                at, node, attempt, ..
+            } if node == origin => {
+                println!("  {}  attempt #{attempt} issued", fmt_at(at, issued_at));
+            }
+            ObsEvent::RouteForward {
+                at,
+                node,
+                key: k,
+                hops,
+            } if k == key => {
+                println!(
+                    "  {}  hop {hops}: forwarded by {node:?}",
+                    fmt_at(at, issued_at)
+                );
+            }
+            ObsEvent::RouteDeliver {
+                at,
+                node,
+                key: k,
+                hops,
+            } if k == key => {
+                println!(
+                    "  {}  delivered at {node:?} after {hops} hop(s)",
+                    fmt_at(at, issued_at)
+                );
+            }
+            ObsEvent::QueryDone {
+                at,
+                node,
+                satisfied,
+                ..
+            } if node == origin => {
+                println!(
+                    "  {}  query done, satisfied={satisfied}",
+                    fmt_at(at, issued_at)
+                );
+            }
+            _ => {}
+        }
+    }
+    match completed {
+        Some(done) => println!(
+            "  => satisfied={satisfied} in {:.1} ms",
+            done.saturating_since(issued_at).as_millis_f64()
+        ),
+        None => println!("  => still pending at settle"),
+    }
+
+    // ---- Part 2: the tree's repair timeline --------------------------
+    // Crash a mid-tree holder and replay the repair events.
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xC0FFEE);
+    let victim = *holders[1..].choose(&mut rng).expect("at least two holders");
+    let crash_at = fed.sim().now();
+    fed.sim_mut().fail_node(victim);
+    fed.run_maintenance(8, SimDuration::from_millis(250));
+    fed.settle();
+
+    println!("\nTree repair timeline after crashing {victim:?}:");
+    for ev in rec.events() {
+        if ev.at() < crash_at {
+            continue;
+        }
+        let line = match ev {
+            ObsEvent::HeartbeatExpire { at, detector, peer } if peer == victim => {
+                Some((at, format!("{detector:?} declares {peer:?} failed")))
+            }
+            ObsEvent::TreeParent {
+                at,
+                node,
+                topic,
+                old,
+                new,
+            } if topic == key => Some((
+                at,
+                match old {
+                    Some(old) => format!("{node:?} re-parents {old:?} -> {new:?}"),
+                    None => format!("{node:?} attaches under {new:?}"),
+                },
+            )),
+            ObsEvent::TreeGraft {
+                at,
+                parent,
+                child,
+                topic,
+            } if topic == key => Some((at, format!("{parent:?} grafts child {child:?}"))),
+            ObsEvent::TreeLeave {
+                at,
+                parent,
+                child,
+                topic,
+            } if topic == key => Some((at, format!("{parent:?} drops child {child:?}"))),
+            ObsEvent::NotChild {
+                at,
+                node,
+                orphan,
+                topic,
+            } if topic == key => Some((at, format!("{node:?} NACKs orphan {orphan:?}"))),
+            _ => None,
+        };
+        if let Some((at, what)) = line {
+            println!("  {}  {what}", fmt_at(at, crash_at));
+        }
+    }
+    let live_holders = holders.iter().filter(|h| **h != victim).count();
+    println!(
+        "  => root count {:?} (live holders: {live_holders}), {} tree edges, max depth {}",
+        fed.tree_root_count(topic),
+        fed.tree_edge_count(topic),
+        fed.tree_max_depth(topic)
+    );
+
+    let snap = rec.snapshot();
+    println!(
+        "\nRecorder: {} events ({} dropped), mean route hops {:.2}",
+        snap.events_recorded,
+        snap.events_dropped,
+        snap.mean_hops()
+    );
+}
+
+fn fmt_at(at: SimTime, base: SimTime) -> String {
+    format!("+{:>8.1} ms", at.saturating_since(base).as_millis_f64())
+}

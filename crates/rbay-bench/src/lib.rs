@@ -53,6 +53,13 @@ pub struct HarnessOpts {
     pub seeds: usize,
     /// Whether to append machine-readable records to [`BENCH_JSON_PATH`].
     pub json: bool,
+    /// Whether to enable the structured observability event trace
+    /// (`--trace`): harnesses that support it print per-event timelines.
+    pub trace: bool,
+    /// Whether to collect and report observability metrics (`--metrics`):
+    /// failure-detection latency, false-positive counts, convergence
+    /// rounds, appended to text output and JSON records.
+    pub metrics: bool,
 }
 
 impl HarnessOpts {
@@ -65,6 +72,8 @@ impl HarnessOpts {
             node_scale: None,
             seeds: 1,
             json: false,
+            trace: false,
+            metrics: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -104,6 +113,14 @@ impl HarnessOpts {
                     opts.json = true;
                     i += 1;
                 }
+                "--trace" => {
+                    opts.trace = true;
+                    i += 1;
+                }
+                "--metrics" => {
+                    opts.metrics = true;
+                    i += 1;
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
         }
@@ -131,7 +148,7 @@ impl HarnessOpts {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\
-         usage: <bin> [--seed N] [--scale F] [--node-scale F] [--seeds N] [--json]"
+         usage: <bin> [--seed N] [--scale F] [--node-scale F] [--seeds N] [--json] [--trace] [--metrics]"
     );
     std::process::exit(2);
 }

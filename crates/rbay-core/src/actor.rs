@@ -76,6 +76,9 @@ impl RbayNode {
                 Op::Direct { to, payload } => {
                     scribe.send_direct(&mut net, to, payload);
                 }
+                Op::LearnPeer { info } => {
+                    pastry.insert_peer(&net, info);
+                }
                 Op::Timer { delay, token } => {
                     ctx.set_timer(delay, token);
                 }
@@ -98,6 +101,19 @@ impl RbayNode {
                     .topic(t)
                     .is_some_and(|st| st.is_root || st.parent.is_some())
             });
+            // A subscribed topic left detached (parent cleared by a
+            // NotChild NACK or a failure repair whose rejoin traffic was
+            // then lost) must keep re-joining until it is attached again;
+            // duplicate JoinAcks from the same parent are harmless.
+            let detached: Vec<(scribe::TopicId, Option<simnet::SiteId>)> = self
+                .scribe
+                .topics()
+                .filter(|(_, st)| st.subscribed && !st.is_root && st.parent.is_none())
+                .map(|(t, st)| (*t, st.scope))
+                .collect();
+            for (topic, scope) in detached {
+                self.host.ops.push_back(Op::Subscribe { topic, scope });
+            }
         }
         // Refresh this node's contribution to every subscribed tree (the
         // aggregate attribute may have changed since the last round).
@@ -154,6 +170,10 @@ impl Actor for RbayNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, RbayMsg>, from: NodeAddr, msg: RbayMsg) {
         self.host.now = ctx.now();
+        // Any message from a peer proves it alive: clear a false-positive
+        // failure declaration so the peer is re-pinged and re-grafted
+        // instead of staying buried forever.
+        self.host.unsuspect(from);
         {
             let RbayNode {
                 pastry,

@@ -83,6 +83,15 @@ impl RbayHost {
             return;
         };
         let seq = (id.0 & 0xFFFF_FFFF) as u32;
+        let node = self.addr;
+        let attempt = rec.attempts;
+        self.obs.count(node, "query_attempt");
+        self.obs.record_with(|at| simnet::ObsEvent::QueryAttempt {
+            at,
+            node,
+            seq,
+            attempt,
+        });
         self.ops.push_back(Op::Timer {
             delay: self.cfg.query_timeout,
             token: query_timer_token(seq, rec.attempts, TIMER_KIND_TIMEOUT),
@@ -339,11 +348,21 @@ impl RbayHost {
         rec.result = result;
         rec.completed_at = Some(now);
         rec.pending = QueryPending::default();
+        let satisfied = rec.satisfied;
         self.events.push(RbayEvent::QueryDone {
             query_id,
             issued_at: rec.issued_at,
             completed_at: now,
-            satisfied: rec.satisfied,
+            satisfied,
+        });
+        let node = self.addr;
+        let seq = (query_id.0 & 0xFFFF_FFFF) as u32;
+        self.obs.count(node, "query_done");
+        self.obs.record_with(|at| simnet::ObsEvent::QueryDone {
+            at,
+            node,
+            seq,
+            satisfied,
         });
     }
 

@@ -9,7 +9,8 @@ use crate::types::{AdminCommand, QueryId, QueryRecord, RbayEvent, RbayPayload};
 use aascript::SharedSandbox;
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryNode};
 use rbay_query::{parse_query, AttrValue, ParseQueryError, Query};
-use scribe::ScribeLayer;
+use scribe::{ScribeLayer, TopicId};
+use simnet::obs::Recorder;
 use simnet::{NodeAddr, SimDuration, SimTime, Simulation, SiteId, Topology};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -37,6 +38,9 @@ pub struct Federation {
     /// time).
     issued: BTreeMap<NodeAddr, u32>,
     next_cmd: u64,
+    /// Shared observability recorder; disabled until
+    /// [`Federation::enable_obs`].
+    obs: Recorder,
 }
 
 impl Federation {
@@ -105,7 +109,85 @@ impl Federation {
             cfg,
             issued: BTreeMap::new(),
             next_cmd: 0,
+            obs: Recorder::default(),
         }
+    }
+
+    /// Turns on the observability plane for the whole federation: one
+    /// shared [`Recorder`] (event buffer capped at `capacity`) is installed
+    /// into the engine and every node's Pastry, Scribe, and host layers.
+    /// Returns a handle onto the shared buffer.
+    pub fn enable_obs(&mut self, capacity: usize) -> Recorder {
+        let rec = Recorder::enabled(capacity);
+        self.sim.set_recorder(rec.clone());
+        for i in 0..self.sim.topology().node_count() as u32 {
+            let a = self.sim.actor_mut(NodeAddr(i));
+            a.pastry.set_recorder(rec.clone());
+            a.scribe.set_recorder(rec.clone());
+            a.host.obs = rec.clone();
+        }
+        self.obs = rec.clone();
+        rec
+    }
+
+    /// The federation's observability recorder (disabled until
+    /// [`Federation::enable_obs`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Membership of `topic` as the tree itself sees it: the number of
+    /// parent→child edges (the sum of all `children` sets) over non-failed
+    /// nodes. In a consistent tree this equals the number of attached
+    /// non-root members; double-counted children inflate it.
+    pub fn tree_edge_count(&self, topic: TopicId) -> usize {
+        self.sim
+            .actors()
+            .filter(|(addr, _)| !self.sim.is_failed(*addr))
+            .filter_map(|(_, a)| a.scribe.topic(topic))
+            .map(|st| st.children.len())
+            .sum()
+    }
+
+    /// The root's current aggregate count for `topic`, read from any live
+    /// node that believes it is the tree's root (`None` when no live root
+    /// exists or the root has no aggregate yet).
+    pub fn tree_root_count(&self, topic: TopicId) -> Option<u64> {
+        self.sim
+            .actors()
+            .filter(|(addr, _)| !self.sim.is_failed(*addr))
+            .find(|(_, a)| a.scribe.topic(topic).is_some_and(|st| st.is_root))
+            .and_then(|(_, a)| a.scribe.root_aggregate(topic))
+            .and_then(|v| v.as_count())
+    }
+
+    /// Maximum depth of `topic`'s tree over live nodes: the longest
+    /// parent-pointer chain from any member up to a root (capped at the
+    /// node count to stay finite under transient parent cycles).
+    pub fn tree_max_depth(&self, topic: TopicId) -> usize {
+        let n = self.sim.topology().node_count();
+        let parent_of: BTreeMap<NodeAddr, Option<NodeAddr>> = self
+            .sim
+            .actors()
+            .filter(|(addr, _)| !self.sim.is_failed(*addr))
+            .filter_map(|(addr, a)| a.scribe.topic(topic).map(|st| (addr, st.parent)))
+            .collect();
+        let mut max = 0usize;
+        for start in parent_of.keys() {
+            let mut depth = 0usize;
+            let mut cur = *start;
+            while depth < n {
+                match parent_of.get(&cur).copied().flatten() {
+                    Some(p) => {
+                        depth += 1;
+                        cur = p;
+                    }
+                    None => break,
+                }
+            }
+            max = max.max(depth);
+        }
+        max
     }
 
     /// The underlying simulation (topology, clock, stats, actors).

@@ -13,6 +13,7 @@ use aascript::{AaInstance, Script, SharedSandbox, Value};
 use pastry::NodeId;
 use rbay_query::AttrValue;
 use scribe::{AggValue, ScribeHost, TopicId, Visit};
+use simnet::obs::{ObsEvent, Recorder};
 use simnet::{NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -216,6 +217,13 @@ pub enum Op {
         /// Token passed back on expiry.
         token: TimerToken,
     },
+    /// (Re-)insert a peer into the Pastry routing state — issued when a
+    /// heartbeat proves alive a peer that a false-positive failure repair
+    /// may have evicted.
+    LearnPeer {
+        /// The peer's overlay identity.
+        info: pastry::NodeInfo,
+    },
 }
 
 /// Timer token kinds (low two bits of the token).
@@ -307,6 +315,8 @@ pub struct RbayHost {
     /// Populated under [`LintPolicy::Warn`] (all diagnostics) and
     /// [`LintPolicy::Deny`] (warnings of accepted scripts).
     pub lint_reports: Vec<(String, Vec<Diagnostic>)>,
+    /// Observability-plane handle; disabled (a no-op) by default.
+    pub obs: Recorder,
 }
 
 impl RbayHost {
@@ -349,12 +359,22 @@ impl RbayHost {
             aa_denials: 0,
             aa_errors: 0,
             lint_reports: Vec::new(),
+            obs: Recorder::default(),
         }
     }
 
     /// The scoped topic of the `attr=value` tree in `site`.
     pub fn tree_topic(&self, tree_name: &str, site: SiteId) -> TopicId {
         TopicId::scoped(tree_name, &self.cfg.creator, site)
+    }
+
+    /// This node's overlay identity (carried in heartbeat messages).
+    pub fn self_info(&self) -> pastry::NodeInfo {
+        pastry::NodeInfo {
+            id: self.id,
+            addr: self.addr,
+            site: self.site,
+        }
     }
 
     /// This node's contribution to each tree it subscribes to: its unit
@@ -715,6 +735,10 @@ impl RbayHost {
             if !self.suspected.contains(&peer) {
                 self.suspected.push(peer);
                 self.newly_failed.push(peer);
+                let detector = self.addr;
+                self.obs.count(detector, "hb_expire");
+                self.obs
+                    .record_with(|at| ObsEvent::HeartbeatExpire { at, detector, peer });
             }
         }
         // Ping everyone we have not already pinged and not buried.
@@ -728,10 +752,34 @@ impl RbayHost {
             let nonce = self.next_nonce;
             self.next_nonce += 1;
             self.pending_pings.insert(peer, self.now);
+            let from = self.addr;
+            self.obs.count(from, "hb_send");
+            self.obs
+                .record_with(|at| ObsEvent::HeartbeatSend { at, from, to: peer });
+            let info = self.self_info();
             self.ops.push_back(Op::Direct {
                 to: peer,
-                payload: RbayPayload::Ping { nonce },
+                payload: RbayPayload::Ping { nonce, info },
             });
+        }
+    }
+
+    /// Clears any failure suspicion of `peer`: a message from the peer
+    /// proves it alive, so a recovered (or falsely-declared) node must be
+    /// re-pinged and re-grafted rather than stay buried forever.
+    pub fn unsuspect(&mut self, peer: NodeAddr) {
+        if self.suspected.is_empty() {
+            return;
+        }
+        if let Some(i) = self.suspected.iter().position(|p| *p == peer) {
+            self.suspected.swap_remove(i);
+            // Drop any stale outstanding ping so the next heartbeat round
+            // starts the peer with a clean slate.
+            self.pending_pings.remove(&peer);
+            let node = self.addr;
+            self.obs.count(node, "unsuspect");
+            self.obs
+                .record_with(|at| ObsEvent::Unsuspect { at, node, peer });
         }
     }
 
@@ -922,14 +970,23 @@ impl ScribeHost<RbayPayload> for RbayHost {
             RbayPayload::StatsEcho { tree, agg, exists } => {
                 self.tree_stats.insert(tree, (agg, exists, self.now));
             }
-            RbayPayload::Ping { nonce } => {
+            RbayPayload::Ping { nonce, info } => {
+                // The pinger may have been evicted from this node's
+                // routing state by a false-positive repair; its heartbeat
+                // proves it alive, so re-learn it.
+                self.ops.push_back(Op::LearnPeer { info });
+                let my_info = self.self_info();
                 self.ops.push_back(Op::Direct {
                     to: _from,
-                    payload: RbayPayload::Pong { nonce },
+                    payload: RbayPayload::Pong {
+                        nonce,
+                        info: my_info,
+                    },
                 });
             }
-            RbayPayload::Pong { .. } => {
+            RbayPayload::Pong { info, .. } => {
                 self.pending_pings.remove(&_from);
+                self.ops.push_back(Op::LearnPeer { info });
             }
             _ => {}
         }
@@ -1206,6 +1263,14 @@ mod heartbeat_tests {
         )
     }
 
+    fn peer_info(a: u32) -> pastry::NodeInfo {
+        pastry::NodeInfo {
+            id: NodeId(a as u128),
+            addr: NodeAddr(a),
+            site: SiteId(0),
+        }
+    }
+
     #[test]
     fn heartbeat_round_pings_new_peers_once() {
         let mut h = host();
@@ -1233,7 +1298,13 @@ mod heartbeat_tests {
         use scribe::ScribeHost;
         let mut h = host();
         h.heartbeat_round(&[NodeAddr(5)]);
-        h.on_direct(NodeAddr(5), RbayPayload::Pong { nonce: 0 });
+        h.on_direct(
+            NodeAddr(5),
+            RbayPayload::Pong {
+                nonce: 0,
+                info: peer_info(5),
+            },
+        );
         assert!(h.pending_pings.is_empty());
         // The peer can be pinged again later.
         h.ops.clear();
@@ -1265,17 +1336,59 @@ mod heartbeat_tests {
     }
 
     #[test]
+    fn unsuspect_restores_a_recovered_peer() {
+        let mut h = host();
+        h.now = SimTime::from_millis(0);
+        h.heartbeat_round(&[NodeAddr(5)]);
+        h.now = SimTime::from_millis(1_000);
+        h.heartbeat_round(&[]);
+        assert_eq!(h.suspected, vec![NodeAddr(5)]);
+        // Any message from the peer proves it alive: it is un-suspected
+        // and eligible for pinging again.
+        h.unsuspect(NodeAddr(5));
+        assert!(h.suspected.is_empty());
+        assert!(h.pending_pings.is_empty());
+        h.ops.clear();
+        h.newly_failed.clear();
+        h.heartbeat_round(&[NodeAddr(5)]);
+        assert!(
+            h.ops.iter().any(|op| matches!(
+                op,
+                Op::Direct {
+                    to: NodeAddr(5),
+                    payload: RbayPayload::Ping { .. },
+                }
+            )),
+            "recovered peer must be pinged again"
+        );
+        // Un-suspecting a never-suspected peer is a no-op.
+        h.unsuspect(NodeAddr(9));
+        assert!(h.suspected.is_empty());
+    }
+
+    #[test]
     fn ping_messages_are_answered_with_pongs() {
         use scribe::ScribeHost;
         let mut h = host();
-        h.on_direct(NodeAddr(9), RbayPayload::Ping { nonce: 42 });
+        h.on_direct(
+            NodeAddr(9),
+            RbayPayload::Ping {
+                nonce: 42,
+                info: peer_info(9),
+            },
+        );
+        // The pinger is re-learned (false-positive healing) and answered.
         assert!(matches!(
             h.ops.front(),
-            Some(Op::Direct {
-                to: NodeAddr(9),
-                payload: RbayPayload::Pong { nonce: 42 },
-            })
+            Some(Op::LearnPeer { info }) if info.addr == NodeAddr(9)
         ));
+        assert!(h.ops.iter().any(|op| matches!(
+            op,
+            Op::Direct {
+                to: NodeAddr(9),
+                payload: RbayPayload::Pong { nonce: 42, .. },
+            }
+        )));
     }
 
     #[test]

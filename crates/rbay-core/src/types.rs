@@ -164,11 +164,17 @@ pub enum RbayPayload {
     Ping {
         /// Sequence number echoed by the pong.
         nonce: u64,
+        /// The sender's overlay identity, so a receiver that dropped it
+        /// from its routing state (a false-positive failure repair) can
+        /// re-learn it.
+        info: pastry::NodeInfo,
     },
     /// Heartbeat acknowledgement.
     Pong {
         /// Echoed sequence number.
         nonce: u64,
+        /// The responder's overlay identity (see [`RbayPayload::Ping`]).
+        info: pastry::NodeInfo,
     },
 }
 
@@ -186,7 +192,8 @@ impl MessageSize for RbayPayload {
             }
             RbayPayload::Commit { .. } | RbayPayload::Release { .. } => 9,
             RbayPayload::Admin(c) => 24 + c.attr.len(),
-            RbayPayload::Ping { .. } | RbayPayload::Pong { .. } => 9,
+            // nonce + NodeInfo (ring id, address, site).
+            RbayPayload::Ping { .. } | RbayPayload::Pong { .. } => 33,
             RbayPayload::StatsProbe { tree, .. } => 5 + tree.len(),
             RbayPayload::StatsEcho { tree, .. } => 30 + tree.len(),
         }

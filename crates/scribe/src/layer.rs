@@ -15,6 +15,7 @@
 
 use crate::types::{AggValue, ScribeMsg, TopicId, Visit};
 use pastry::{Net, NodeInfo, PastryApp, PastryNode};
+use simnet::obs::{ObsEvent, Recorder};
 use simnet::{MessageSize, NodeAddr, SiteId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -69,7 +70,18 @@ pub struct TopicState {
     pub local_value: Option<AggValue>,
     /// Last aggregate reported by each child.
     pub child_agg: BTreeMap<NodeAddr, AggValue>,
+    /// Aggregate ticks this node has run for this topic.
+    pub agg_round: u64,
+    /// Last tick each child was grafted or pushed an aggregate; children
+    /// silent past [`STALE_AGG_ROUNDS`] are expired (see
+    /// [`ScribeLayer::aggregate_tick`]).
+    pub child_seen: BTreeMap<NodeAddr, u64>,
 }
+
+/// Ticks a child may stay silent before its edge and cached aggregate are
+/// expired. Attached children push every tick, so silence this long means
+/// the child crashed or re-parented elsewhere while its `Leave` was lost.
+pub const STALE_AGG_ROUNDS: u64 = 4;
 
 impl TopicState {
     /// Whether the node participates in the tree at all.
@@ -93,12 +105,20 @@ impl TopicState {
 #[derive(Debug, Default)]
 pub struct ScribeLayer {
     topics: BTreeMap<TopicId, TopicState>,
+    /// Observability-plane handle; disabled (a no-op) by default.
+    obs: Recorder,
 }
 
 impl ScribeLayer {
     /// An empty layer.
     pub fn new() -> Self {
         ScribeLayer::default()
+    }
+
+    /// Installs an observability recorder (a clone of the federation-wide
+    /// handle); tree-maintenance hooks stay no-ops while it is disabled.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Read-only view of a topic's state, if the node participates.
@@ -188,7 +208,11 @@ impl ScribeLayer {
         let Some(st) = self.topics.get(&topic) else {
             return;
         };
-        if st.subscribed || st.is_root || !st.children.is_empty() {
+        // A childless, unsubscribed root is pruned like any other node
+        // (it has no parent, so no Leave goes out); a later Join simply
+        // re-creates the root state at the rendezvous node. Keeping it
+        // alive would leak topic state forever.
+        if st.subscribed || !st.children.is_empty() {
             return;
         }
         if let Some(parent) = st.parent {
@@ -200,6 +224,7 @@ impl ScribeLayer {
                 }),
             );
         }
+        self.obs.count(pastry.info().addr, "tree_prune");
         self.topics.remove(&topic);
     }
 
@@ -220,7 +245,86 @@ impl ScribeLayer {
         P: MessageSize,
         N: Net<ScribeMsg<P>>,
     {
-        let _ = pastry;
+        let me = pastry.info().addr;
+        // Expire children silent past the staleness bound: their cached
+        // report would otherwise be merged rootward forever even though
+        // the child crashed or moved to another parent (its Leave lost in
+        // flight). A live expired child is NACKed into a clean re-join by
+        // its next push.
+        let mut emptied = Vec::new();
+        let mut demoted = Vec::new();
+        let mut rejoining = Vec::new();
+        for (topic, st) in &mut self.topics {
+            st.agg_round += 1;
+            let round = st.agg_round;
+            // Stale-root demotion: in a healed overlay exactly one node has
+            // no next hop toward the key (it is numerically closest), so a
+            // root that *does* see a next hop is a fragment left over from a
+            // false-positive partition. Demote it and re-join toward the
+            // true rendezvous root so the fragments merge back.
+            if st.is_root {
+                if let Some(next) = pastry.next_hop(topic.key(), st.scope) {
+                    st.is_root = false;
+                    demoted.push((*topic, st.scope, next.addr));
+                }
+            } else if st.parent.is_none() && (st.subscribed || !st.children.is_empty()) {
+                // Detached member (subscriber or forwarder with a live
+                // subtree): the Join sent by an earlier repair — or its
+                // JoinAck — may have been lost in flight. Keep re-joining
+                // every tick until a parent is acquired; duplicate grafts
+                // are idempotent.
+                match pastry.next_hop(topic.key(), st.scope) {
+                    None => st.is_root = true,
+                    Some(next) => rejoining.push((*topic, st.scope, next.addr)),
+                }
+            }
+            let stale: Vec<NodeAddr> = st
+                .child_seen
+                .iter()
+                .filter(|(_, seen)| round.saturating_sub(**seen) > STALE_AGG_ROUNDS)
+                .map(|(c, _)| *c)
+                .collect();
+            for c in stale {
+                st.children.remove(&c);
+                st.child_agg.remove(&c);
+                st.child_seen.remove(&c);
+                self.obs.count(me, "stale_child_expire");
+                self.obs.record_with(|at| ObsEvent::TreeLeave {
+                    at,
+                    parent: me,
+                    child: c,
+                    topic: topic.key().as_u128(),
+                });
+            }
+            if !st.subscribed && !st.is_root && st.children.is_empty() {
+                emptied.push(*topic);
+            }
+        }
+        for topic in emptied {
+            self.maybe_prune::<P, N>(pastry, net, topic);
+        }
+        for _ in &demoted {
+            self.obs.count(me, "root_demote");
+        }
+        for _ in &rejoining {
+            self.obs.count(me, "rejoin_retry");
+        }
+        for (topic, scope, next) in demoted.into_iter().chain(rejoining) {
+            let child = pastry.info();
+            net.send(
+                next,
+                pastry::PastryMsg::Route {
+                    key: topic.key(),
+                    payload: ScribeMsg::Join {
+                        topic,
+                        scope,
+                        child,
+                    },
+                    hops: 1,
+                    scope,
+                },
+            );
+        }
         for (topic, st) in &self.topics {
             if st.is_root {
                 continue;
@@ -228,6 +332,12 @@ impl ScribeLayer {
             let (Some(parent), Some(value)) = (st.parent, st.merged_agg()) else {
                 continue;
             };
+            self.obs.record_with(|at| ObsEvent::AggSend {
+                at,
+                from: me,
+                to: parent,
+                topic: topic.key().as_u128(),
+            });
             net.send(
                 parent,
                 pastry::PastryMsg::Direct(ScribeMsg::AggUpdate {
@@ -418,12 +528,34 @@ impl ScribeLayer {
         let affected: Vec<TopicId> = self.topics.keys().copied().collect();
         for topic in affected {
             let st = self.topics.get_mut(&topic).expect("listed topic exists");
-            st.children.remove(&addr);
+            if st.children.remove(&addr) {
+                let me = pastry.info().addr;
+                self.obs.record_with(|at| ObsEvent::TreeLeave {
+                    at,
+                    parent: me,
+                    child: addr,
+                    topic: topic.key().as_u128(),
+                });
+            }
+            let st = self.topics.get_mut(&topic).expect("listed topic exists");
             st.child_agg.remove(&addr);
             if st.parent == Some(addr) {
                 st.parent = None;
                 let scope = st.scope;
                 let rejoin = st.is_member();
+                self.obs.count(pastry.info().addr, "parent_lost");
+                // Tell the presumed-dead parent too: if the declaration
+                // was a false positive it is still alive and would
+                // otherwise keep this node as a stale child, counting its
+                // subtree twice once it re-attaches elsewhere. A really
+                // dead parent simply never receives this.
+                net.send(
+                    addr,
+                    pastry::PastryMsg::Direct(ScribeMsg::Leave {
+                        topic,
+                        child: pastry.info().addr,
+                    }),
+                );
                 if rejoin {
                     // Re-route a join for this subtree.
                     let was_subscribed = st.subscribed;
@@ -475,15 +607,30 @@ impl ScribeLayer {
         }
     }
 
-    /// Grafts `child` under this node for `topic`, acknowledging it.
-    fn graft<P, N>(&mut self, net: &mut N, topic: TopicId, scope: Option<SiteId>, child: NodeInfo)
-    where
+    /// Grafts `child` under this node (`me`) for `topic`, acknowledging it.
+    fn graft<P, N>(
+        &mut self,
+        net: &mut N,
+        me: NodeAddr,
+        topic: TopicId,
+        scope: Option<SiteId>,
+        child: NodeInfo,
+    ) where
         P: MessageSize,
         N: Net<ScribeMsg<P>>,
     {
         let st = self.topics.entry(topic).or_default();
         st.scope = scope;
-        st.children.insert(child.addr);
+        let round = st.agg_round;
+        st.child_seen.insert(child.addr, round);
+        if st.children.insert(child.addr) {
+            self.obs.record_with(|at| ObsEvent::TreeGraft {
+                at,
+                parent: me,
+                child: child.addr,
+                topic: topic.key().as_u128(),
+            });
+        }
         net.send(
             child.addr,
             pastry::PastryMsg::Direct(ScribeMsg::JoinAck { topic }),
@@ -593,7 +740,8 @@ where
                 child,
             } => {
                 // We are the rendezvous root for this tree.
-                self.layer.graft::<P, N>(net, topic, scope, child);
+                self.layer
+                    .graft::<P, N>(net, node.info().addr, topic, scope, child);
                 let st = self.layer.topics.get_mut(&topic).expect("grafted");
                 if !st.is_root {
                     st.is_root = true;
@@ -673,7 +821,8 @@ where
                 // If we are already in the tree the join stops; otherwise we
                 // become a forwarder and join on behalf of our new subtree.
                 let already = self.layer.is_member(topic);
-                self.layer.graft::<P, N>(net, topic, scope, child);
+                self.layer
+                    .graft::<P, N>(net, node.info().addr, topic, scope, child);
                 if already {
                     None
                 } else {
@@ -718,7 +867,30 @@ where
         match payload {
             ScribeMsg::JoinAck { topic } => {
                 if let Some(st) = self.layer.topics.get_mut(&topic) {
-                    st.parent = Some(from);
+                    let old = st.parent.replace(from);
+                    if let Some(old) = old {
+                        if old != from {
+                            // Duplicate/stale ack re-parented us: detach
+                            // from the previous parent, or we would sit in
+                            // two children sets at once (multicast
+                            // duplicates and aggregate double-counting).
+                            net.send(
+                                old,
+                                pastry::PastryMsg::Direct(ScribeMsg::Leave {
+                                    topic,
+                                    child: node.info().addr,
+                                }),
+                            );
+                        }
+                    }
+                    let me = node.info().addr;
+                    self.layer.obs.record_with(|at| ObsEvent::TreeParent {
+                        at,
+                        node: me,
+                        topic: topic.key().as_u128(),
+                        old,
+                        new: from,
+                    });
                     if st.subscribed {
                         self.host.on_subscribed(topic);
                     }
@@ -726,7 +898,15 @@ where
             }
             ScribeMsg::Leave { topic, child } => {
                 if let Some(st) = self.layer.topics.get_mut(&topic) {
-                    st.children.remove(&child);
+                    if st.children.remove(&child) {
+                        let me = node.info().addr;
+                        self.layer.obs.record_with(|at| ObsEvent::TreeLeave {
+                            at,
+                            parent: me,
+                            child,
+                            topic: topic.key().as_u128(),
+                        });
+                    }
                     st.child_agg.remove(&child);
                 }
                 self.layer.maybe_prune::<P, N>(node, net, topic);
@@ -760,10 +940,63 @@ where
                 self.host.on_probe_reply(topic, payload, agg, exists);
             }
             ScribeMsg::AggUpdate { topic, value } => {
-                if let Some(st) = self.layer.topics.get_mut(&topic) {
-                    if st.children.contains(&from) {
+                let accepted = match self.layer.topics.get_mut(&topic) {
+                    Some(st) if st.children.contains(&from) => {
                         st.child_agg.insert(from, value);
+                        let round = st.agg_round;
+                        st.child_seen.insert(from, round);
+                        true
                     }
+                    _ => false,
+                };
+                let me = node.info().addr;
+                if accepted {
+                    self.layer.obs.count(me, "agg_update_recv");
+                } else {
+                    // The sender believes we are its parent but we do not
+                    // list it as a child (typically after a false-positive
+                    // failure declaration dropped it). NACK so the orphan
+                    // clears its stale parent pointer and re-joins instead
+                    // of silently falling out of the aggregate forever.
+                    self.layer.obs.record_with(|at| ObsEvent::NotChild {
+                        at,
+                        node: me,
+                        orphan: from,
+                        topic: topic.key().as_u128(),
+                    });
+                    net.send(
+                        from,
+                        pastry::PastryMsg::Direct(ScribeMsg::NotChild { topic }),
+                    );
+                }
+            }
+            ScribeMsg::NotChild { topic } => {
+                let Some(st) = self.layer.topics.get_mut(&topic) else {
+                    return;
+                };
+                // Only react if the NACK comes from the node we currently
+                // believe is our parent; a stale NACK from an old parent
+                // must not detach us from a good one.
+                if st.parent != Some(from) {
+                    return;
+                }
+                st.parent = None;
+                let me = node.info().addr;
+                self.layer.obs.count(me, "orphan_rejoin");
+                if st.is_member() {
+                    let scope = st.scope;
+                    let was_subscribed = st.subscribed;
+                    st.subscribed = true; // subscribe() requires intent; restore after
+                    self.layer.resubscribe::<P, N, H>(
+                        node,
+                        net,
+                        self.host,
+                        topic,
+                        scope,
+                        was_subscribed,
+                    );
+                } else {
+                    self.layer.maybe_prune::<P, N>(node, net, topic);
                 }
             }
             ScribeMsg::AppDirect(p) => {
@@ -911,6 +1144,7 @@ mod tests {
         for c in [7u32, 9] {
             layer.graft::<P, _>(
                 &mut net,
+                NodeAddr(0),
                 t,
                 None,
                 NodeInfo {
@@ -979,6 +1213,315 @@ mod tests {
             }),
         );
         assert_eq!(layer.root_aggregate(t).unwrap().as_count(), Some(1));
+        // The stranger gets a NotChild NACK so it can clear its stale
+        // parent pointer and re-join.
+        let (to, msg) = net.sent.pop_front().expect("NACK sent");
+        assert_eq!(to, NodeAddr(42));
+        assert!(matches!(msg, PastryMsg::Direct(ScribeMsg::NotChild { .. })));
+    }
+
+    #[test]
+    fn stale_join_ack_reparent_sends_leave_to_old_parent() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                subscribed: true,
+                ..TopicState::default()
+            },
+        );
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(5),
+            PastryMsg::Direct(ScribeMsg::JoinAck { topic: t }),
+        );
+        assert_eq!(layer.topic(t).unwrap().parent, Some(NodeAddr(5)));
+        let (to, msg) = net.sent.pop_front().expect("leave to old parent");
+        assert_eq!(to, NodeAddr(3));
+        assert!(matches!(
+            msg,
+            PastryMsg::Direct(ScribeMsg::Leave {
+                child: NodeAddr(0),
+                ..
+            })
+        ));
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn duplicate_join_ack_from_same_parent_is_quiet() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                ..TopicState::default()
+            },
+        );
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(3),
+            PastryMsg::Direct(ScribeMsg::JoinAck { topic: t }),
+        );
+        assert_eq!(layer.topic(t).unwrap().parent, Some(NodeAddr(3)));
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn not_child_nack_clears_parent_and_rejoins() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        let peer = NodeInfo {
+            id: NodeId(t.key().as_u128().wrapping_add(1)),
+            addr: NodeAddr(9),
+            site: SiteId(0),
+        };
+        pastry.insert_peer(&net, peer);
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                subscribed: true,
+                ..TopicState::default()
+            },
+        );
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(3),
+            PastryMsg::Direct(ScribeMsg::NotChild { topic: t }),
+        );
+        assert_eq!(layer.topic(t).unwrap().parent, None);
+        let (_, msg) = net.sent.pop_front().expect("rejoin sent");
+        assert!(matches!(
+            msg,
+            PastryMsg::Route {
+                payload: ScribeMsg::Join { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn not_child_from_non_parent_is_ignored() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                subscribed: true,
+                ..TopicState::default()
+            },
+        );
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(5),
+            PastryMsg::Direct(ScribeMsg::NotChild { topic: t }),
+        );
+        assert_eq!(layer.topic(t).unwrap().parent, Some(NodeAddr(3)));
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn not_child_on_bare_state_prunes_without_rejoin() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        // Pure forwarder whose only tie to the tree was the (stale) parent.
+        layer.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(3)),
+                ..TopicState::default()
+            },
+        );
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(3),
+            PastryMsg::Direct(ScribeMsg::NotChild { topic: t }),
+        );
+        assert!(layer.topic(t).is_none(), "nothing left to participate with");
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_childless_root_prunes_topic_state() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        assert!(layer.topic(t).unwrap().is_root);
+        layer.unsubscribe::<P, _>(&mut pastry, &mut net, t);
+        assert!(
+            layer.topic(t).is_none(),
+            "childless unsubscribed root must not leak topic state"
+        );
+        assert!(net.sent.is_empty(), "a root has no parent to notify");
+    }
+
+    #[test]
+    fn root_with_children_survives_unsubscribe() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        layer.graft::<P, _>(
+            &mut net,
+            NodeAddr(0),
+            t,
+            None,
+            NodeInfo {
+                id: NodeId(7),
+                addr: NodeAddr(7),
+                site: SiteId(0),
+            },
+        );
+        net.sent.clear();
+        layer.unsubscribe::<P, _>(&mut pastry, &mut net, t);
+        let st = layer.topic(t).expect("still the rendezvous for a child");
+        assert!(st.is_root && !st.subscribed);
+        assert!(st.children.contains(&NodeAddr(7)));
+    }
+
+    /// Delivers every queued message between a hand-built set of nodes
+    /// until the network drains.
+    fn pump(nodes: &mut [(PastryNode, ScribeLayer, RecHost)], nets: &mut [RecNet]) {
+        loop {
+            let mut moved = false;
+            for j in 0..nets.len() {
+                let msgs: Vec<_> = nets[j].sent.drain(..).collect();
+                for (to, msg) in msgs {
+                    moved = true;
+                    let (pastry, layer, host) = &mut nodes[to.index()];
+                    let mut app = ScribeApp { layer, host };
+                    pastry.on_message(&mut nets[to.index()], &mut app, NodeAddr(j as u32), msg);
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn forced_reparent_keeps_root_aggregate_exact() {
+        let t = TopicId::new("GPU", "test");
+        let n = 4usize;
+        let mut nodes: Vec<(PastryNode, ScribeLayer, RecHost)> = (0..n as u32)
+            .map(|i| (mk_pastry(i), ScribeLayer::new(), RecHost::default()))
+            .collect();
+        let mut nets: Vec<RecNet> = (0..n).map(|_| RecNet::default()).collect();
+
+        // Hand-built tree: root 0 (subscribed) with children {1, 2};
+        // node 1 (subscribed) owns child 3; node 2 is a pure forwarder;
+        // node 3 (subscribed) hangs under 1.
+        let mut root = TopicState {
+            is_root: true,
+            subscribed: true,
+            local_value: Some(AggValue::Count(1)),
+            ..TopicState::default()
+        };
+        root.children.extend([NodeAddr(1), NodeAddr(2)]);
+        nodes[0].1.topics.insert(t, root);
+        let mut mid = TopicState {
+            parent: Some(NodeAddr(0)),
+            subscribed: true,
+            local_value: Some(AggValue::Count(1)),
+            ..TopicState::default()
+        };
+        mid.children.insert(NodeAddr(3));
+        mid.child_agg.insert(NodeAddr(3), AggValue::Count(1));
+        nodes[1].1.topics.insert(t, mid);
+        nodes[2].1.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(0)),
+                ..TopicState::default()
+            },
+        );
+        nodes[3].1.topics.insert(
+            t,
+            TopicState {
+                parent: Some(NodeAddr(1)),
+                subscribed: true,
+                local_value: Some(AggValue::Count(1)),
+                ..TopicState::default()
+            },
+        );
+
+        // A transient repair made node 2 graft node 3 and send a duplicate
+        // JoinAck: node 3 must detach from its old parent 1 or it sits in
+        // two children sets and the root aggregate double-counts it.
+        nodes[2]
+            .1
+            .topics
+            .get_mut(&t)
+            .unwrap()
+            .children
+            .insert(NodeAddr(3));
+        {
+            let (pastry, layer, host) = &mut nodes[3];
+            let mut app = ScribeApp { layer, host };
+            pastry.on_message(
+                &mut nets[3],
+                &mut app,
+                NodeAddr(2),
+                PastryMsg::Direct(ScribeMsg::JoinAck { topic: t }),
+            );
+        }
+        pump(&mut nodes, &mut nets);
+
+        // Two aggregate rounds propagate the leaf values to the root.
+        for _ in 0..2 {
+            for (j, net) in nets.iter_mut().enumerate() {
+                let (pastry, layer, _) = &mut nodes[j];
+                layer.aggregate_tick(pastry, net);
+            }
+            pump(&mut nodes, &mut nets);
+        }
+
+        // Exactly three subscribers (0, 1, 3): the root aggregate must be
+        // exact, not 4 (double-counting node 3 via both parents).
+        assert_eq!(nodes[0].1.root_aggregate(t).unwrap().as_count(), Some(3));
     }
 
     #[test]
@@ -1085,6 +1628,17 @@ mod tests {
         );
         layer.handle_failure(&mut pastry, &mut net, &mut host, NodeAddr(3));
         assert_eq!(layer.topic(t).unwrap().parent, None);
+        // A Leave goes to the presumed-dead parent first (a false-positive
+        // declaration must not leave a stale edge behind), then the rejoin.
+        let (to, msg) = net.sent.pop_front().expect("leave sent");
+        assert_eq!(to, NodeAddr(3));
+        assert!(matches!(
+            msg,
+            PastryMsg::Direct(ScribeMsg::Leave {
+                child: NodeAddr(0),
+                ..
+            })
+        ));
         let (_, msg) = net.sent.pop_front().expect("rejoin sent");
         assert!(matches!(
             msg,

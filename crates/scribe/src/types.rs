@@ -285,6 +285,13 @@ pub enum ScribeMsg<P> {
         /// The child's merged subtree aggregate.
         value: AggValue,
     },
+    /// NACK from a would-be parent that does not list the sender among its
+    /// children (e.g. after a false-positive failure declaration dropped
+    /// it). The orphan clears its stale parent pointer and re-joins.
+    NotChild {
+        /// The tree the sender is no longer attached to.
+        topic: TopicId,
+    },
     /// An application message between hosts, outside any tree.
     AppDirect(P),
 }
@@ -311,6 +318,7 @@ impl<P: MessageSize> MessageSize for ScribeMsg<P> {
             ScribeMsg::ProbeRoot { payload, .. } => ID + ADDR + payload.wire_size(),
             ScribeMsg::ProbeReply { payload, .. } => ID + 24 + 1 + payload.wire_size(),
             ScribeMsg::AggUpdate { .. } => ID + 24,
+            ScribeMsg::NotChild { .. } => ID,
             ScribeMsg::AppDirect(p) => p.wire_size(),
         }
     }

@@ -16,6 +16,7 @@
 //! two by key, preserving the exact global `(at, seq)` order a single heap
 //! would produce.
 
+use crate::obs::Recorder;
 use crate::queue::CalendarQueue;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
@@ -291,6 +292,10 @@ pub struct Simulation<A: Actor> {
     started: bool,
     trace: Option<Vec<TraceEvent>>,
     trace_cap: usize,
+    /// Observability-plane handle; disabled (a no-op) by default. The
+    /// engine's only job is to keep its clock current at every dispatch so
+    /// actor-layer hooks stamp events with the right virtual time.
+    obs: Recorder,
     /// Recycled `Context::pending` buffer: swapped into each callback's
     /// context and back, so steady-state dispatch does not allocate.
     pending_pool: Vec<(SimTime, PendingEvent<A::Msg>)>,
@@ -319,6 +324,7 @@ impl<A: Actor> Simulation<A> {
             started: false,
             trace: None,
             trace_cap: 0,
+            obs: Recorder::default(),
             pending_pool: Vec::new(),
             wall_nanos: 0,
         }
@@ -337,6 +343,19 @@ impl<A: Actor> Simulation<A> {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Installs an observability recorder (usually a clone of a recorder
+    /// shared with the per-node protocol layers). The engine advances the
+    /// recorder's clock at every dispatch and bumps per-node delivery
+    /// counters when the recorder is enabled.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
+    }
+
+    /// The installed observability recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
     fn record_trace(&mut self, ev: TraceEvent) {
         if let Some(t) = &mut self.trace {
             if t.len() < self.trace_cap {
@@ -353,6 +372,13 @@ impl<A: Actor> Simulation<A> {
     /// The topology the simulation runs over.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Adjusts the message-loss probability mid-run. Loss is sampled per
+    /// send, so this opens or closes a fault-injection window immediately
+    /// (e.g. lossy period, then a clean recovery phase).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        self.topology.set_loss_prob(p);
     }
 
     /// Network statistics accumulated so far.
@@ -600,6 +626,7 @@ impl<A: Actor> Simulation<A> {
 
     fn execute(&mut self, next: Next<A>) {
         self.stats.record_event();
+        self.obs.set_now(self.now);
         match next {
             Next::Event(EventPayload::Deliver { from, to, msg }) => {
                 if self.failed[to.index()] || self.failed[from.index()] {
@@ -612,6 +639,7 @@ impl<A: Actor> Simulation<A> {
                     from,
                     to,
                 });
+                self.obs.count(to, "deliver");
                 self.dispatch_call_now(to, move |a, ctx| a.on_message(ctx, from, msg));
             }
             Next::Event(EventPayload::Timer {

@@ -47,12 +47,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod obs;
 pub mod queue;
 mod stats;
 mod time;
 pub mod topology;
 
 pub use engine::{Actor, Context, MessageSize, Simulation, TimerToken, TraceEvent};
+pub use obs::{MetricsSnapshot, ObsEvent, Recorder};
 pub use queue::CalendarQueue;
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
