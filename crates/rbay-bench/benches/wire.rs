@@ -1,0 +1,158 @@
+//! Codec benchmarks for the `rbay-wire` binary protocol: encode and
+//! decode of the messages that dominate cross-node traffic (the anycast
+//! search walk, aggregation updates, the query AST). Results print in
+//! criterion style and are additionally appended to `BENCH_wire.json`
+//! (same array-of-records format as `BENCH_simnet.json`).
+
+use pastry::{NodeId, PastryMsg};
+use rbay_bench::{append_json_record, JsonRecord};
+use rbay_core::{Candidate, QueryId, RbayMsg, RbayPayload, SearchState};
+use rbay_query::parse_query;
+use rbay_wire::{decode_frame, encode_frame};
+use scribe::{AggValue, ScribeMsg, TopicId};
+use simnet::{NodeAddr, SiteId};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The records land next to `BENCH_simnet.json` in the repository root
+/// (cargo runs benches with the package directory as cwd).
+fn wire_json_path() -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_wire.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Median ns/op over `samples` batches, each sized to run ~`budget`.
+fn measure(mut f: impl FnMut(), samples: usize, budget: Duration) -> f64 {
+    // Calibrate the batch size.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        let per = elapsed.as_secs_f64() / iters as f64;
+        if elapsed >= budget / samples as u32 || iters >= 1 << 30 {
+            break per;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    let batch = ((budget.as_secs_f64() / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+    let mut results: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_secs_f64() / batch as f64 * 1e9
+        })
+        .collect();
+    results.sort_by(f64::total_cmp);
+    results[results.len() / 2]
+}
+
+fn search_msg(slots: usize) -> RbayMsg {
+    let query = Rc::new(
+        parse_query(
+            r#"SELECT 4 FROM * WHERE CPU_model = "Intel Core i7" AND CPU_utilization < 10% AND GPU = true GROUPBY CPU_utilization DESC"#,
+        )
+        .expect("query parses"),
+    );
+    let state = SearchState {
+        query_id: QueryId(0x2a_0000_0001),
+        reply_to: NodeAddr(7),
+        query,
+        password: Some("3053482032".into()),
+        slots: (0..slots)
+            .map(|i| Candidate {
+                id: NodeId::hash_of(format!("cand{i}").as_bytes()),
+                addr: NodeAddr(i as u32),
+                site: SiteId(0),
+                sort_key: Some(rbay_query::AttrValue::Num(i as f64)),
+            })
+            .collect(),
+    };
+    PastryMsg::Route {
+        key: NodeId::hash_of(b"GPU=true"),
+        payload: ScribeMsg::AnycastStep {
+            topic: TopicId::new("GPU=true", "rbay"),
+            payload: RbayPayload::Search(state),
+            origin: NodeAddr(7),
+            visited: (0..slots as u32).map(NodeAddr).collect(),
+            stack: (0..4).map(NodeAddr).collect(),
+        },
+        hops: 3,
+        scope: Some(SiteId(0)),
+    }
+}
+
+fn agg_msg() -> RbayMsg {
+    let multi = AggValue::Multi(
+        (0..8)
+            .map(|i| AggValue::Mean {
+                sum: i as f64 * 12.5,
+                count: i + 1,
+            })
+            .collect(),
+    );
+    PastryMsg::Direct(ScribeMsg::AggUpdate {
+        topic: TopicId::new("GPU=true", "rbay"),
+        value: multi,
+    })
+}
+
+fn main() {
+    // Under `cargo test --benches` just prove the bodies run.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (samples, budget) = if test_mode {
+        (1, Duration::ZERO)
+    } else {
+        (15, Duration::from_secs(1))
+    };
+
+    let cases: Vec<(&str, RbayMsg)> = vec![
+        ("search_walk_4slots", search_msg(4)),
+        ("agg_update_multi8", agg_msg()),
+    ];
+    let mut records = Vec::new();
+    for (name, msg) in &cases {
+        let frame = encode_frame(msg);
+        let enc = measure(
+            || {
+                black_box(encode_frame(black_box(msg)));
+            },
+            samples,
+            budget,
+        );
+        let dec = measure(
+            || {
+                black_box(decode_frame::<RbayMsg>(black_box(&frame)).expect("frame decodes"));
+            },
+            samples,
+            budget,
+        );
+        println!(
+            "wire_{name:<24} encode: {enc:>8.1} ns  decode: {dec:>8.1} ns  ({} bytes)",
+            frame.len()
+        );
+        records.push(
+            JsonRecord::new("wire_codec")
+                .text("message", name)
+                .int("frame_bytes", frame.len() as u64)
+                .num("encode_ns", enc)
+                .num("decode_ns", dec),
+        );
+    }
+    if !test_mode {
+        let path = wire_json_path();
+        for r in &records {
+            if let Err(e) = append_json_record(&path, r) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+        println!("recorded {} records to {path}", records.len());
+    }
+}

@@ -1,0 +1,328 @@
+//! `cluster` — spawns a local RBAY federation as real OS processes and
+//! runs one end-to-end query through it.
+//!
+//! The harness launches `--count` `rbay-node` daemons on loopback TCP,
+//! waits for the Pastry overlay to converge, posts `GPU = true` on `k+1`
+//! of them (with the password `onGet` guard installed, so AAScript runs
+//! in-process too), waits for the aggregation trees to attach, then
+//! issues `SELECT k FROM * WHERE GPU = true` from the last daemon and
+//! verifies that `k` candidates were found **and committed** on the
+//! holders. Exit status 0 only on a fully verified run — CI's
+//! `cluster-smoke` job runs exactly this binary.
+//!
+//! ```text
+//! cluster [--count 5] [--k 3] [--base-port 46100] [--num-sites 1]
+//! ```
+
+use rbay_bench::cluster::{sock_of, CtrlMsg, DEFAULT_BASE_PORT};
+use rbay_wire::{decode_frame, encode_frame, read_frame, write_frame, Hello, MAX_FRAME_LEN};
+use rbay_workloads::{password_aa_script, WORKLOAD_PASSWORD};
+use simnet::NodeAddr;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+struct Args {
+    count: u32,
+    k: usize,
+    base_port: u16,
+    num_sites: u16,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        count: 5,
+        k: 3,
+        base_port: DEFAULT_BASE_PORT,
+        num_sites: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--count" => args.count = flag_value(&argv, i),
+            "--k" => args.k = flag_value(&argv, i),
+            "--base-port" => args.base_port = flag_value(&argv, i),
+            "--num-sites" => args.num_sites = flag_value(&argv, i),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: cluster [--count <n>] [--k <k>] \
+                     [--base-port <p>] [--num-sites <s>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if args.count < 2 || args.k + 1 >= args.count as usize {
+        eprintln!("need --count >= 2 and --k + 1 < --count (k holders plus a querier)");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Parses the value after flag `argv[i]`, exiting with usage on errors.
+fn flag_value<T: std::str::FromStr>(argv: &[String], i: usize) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    argv.get(i + 1)
+        .unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[i]);
+            std::process::exit(2);
+        })
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("bad value for {}: {e}", argv[i]);
+            std::process::exit(2);
+        })
+}
+
+/// The spawned daemons; killed on drop so no run leaks processes.
+struct Fleet {
+    children: Vec<Child>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// One control connection to a daemon.
+struct Ctrl {
+    stream: TcpStream,
+}
+
+impl Ctrl {
+    /// Connects (with retries until `deadline`) and performs the control
+    /// hello.
+    fn connect(addr: SocketAddr, deadline: Instant) -> io::Result<Ctrl> {
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    write_frame(&mut stream, &encode_frame(&Hello::Ctrl))?;
+                    return Ok(Ctrl { stream });
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &CtrlMsg) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_frame(msg))
+    }
+
+    /// Reads one control reply, failing after `timeout`.
+    fn recv(&mut self, timeout: Duration) -> io::Result<CtrlMsg> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let frame = read_frame(&mut self.stream, MAX_FRAME_LEN)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed ctrl"))?;
+        decode_frame::<CtrlMsg>(&frame).map_err(io::Error::other)
+    }
+
+    fn request(&mut self, msg: &CtrlMsg, timeout: Duration) -> io::Result<CtrlMsg> {
+        self.send(msg)?;
+        self.recv(timeout)
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cluster: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    let daemon = std::env::current_exe()
+        .expect("own path")
+        .with_file_name("rbay-node");
+    if !daemon.exists() {
+        fail(&format!("daemon binary not found at {}", daemon.display()));
+    }
+
+    println!(
+        "cluster: spawning {} daemons (base port {}, {} site(s))",
+        args.count, args.base_port, args.num_sites
+    );
+    let mut fleet = Fleet {
+        children: Vec::new(),
+    };
+    for i in 0..args.count {
+        let child = Command::new(&daemon)
+            .args(["--index", &i.to_string()])
+            .args(["--count", &args.count.to_string()])
+            .args(["--base-port", &args.base_port.to_string()])
+            .args(["--num-sites", &args.num_sites.to_string()])
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("spawn daemon {i}: {e}")));
+        fleet.children.push(child);
+    }
+
+    // Control connections to every daemon.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut ctrls: Vec<Ctrl> = (0..args.count)
+        .map(|i| {
+            Ctrl::connect(sock_of(args.base_port, NodeAddr(i)), deadline)
+                .unwrap_or_else(|e| fail(&format!("ctrl connect to daemon {i}: {e}")))
+        })
+        .collect();
+
+    // Phase 1: overlay convergence — every daemon joined and aware of the
+    // full membership.
+    wait_until(Duration::from_secs(60), "overlay convergence", || {
+        let mut joined = 0;
+        let mut ok = true;
+        for (i, ctrl) in ctrls.iter_mut().enumerate() {
+            match ctrl.request(&CtrlMsg::Status, Duration::from_secs(5)) {
+                Ok(CtrlMsg::StatusReply {
+                    joined: j,
+                    known_peers,
+                    ..
+                }) => {
+                    if j && known_peers >= args.count - 1 {
+                        joined += 1;
+                    } else {
+                        ok = false;
+                    }
+                }
+                other => fail(&format!("status from daemon {i}: {other:?}")),
+            }
+        }
+        println!("cluster: {} of {} daemons converged", joined, args.count);
+        ok
+    });
+
+    // Phase 2: k+1 holders post the resource behind the password guard.
+    let holders = args.k + 1;
+    for (i, ctrl) in ctrls.iter_mut().take(holders).enumerate() {
+        match ctrl.request(
+            &CtrlMsg::InstallNodeAa {
+                src: password_aa_script(),
+            },
+            Duration::from_secs(5),
+        ) {
+            Ok(CtrlMsg::Ok) => {}
+            other => fail(&format!("install AA on daemon {i}: {other:?}")),
+        }
+        match ctrl.request(
+            &CtrlMsg::Post {
+                attr: "GPU".into(),
+                value: rbay_query::AttrValue::Bool(true),
+            },
+            Duration::from_secs(5),
+        ) {
+            Ok(CtrlMsg::Ok) => {}
+            other => fail(&format!("post on daemon {i}: {other:?}")),
+        }
+    }
+    println!("cluster: posted GPU=true on {holders} daemons");
+
+    // Phase 3: every holder attached to its aggregation tree.
+    wait_until(Duration::from_secs(60), "tree attachment", || {
+        let mut attached = 0;
+        for (i, ctrl) in ctrls.iter_mut().take(holders).enumerate() {
+            match ctrl.request(&CtrlMsg::Status, Duration::from_secs(5)) {
+                Ok(CtrlMsg::StatusReply { attached: a, .. }) if a >= 1 => attached += 1,
+                Ok(CtrlMsg::StatusReply { .. }) => {}
+                other => fail(&format!("status from daemon {i}: {other:?}")),
+            }
+        }
+        println!("cluster: {attached} of {holders} holders attached to the tree");
+        attached == holders
+    });
+
+    // Phase 4: the last daemon runs the query; retry while trees settle.
+    let zql = format!("SELECT {} FROM * WHERE GPU = true", args.k);
+    let querier = args.count as usize - 1;
+    let mut outcome = None;
+    for attempt in 1..=5 {
+        println!("cluster: issuing `{zql}` from daemon {querier} (attempt {attempt})");
+        let res = ctrls[querier].request(
+            &CtrlMsg::IssueQuery {
+                zql: zql.clone(),
+                password: Some(WORKLOAD_PASSWORD.into()),
+            },
+            Duration::from_secs(90),
+        );
+        match res {
+            Ok(CtrlMsg::QueryDone {
+                satisfied,
+                results,
+                unknown_sites,
+            }) => {
+                if !unknown_sites.is_empty() {
+                    fail(&format!("unexpected unknown sites: {unknown_sites:?}"));
+                }
+                if satisfied && results.len() == args.k {
+                    outcome = Some(results);
+                    break;
+                }
+                println!(
+                    "cluster: attempt {attempt}: satisfied={satisfied}, {} result(s); retrying",
+                    results.len()
+                );
+            }
+            Ok(other) => fail(&format!("query answer: {other:?}")),
+            Err(e) => {
+                println!("cluster: attempt {attempt}: {e}; reconnecting");
+                ctrls[querier] = Ctrl::connect(
+                    sock_of(args.base_port, NodeAddr(querier as u32)),
+                    Instant::now() + Duration::from_secs(10),
+                )
+                .unwrap_or_else(|e| fail(&format!("reconnect: {e}")));
+            }
+        }
+        std::thread::sleep(Duration::from_secs(1));
+    }
+    let results =
+        outcome.unwrap_or_else(|| fail(&format!("query never committed {} results", args.k)));
+    println!("cluster: query satisfied with {} result(s):", results.len());
+    for c in &results {
+        println!("  node {:?} at {:?} (site {:?})", c.id, c.addr, c.site);
+    }
+
+    // Phase 5: the commits really landed on the chosen daemons.
+    let mut committed = 0;
+    for c in &results {
+        let i = c.addr.0 as usize;
+        match ctrls[i].request(&CtrlMsg::Status, Duration::from_secs(5)) {
+            Ok(CtrlMsg::StatusReply { committed: n, .. }) if n >= 1 => committed += 1,
+            Ok(other) => fail(&format!("daemon {i} shows no commit: {other:?}")),
+            Err(e) => fail(&format!("status from daemon {i}: {e}")),
+        }
+    }
+    println!("cluster: {committed} commits verified on the chosen daemons");
+
+    for (i, ctrl) in ctrls.iter_mut().enumerate() {
+        if let Err(e) = ctrl.request(&CtrlMsg::Shutdown, Duration::from_secs(5)) {
+            eprintln!("cluster: shutdown daemon {i}: {e}");
+        }
+    }
+    drop(fleet);
+    println!("cluster: PASS");
+}
+
+/// Polls `check` (roughly twice a second) until it returns true, failing
+/// the run after `timeout`.
+fn wait_until(timeout: Duration, what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if check() {
+            return;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!("timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}

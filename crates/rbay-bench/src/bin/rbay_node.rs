@@ -1,0 +1,259 @@
+//! `rbay-node` — one RBAY federation member as a real OS process.
+//!
+//! Listens on `127.0.0.1:(base_port + index)`, joins the Pastry overlay
+//! through daemon 0 (which seeds itself as bootstrap), then runs the same
+//! protocol code the simulator runs — routed messages, Scribe trees,
+//! AAScript handlers, the five-step query protocol — over loopback TCP
+//! via [`rbay_wire::TcpTransport`]. Operator tools (the `cluster`
+//! harness) drive it over control connections speaking
+//! [`rbay_bench::cluster::CtrlMsg`].
+//!
+//! ```text
+//! rbay-node --index 0 --count 5 [--base-port 46100] [--num-sites 1] [--tick-ms 150]
+//! ```
+
+use rbay_bench::cluster::{self, CtrlMsg};
+use rbay_core::{QueryId, RbayConfig, RbayMsg, RbayNode};
+use rbay_query::parse_query;
+use rbay_wire::{decode_frame, encode_frame, Inbound, TcpBus, TcpTransport, Transport};
+use simnet::NodeAddr;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+struct Args {
+    index: u32,
+    count: u32,
+    base_port: u16,
+    num_sites: u16,
+    tick: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        index: 0,
+        count: 1,
+        base_port: cluster::DEFAULT_BASE_PORT,
+        num_sites: 1,
+        tick: Duration::from_millis(150),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--index" => args.index = flag_value(&argv, i),
+            "--count" => args.count = flag_value(&argv, i),
+            "--base-port" => args.base_port = flag_value(&argv, i),
+            "--num-sites" => args.num_sites = flag_value(&argv, i),
+            "--tick-ms" => args.tick = Duration::from_millis(flag_value(&argv, i)),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: rbay-node --index <i> --count <n> \
+                     [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if args.index >= args.count {
+        eprintln!("--index must be < --count");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Parses the value after flag `argv[i]`, exiting with usage on errors.
+fn flag_value<T: std::str::FromStr>(argv: &[String], i: usize) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    argv.get(i + 1)
+        .unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[i]);
+            std::process::exit(2);
+        })
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("bad value for {}: {e}", argv[i]);
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let args = parse_args();
+    let me = NodeAddr(args.index);
+    let (bus, rx) = TcpBus::start(
+        cluster::sock_of(args.base_port, me),
+        me,
+        cluster::resolver(args.base_port, args.count),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("rbay-node[{}]: cannot listen: {e}", args.index);
+        std::process::exit(1);
+    });
+    let mut tr: TcpTransport<RbayMsg> = TcpTransport::new(bus);
+    let mut node = cluster::build_node(
+        args.index,
+        args.count,
+        args.num_sites,
+        RbayConfig::default(),
+    );
+    if args.index == 0 {
+        node.seed_as_bootstrap();
+    } else {
+        node.join_via(&mut tr, NodeAddr(0));
+    }
+    eprintln!(
+        "rbay-node[{}]: listening on {}, site {:?}",
+        args.index,
+        cluster::sock_of(args.base_port, me),
+        node.host.site
+    );
+    run(&mut node, &mut tr, &rx, &args);
+}
+
+/// The daemon's event loop: fire due timers, run the maintenance tick,
+/// answer finished queries, then block on the inbound queue until the
+/// next deadline.
+fn run(node: &mut RbayNode, tr: &mut TcpTransport<RbayMsg>, rx: &Receiver<Inbound>, args: &Args) {
+    // Queries issued over a control connection, awaiting completion:
+    // `(query, ctrl conn to answer)`.
+    let mut pending: Vec<(QueryId, u64)> = Vec::new();
+    let mut next_tick = Instant::now() + args.tick;
+    loop {
+        for token in tr.due_timers() {
+            node.on_timer_via(tr, token);
+        }
+        let now = Instant::now();
+        if now >= next_tick {
+            if args.index != 0 && !node.pastry.is_joined() {
+                // Join traffic is best-effort; keep knocking until joined.
+                node.join_via(tr, NodeAddr(0));
+            }
+            node.maintenance_round_via(tr);
+            next_tick = Instant::now() + args.tick;
+        }
+        answer_finished_queries(node, tr, &mut pending);
+
+        let mut wait = next_tick.saturating_duration_since(Instant::now());
+        if let Some(deadline) = tr.next_deadline() {
+            let until = Duration::from_micros(deadline.saturating_since(tr.now()).as_micros());
+            wait = wait.min(until);
+        }
+        match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+            Ok(Inbound::Peer { from, frame }) => match decode_frame::<RbayMsg>(&frame) {
+                Ok(msg) => node.on_message_via(tr, from, msg),
+                Err(e) => eprintln!("rbay-node[{}]: bad frame from {from:?}: {e}", args.index),
+            },
+            Ok(Inbound::Ctrl { conn, frame }) => {
+                if on_ctrl(node, tr, &mut pending, conn, &frame, args) {
+                    return;
+                }
+            }
+            Ok(Inbound::CtrlClosed { conn }) => pending.retain(|(_, c)| *c != conn),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Handles one control request; returns `true` when the daemon should
+/// exit.
+fn on_ctrl(
+    node: &mut RbayNode,
+    tr: &mut TcpTransport<RbayMsg>,
+    pending: &mut Vec<(QueryId, u64)>,
+    conn: u64,
+    frame: &[u8],
+    args: &Args,
+) -> bool {
+    let reply = |tr: &TcpTransport<RbayMsg>, msg: &CtrlMsg| {
+        if let Err(e) = tr.bus().send_ctrl(conn, &encode_frame(msg)) {
+            eprintln!("rbay-node[{}]: ctrl reply failed: {e}", args.index);
+        }
+    };
+    let msg = match decode_frame::<CtrlMsg>(frame) {
+        Ok(m) => m,
+        Err(e) => {
+            reply(tr, &CtrlMsg::Err { msg: e.to_string() });
+            return false;
+        }
+    };
+    node.host.now = tr.now();
+    match msg {
+        CtrlMsg::Post { attr, value } => {
+            node.host.post_resource(&attr, value);
+            node.drain_ops_via(tr);
+            reply(tr, &CtrlMsg::Ok);
+        }
+        CtrlMsg::InstallNodeAa { src } => match node.host.install_node_aa(&src) {
+            Ok(()) => reply(tr, &CtrlMsg::Ok),
+            Err(e) => reply(tr, &CtrlMsg::Err { msg: e.to_string() }),
+        },
+        CtrlMsg::IssueQuery { zql, password } => match parse_query(&zql) {
+            Ok(q) => {
+                let id = node.host.issue_query(q, password);
+                node.drain_ops_via(tr);
+                pending.push((id, conn));
+            }
+            Err(e) => reply(tr, &CtrlMsg::Err { msg: e.to_string() }),
+        },
+        CtrlMsg::Status => {
+            let attached = node
+                .scribe
+                .topics()
+                .filter(|(_, st)| st.is_root || st.parent.is_some())
+                .count() as u32;
+            reply(
+                tr,
+                &CtrlMsg::StatusReply {
+                    addr: node.pastry.info().addr,
+                    site: node.host.site,
+                    joined: node.pastry.is_joined(),
+                    known_peers: node.pastry.known_peers().len() as u32,
+                    topics: node.scribe.topics().count() as u32,
+                    attached,
+                    committed: node.host.committed.len() as u32,
+                },
+            );
+        }
+        CtrlMsg::Shutdown => {
+            reply(tr, &CtrlMsg::Ok);
+            eprintln!("rbay-node[{}]: shutdown requested", args.index);
+            return true;
+        }
+        other => reply(
+            tr,
+            &CtrlMsg::Err {
+                msg: format!("unexpected request: {other:?}"),
+            },
+        ),
+    }
+    false
+}
+
+/// Sends [`CtrlMsg::QueryDone`] for every pending query whose record has
+/// completed, dropping it from the wait list.
+fn answer_finished_queries(
+    node: &mut RbayNode,
+    tr: &mut TcpTransport<RbayMsg>,
+    pending: &mut Vec<(QueryId, u64)>,
+) {
+    pending.retain(|&(id, conn)| {
+        let Some(rec) = node.host.queries.get(&id) else {
+            return false;
+        };
+        if rec.completed_at.is_none() {
+            return true;
+        }
+        let done = CtrlMsg::QueryDone {
+            satisfied: rec.satisfied,
+            results: rec.result.clone(),
+            unknown_sites: rec.unknown_sites.clone(),
+        };
+        if let Err(e) = tr.bus().send_ctrl(conn, &encode_frame(&done)) {
+            eprintln!("rbay-node: query answer failed: {e}");
+        }
+        false
+    });
+}

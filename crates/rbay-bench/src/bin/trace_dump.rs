@@ -108,6 +108,26 @@ fn main() {
         ),
         None => println!("  => still pending at settle"),
     }
+    if !rec_q.unknown_sites.is_empty() {
+        println!("  !! unknown sites in FROM: {:?}", rec_q.unknown_sites);
+    }
+
+    // A FROM clause naming a site the federation has never heard of is no
+    // longer silently narrowed: the unresolved names are kept on the
+    // record and surfaced here.
+    let typo_id = fed
+        .issue_query(
+            origin,
+            r#"SELECT 1 FROM "Atlantis" WHERE GPU = true"#,
+            Some(WORKLOAD_PASSWORD),
+        )
+        .expect("query parses");
+    fed.settle();
+    let typo_rec = fed.query_record(origin, typo_id).expect("record exists");
+    println!(
+        "  misspelled FROM check: satisfied={} unknown sites {:?}",
+        typo_rec.satisfied, typo_rec.unknown_sites
+    );
 
     // ---- Part 2: the tree's repair timeline --------------------------
     // Crash a mid-tree holder and replay the repair events.

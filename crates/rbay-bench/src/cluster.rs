@@ -1,0 +1,314 @@
+//! Shared pieces of the real-socket deployment: node construction, the
+//! loopback address plan, and the control protocol the `cluster` harness
+//! speaks to `rbay-node` daemons.
+//!
+//! Address plan: daemon `i` of an `n`-daemon deployment is overlay address
+//! `NodeAddr(i)` listening on `127.0.0.1:(base_port + i)`. Sites are
+//! contiguous blocks of indices (`ceil(n / num_sites)` each) named
+//! `site0..`, with each site's three lowest addresses as its border
+//! routers — the same layout `Federation` uses in simulation, so a
+//! converged TCP deployment and a simulated one answer queries through
+//! identical gateway logic.
+
+use aascript::SharedSandbox;
+use pastry::{NodeId, NodeInfo, PastryNode};
+use rbay_core::{Candidate, RbayConfig, RbayHost, RbayNode};
+use rbay_wire::{Reader, Resolver, Wire, WireError};
+use scribe::ScribeLayer;
+use simnet::{NodeAddr, SiteId};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Default first TCP port of a local deployment; daemon `i` listens on
+/// `base + i`.
+pub const DEFAULT_BASE_PORT: u16 = 46_100;
+
+/// The socket address of overlay node `addr` under `base_port`.
+pub fn sock_of(base_port: u16, addr: NodeAddr) -> SocketAddr {
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), base_port + addr.0 as u16)
+}
+
+/// A [`Resolver`] for an `n`-daemon loopback deployment.
+pub fn resolver(base_port: u16, count: u32) -> Resolver {
+    Arc::new(move |addr: NodeAddr| {
+        if addr.0 < count {
+            Some(sock_of(base_port, addr))
+        } else {
+            None
+        }
+    })
+}
+
+/// The site of daemon `index` in an `n`-daemon, `num_sites`-site plan:
+/// contiguous blocks, the same split `Topology` produces for equal-sized
+/// sites.
+pub fn site_of(index: u32, count: u32, num_sites: u16) -> SiteId {
+    let per = (count as usize).div_ceil(num_sites as usize) as u32;
+    SiteId(((index / per) as u16).min(num_sites - 1))
+}
+
+/// Builds one daemon's [`RbayNode`] with identity and federation layout
+/// consistent across every daemon of the deployment (and with the
+/// simulated `Federation`: node ids hash the same string, gateways are
+/// each site's three lowest addresses).
+pub fn build_node(index: u32, count: u32, num_sites: u16, cfg: RbayConfig) -> RbayNode {
+    let info = NodeInfo {
+        id: NodeId::hash_of(format!("rbay-node:{index}").as_bytes()),
+        addr: NodeAddr(index),
+        site: site_of(index, count, num_sites),
+    };
+    let mut gateways: Vec<Vec<NodeAddr>> = vec![Vec::new(); num_sites as usize];
+    for i in 0..count {
+        let s = site_of(i, count, num_sites);
+        let list = &mut gateways[s.0 as usize];
+        if list.len() < 3 {
+            list.push(NodeAddr(i));
+        }
+    }
+    let site_names: Vec<String> = (0..num_sites).map(|s| format!("site{s}")).collect();
+    let host = RbayHost::new(
+        Rc::new(cfg),
+        info.id,
+        info.addr,
+        info.site,
+        SharedSandbox::new(),
+        gateways,
+        site_names,
+    );
+    RbayNode {
+        pastry: PastryNode::new(info),
+        scribe: ScribeLayer::new(),
+        host,
+    }
+}
+
+/// The control protocol between the `cluster` harness (or any operator
+/// tool) and a `rbay-node` daemon. Requests flow harness → daemon;
+/// [`CtrlMsg::QueryDone`], [`CtrlMsg::StatusReply`], [`CtrlMsg::Ok`] and
+/// [`CtrlMsg::Err`] flow back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg {
+    /// Post a resource attribute on the daemon (it joins the matching
+    /// aggregation tree).
+    Post {
+        /// Attribute name.
+        attr: String,
+        /// Attribute value.
+        value: rbay_query::AttrValue,
+    },
+    /// Install a node-level active-attribute script (`onGet` guards).
+    InstallNodeAa {
+        /// AAScript source.
+        src: String,
+    },
+    /// Parse and issue a Zql query; the daemon answers with
+    /// [`CtrlMsg::QueryDone`] once the query completes.
+    IssueQuery {
+        /// The query text.
+        zql: String,
+        /// Password presented to `onGet` handlers.
+        password: Option<String>,
+    },
+    /// A query this connection issued has completed.
+    QueryDone {
+        /// Whether `k` candidates were committed.
+        satisfied: bool,
+        /// The committed candidates.
+        results: Vec<Candidate>,
+        /// FROM-clause site names that did not resolve.
+        unknown_sites: Vec<String>,
+    },
+    /// Ask for the daemon's overlay/application state.
+    Status,
+    /// Answer to [`CtrlMsg::Status`].
+    StatusReply {
+        /// The daemon's overlay address.
+        addr: NodeAddr,
+        /// Its site.
+        site: SiteId,
+        /// Whether its Pastry join completed.
+        joined: bool,
+        /// Distinct peers in its routing state.
+        known_peers: u32,
+        /// Scribe topics it holds state for.
+        topics: u32,
+        /// Topics it is attached to (root or parented).
+        attached: u32,
+        /// Queries committed *on* this daemon (it was reserved and chosen).
+        committed: u32,
+    },
+    /// Generic success acknowledgement.
+    Ok,
+    /// Generic failure answer.
+    Err {
+        /// Human-readable reason.
+        msg: String,
+    },
+    /// Ask the daemon to exit cleanly.
+    Shutdown,
+}
+
+mod ctrl_tag {
+    pub const POST: u8 = 0;
+    pub const INSTALL_NODE_AA: u8 = 1;
+    pub const ISSUE_QUERY: u8 = 2;
+    pub const QUERY_DONE: u8 = 3;
+    pub const STATUS: u8 = 4;
+    pub const STATUS_REPLY: u8 = 5;
+    pub const OK: u8 = 6;
+    pub const ERR: u8 = 7;
+    pub const SHUTDOWN: u8 = 8;
+}
+
+impl Wire for CtrlMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            CtrlMsg::Post { attr, value } => {
+                out.push(ctrl_tag::POST);
+                attr.encode_into(out);
+                value.encode_into(out);
+            }
+            CtrlMsg::InstallNodeAa { src } => {
+                out.push(ctrl_tag::INSTALL_NODE_AA);
+                src.encode_into(out);
+            }
+            CtrlMsg::IssueQuery { zql, password } => {
+                out.push(ctrl_tag::ISSUE_QUERY);
+                zql.encode_into(out);
+                password.encode_into(out);
+            }
+            CtrlMsg::QueryDone {
+                satisfied,
+                results,
+                unknown_sites,
+            } => {
+                out.push(ctrl_tag::QUERY_DONE);
+                satisfied.encode_into(out);
+                results.encode_into(out);
+                unknown_sites.encode_into(out);
+            }
+            CtrlMsg::Status => out.push(ctrl_tag::STATUS),
+            CtrlMsg::StatusReply {
+                addr,
+                site,
+                joined,
+                known_peers,
+                topics,
+                attached,
+                committed,
+            } => {
+                out.push(ctrl_tag::STATUS_REPLY);
+                addr.encode_into(out);
+                site.encode_into(out);
+                joined.encode_into(out);
+                known_peers.encode_into(out);
+                topics.encode_into(out);
+                attached.encode_into(out);
+                committed.encode_into(out);
+            }
+            CtrlMsg::Ok => out.push(ctrl_tag::OK),
+            CtrlMsg::Err { msg } => {
+                out.push(ctrl_tag::ERR);
+                msg.encode_into(out);
+            }
+            CtrlMsg::Shutdown => out.push(ctrl_tag::SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.byte()?;
+        Ok(match tag {
+            ctrl_tag::POST => CtrlMsg::Post {
+                attr: String::decode(r)?,
+                value: rbay_query::AttrValue::decode(r)?,
+            },
+            ctrl_tag::INSTALL_NODE_AA => CtrlMsg::InstallNodeAa {
+                src: String::decode(r)?,
+            },
+            ctrl_tag::ISSUE_QUERY => CtrlMsg::IssueQuery {
+                zql: String::decode(r)?,
+                password: Option::<String>::decode(r)?,
+            },
+            ctrl_tag::QUERY_DONE => CtrlMsg::QueryDone {
+                satisfied: bool::decode(r)?,
+                results: Vec::<Candidate>::decode(r)?,
+                unknown_sites: Vec::<String>::decode(r)?,
+            },
+            ctrl_tag::STATUS => CtrlMsg::Status,
+            ctrl_tag::STATUS_REPLY => CtrlMsg::StatusReply {
+                addr: NodeAddr::decode(r)?,
+                site: SiteId::decode(r)?,
+                joined: bool::decode(r)?,
+                known_peers: u32::decode(r)?,
+                topics: u32::decode(r)?,
+                attached: u32::decode(r)?,
+                committed: u32::decode(r)?,
+            },
+            ctrl_tag::OK => CtrlMsg::Ok,
+            ctrl_tag::ERR => CtrlMsg::Err {
+                msg: String::decode(r)?,
+            },
+            ctrl_tag::SHUTDOWN => CtrlMsg::Shutdown,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "CtrlMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbay_wire::{decode_frame, encode_frame};
+
+    #[test]
+    fn ctrl_msgs_round_trip() {
+        let msgs = vec![
+            CtrlMsg::Post {
+                attr: "GPU".into(),
+                value: rbay_query::AttrValue::Bool(true),
+            },
+            CtrlMsg::IssueQuery {
+                zql: "SELECT 3 FROM * WHERE GPU = true".into(),
+                password: Some("pw".into()),
+            },
+            CtrlMsg::QueryDone {
+                satisfied: true,
+                results: vec![Candidate {
+                    id: NodeId(7),
+                    addr: NodeAddr(3),
+                    site: SiteId(0),
+                    sort_key: None,
+                }],
+                unknown_sites: vec!["atlantis".into()],
+            },
+            CtrlMsg::Status,
+            CtrlMsg::Ok,
+            CtrlMsg::Shutdown,
+        ];
+        for m in &msgs {
+            assert_eq!(&decode_frame::<CtrlMsg>(&encode_frame(m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn layout_matches_across_daemons() {
+        // 10 nodes over 2 sites: 0..4 in site0, 5..9 in site1.
+        assert_eq!(site_of(0, 10, 2), SiteId(0));
+        assert_eq!(site_of(4, 10, 2), SiteId(0));
+        assert_eq!(site_of(5, 10, 2), SiteId(1));
+        assert_eq!(site_of(9, 10, 2), SiteId(1));
+        let a = build_node(0, 10, 2, RbayConfig::default());
+        let b = build_node(7, 10, 2, RbayConfig::default());
+        assert_eq!(a.host.gateways, b.host.gateways);
+        assert_eq!(a.host.site_names, b.host.site_names);
+        assert_eq!(
+            a.host.gateways[1],
+            vec![NodeAddr(5), NodeAddr(6), NodeAddr(7)]
+        );
+    }
+}

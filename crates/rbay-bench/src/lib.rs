@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
+
 use rbay_core::{Federation, QueryId, RbayConfig, RbayEvent};
 use rbay_workloads::{populate_ec2_federation, QueryGen, ScenarioConfig, WORKLOAD_PASSWORD};
 use simnet::{NodeAddr, SimDuration, SiteId, Topology};

@@ -1,10 +1,17 @@
-//! The simulation actor embedding a full RBAY node: Pastry routing state,
-//! Scribe trees, and the RBAY application host. Also drains the host's
-//! deferred operation queue after every dispatch.
+//! The actor embedding a full RBAY node: Pastry routing state, Scribe
+//! trees, and the RBAY application host. Also drains the host's deferred
+//! operation queue after every dispatch.
+//!
+//! All protocol logic is written against [`rbay_wire::Transport`] (the
+//! `*_via` methods), so the same node runs over the in-memory simulator
+//! (the [`simnet::Actor`] impl below, via `SimTransport`) or over real
+//! sockets (`rbay-bench`'s `rbay-node` daemon, via `TcpTransport`).
 
 use crate::host::{split_timer_token, Op, RbayHost};
+use crate::transport::{NetAdapter, SimTransport};
 use crate::types::RbayPayload;
-use pastry::{PastryMsg, PastryNode, SimNet};
+use pastry::{LeafSet, PastryMsg, PastryNode, RoutingTable};
+use rbay_wire::Transport;
 use scribe::{ScribeApp, ScribeLayer, ScribeMsg};
 use simnet::{Actor, Context, NodeAddr, TimerToken};
 
@@ -28,13 +35,18 @@ impl RbayNode {
     /// routing layers. Operations may enqueue further operations (e.g. a
     /// RemoteProbe handler queues probes); the loop runs until quiescence.
     pub fn drain_ops(&mut self, ctx: &mut Context<'_, RbayMsg>) {
+        self.drain_ops_via(&mut SimTransport::new(ctx));
+    }
+
+    /// [`RbayNode::drain_ops`] over any transport.
+    pub fn drain_ops_via<T: Transport<RbayMsg>>(&mut self, tr: &mut T) {
         let RbayNode {
             pastry,
             scribe,
             host,
         } = self;
         while let Some(op) = host.ops.pop_front() {
-            let mut net = SimNet::new(ctx);
+            let mut net = NetAdapter::new(tr);
             match op {
                 Op::Subscribe { topic, scope } => {
                     scribe.subscribe(pastry, &mut net, host, topic, scope);
@@ -80,7 +92,7 @@ impl RbayNode {
                     pastry.insert_peer(&net, info);
                 }
                 Op::Timer { delay, token } => {
-                    ctx.set_timer(delay, token);
+                    tr.set_timer(delay, token);
                 }
             }
         }
@@ -91,7 +103,12 @@ impl RbayNode {
     /// (when enabled) heartbeat-based failure detection over the node's
     /// overlay neighbours.
     pub fn maintenance_round(&mut self, ctx: &mut Context<'_, RbayMsg>) {
-        self.host.now = ctx.now();
+        self.maintenance_round_via(&mut SimTransport::new(ctx));
+    }
+
+    /// [`RbayNode::maintenance_round`] over any transport.
+    pub fn maintenance_round_via<T: Transport<RbayMsg>>(&mut self, tr: &mut T) {
+        self.host.now = tr.now();
         self.host.maintenance();
         // Re-join any tree whose JOIN traffic was lost in flight.
         {
@@ -128,7 +145,7 @@ impl RbayNode {
             self.scribe.set_local_value(t, fresh.clone());
         }
         {
-            let mut net = SimNet::new(ctx);
+            let mut net = NetAdapter::new(tr);
             self.scribe
                 .aggregate_tick::<RbayPayload, _>(&mut self.pastry, &mut net);
         }
@@ -144,32 +161,36 @@ impl RbayNode {
             peers.sort();
             peers.dedup();
             self.host.heartbeat_round(&peers);
-            self.repair_failures(ctx);
+            self.repair_failures_via(tr);
         }
-        self.drain_ops(ctx);
+        self.drain_ops_via(tr);
     }
 
     /// Runs Pastry and Scribe repairs for peers the failure detector just
     /// declared dead.
-    fn repair_failures(&mut self, ctx: &mut Context<'_, RbayMsg>) {
+    fn repair_failures_via<T: Transport<RbayMsg>>(&mut self, tr: &mut T) {
         let dead = std::mem::take(&mut self.host.newly_failed);
         for addr in dead {
             {
-                let mut net = SimNet::new(ctx);
+                let mut net = NetAdapter::new(tr);
                 self.pastry.handle_failure(&mut net, addr);
             }
-            let mut net = SimNet::new(ctx);
+            let mut net = NetAdapter::new(tr);
             self.scribe
                 .handle_failure(&mut self.pastry, &mut net, &mut self.host, addr);
         }
     }
-}
 
-impl Actor for RbayNode {
-    type Msg = RbayMsg;
-
-    fn on_message(&mut self, ctx: &mut Context<'_, RbayMsg>, from: NodeAddr, msg: RbayMsg) {
-        self.host.now = ctx.now();
+    /// Dispatches one incoming message over any transport (what the
+    /// [`Actor`] impl does for the simulator, and the daemon's event loop
+    /// does for decoded TCP frames).
+    pub fn on_message_via<T: Transport<RbayMsg>>(
+        &mut self,
+        tr: &mut T,
+        from: NodeAddr,
+        msg: RbayMsg,
+    ) {
+        self.host.now = tr.now();
         // Any message from a peer proves it alive: clear a false-positive
         // failure declaration so the peer is re-pinged and re-grafted
         // instead of staying buried forever.
@@ -180,22 +201,56 @@ impl Actor for RbayNode {
                 scribe,
                 host,
             } = self;
-            let mut net = SimNet::new(ctx);
+            let mut net = NetAdapter::new(tr);
             let mut app = ScribeApp {
                 layer: scribe,
                 host,
             };
             pastry.on_message(&mut net, &mut app, from, msg);
         }
-        self.drain_ops(ctx);
+        self.drain_ops_via(tr);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, RbayMsg>, token: TimerToken) {
-        self.host.now = ctx.now();
+    /// Fires one timer over any transport.
+    pub fn on_timer_via<T: Transport<RbayMsg>>(&mut self, tr: &mut T, token: TimerToken) {
+        self.host.now = tr.now();
         let (seq, attempt, kind) = split_timer_token(token);
         if kind != 0 {
             self.host.on_query_timer(seq, attempt, kind);
         }
-        self.drain_ops(ctx);
+        self.drain_ops_via(tr);
+    }
+
+    /// Sends this node's Pastry join request toward `bootstrap`. Safe to
+    /// re-send each tick until [`PastryNode::is_joined`] turns true — join
+    /// traffic may be lost on a real network.
+    pub fn join_via<T: Transport<RbayMsg>>(&mut self, tr: &mut T, bootstrap: NodeAddr) {
+        let mut net = NetAdapter::new(tr);
+        self.pastry.join(&mut net, bootstrap);
+    }
+
+    /// Marks this node as the overlay's first member: joined, with empty
+    /// routing state. Only the bootstrap daemon of a fresh deployment
+    /// should call this; everyone else joins through it.
+    pub fn seed_as_bootstrap(&mut self) {
+        let id = self.pastry.info().id;
+        self.pastry.seed_state(
+            RoutingTable::new(id),
+            LeafSet::new(id),
+            RoutingTable::new(id),
+            LeafSet::new(id),
+        );
+    }
+}
+
+impl Actor for RbayNode {
+    type Msg = RbayMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RbayMsg>, from: NodeAddr, msg: RbayMsg) {
+        self.on_message_via(&mut SimTransport::new(ctx), from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, RbayMsg>, token: TimerToken) {
+        self.on_timer_via(&mut SimTransport::new(ctx), token);
     }
 }

@@ -18,35 +18,67 @@ use simnet::{SimDuration, SiteId};
 use std::cmp::Ordering;
 use std::rc::Rc;
 
-/// Orders two optional sort keys: present before absent, numbers and
-/// strings by their natural order, mixed kinds by canonical text.
+/// Orders two optional sort keys: present before absent, then by
+/// [`AttrValue::cmp_total`] — an explicit total order (NaN sorts last,
+/// kinds rank `Bool < Num < Str`), so the result of a GROUPBY sort does
+/// not depend on the arrival order of candidates and `sort_by` can never
+/// panic on a totality violation.
 fn cmp_keys(a: &Option<AttrValue>, b: &Option<AttrValue>) -> Ordering {
     match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Greater,
         (Some(_), None) => Ordering::Less,
-        (Some(x), Some(y)) => match (x, y) {
-            (AttrValue::Num(p), AttrValue::Num(q)) => p.partial_cmp(q).unwrap_or(Ordering::Equal),
-            (AttrValue::Str(p), AttrValue::Str(q)) => p.cmp(q),
-            _ => x.canonical().cmp(&y.canonical()),
-        },
+        (Some(x), Some(y)) => x.cmp_total(y),
     }
 }
 
 impl RbayHost {
-    /// Resolves a FROM clause to site ids. Unknown site names are ignored.
+    /// Resolves a FROM clause to site ids. Unknown site names are dropped
+    /// and repeated names deduplicated; use
+    /// [`RbayHost::resolve_sites_report`] to also learn which names did
+    /// not resolve.
     pub fn resolve_sites(&self, from: &FromClause) -> Vec<SiteId> {
+        self.resolve_sites_report(from).0
+    }
+
+    /// Resolves a FROM clause to site ids, reporting the unknown names.
+    ///
+    /// A repeated site name (`FROM "Tokyo", "tokyo"`) resolves once —
+    /// duplicating it would double the probe fan-out and make the query
+    /// wait on a second answer from the same site. An unknown name
+    /// resolves to nothing but is returned in the second component so the
+    /// issuer can surface it ([`crate::QueryRecord::unknown_sites`])
+    /// instead of silently searching fewer sites than the user asked for.
+    pub fn resolve_sites_report(&self, from: &FromClause) -> (Vec<SiteId>, Vec<String>) {
         match from {
-            FromClause::AllSites => (0..self.site_names.len() as u16).map(SiteId).collect(),
-            FromClause::Sites(names) => names
-                .iter()
-                .filter_map(|n| {
-                    self.site_names
+            FromClause::AllSites => (
+                (0..self.site_names.len() as u16).map(SiteId).collect(),
+                Vec::new(),
+            ),
+            FromClause::Sites(names) => {
+                let mut resolved: Vec<SiteId> = Vec::new();
+                let mut unknown: Vec<String> = Vec::new();
+                for name in names {
+                    match self
+                        .site_names
                         .iter()
-                        .position(|s| s.eq_ignore_ascii_case(n))
-                        .map(|i| SiteId(i as u16))
-                })
-                .collect(),
+                        .position(|s| s.eq_ignore_ascii_case(name))
+                    {
+                        Some(i) => {
+                            let site = SiteId(i as u16);
+                            if !resolved.contains(&site) {
+                                resolved.push(site);
+                            }
+                        }
+                        None => {
+                            if !unknown.iter().any(|u| u.eq_ignore_ascii_case(name)) {
+                                unknown.push(name.clone());
+                            }
+                        }
+                    }
+                }
+                (resolved, unknown)
+            }
         }
     }
 
@@ -59,6 +91,7 @@ impl RbayHost {
         let id = QueryId::new(self.addr, seq);
         let query = Rc::new(query);
         let anchor_trees: Vec<String> = query.anchors().map(|p| self.naming.tree_for(p)).collect();
+        let (_, unknown_sites) = self.resolve_sites_report(&query.from);
         let record = QueryRecord {
             id,
             query: Rc::clone(&query),
@@ -69,6 +102,7 @@ impl RbayHost {
             attempts: 0,
             result: Vec::new(),
             satisfied: false,
+            unknown_sites,
             pending: QueryPending::default(),
         };
         self.queries.insert(id, record);
@@ -447,6 +481,69 @@ mod tests {
             h.resolve_sites(&FromClause::Sites(vec!["SITE2".into(), "nope".into()])),
             vec![SiteId(2)]
         );
+    }
+
+    #[test]
+    fn resolve_sites_dedupes_and_reports_unknown() {
+        let h = host_with_sites(3);
+        // Repeats (case-insensitive) collapse; unknowns are reported once.
+        let from = FromClause::Sites(vec![
+            "site2".into(),
+            "SITE2".into(),
+            "site0".into(),
+            "nope".into(),
+            "NOPE".into(),
+            "gone".into(),
+        ]);
+        let (resolved, unknown) = h.resolve_sites_report(&from);
+        assert_eq!(resolved, vec![SiteId(2), SiteId(0)], "first-seen order");
+        assert_eq!(unknown, vec!["nope".to_string(), "gone".to_string()]);
+        assert_eq!(h.resolve_sites(&from), vec![SiteId(2), SiteId(0)]);
+    }
+
+    #[test]
+    fn unknown_sites_land_on_the_query_record() {
+        let mut h = host_with_sites(2);
+        let q = Query {
+            k: 1,
+            from: FromClause::Sites(vec!["site1".into(), "atlantis".into()]),
+            predicates: vec![rbay_query::Predicate {
+                attr: "GPU".into(),
+                op: rbay_query::CmpOp::Eq,
+                value: AttrValue::Bool(true),
+            }],
+            order_by: None,
+        };
+        let id = h.issue_query(q, None);
+        assert_eq!(h.queries[&id].unknown_sites, vec!["atlantis".to_string()]);
+    }
+
+    #[test]
+    fn nan_sort_keys_sort_last_regardless_of_arrival_order() {
+        let mk = |addr: u32, key: f64| Candidate {
+            id: NodeId(addr as u128),
+            addr: NodeAddr(addr),
+            site: SiteId(0),
+            sort_key: Some(AttrValue::Num(key)),
+        };
+        let run = |order: Vec<Candidate>| {
+            let mut h = host_with_sites(1);
+            let q = parse_query("SELECT 2 FROM * WHERE a = 1 GROUPBY load ASC").unwrap();
+            let id = h.issue_query(q, None);
+            drain_ops(&mut h);
+            h.record_probe(id, 0, SiteId(0), Some(10), true);
+            drain_ops(&mut h);
+            h.record_site_result(id, SiteId(0), order, true);
+            h.queries[&id]
+                .result
+                .iter()
+                .map(|c| c.addr.0)
+                .collect::<Vec<u32>>()
+        };
+        let a = run(vec![mk(1, f64::NAN), mk(2, 5.0), mk(3, 1.0)]);
+        let b = run(vec![mk(3, 1.0), mk(1, f64::NAN), mk(2, 5.0)]);
+        assert_eq!(a, vec![3, 2], "NaN never outranks a real key");
+        assert_eq!(a, b, "result is arrival-order independent");
     }
 
     #[test]

@@ -34,12 +34,15 @@ mod engine;
 mod federation;
 mod host;
 mod naming;
+mod transport;
 mod types;
+mod wire;
 
 pub use actor::{RbayMsg, RbayNode};
 pub use federation::Federation;
 pub use host::{InstallError, LintPolicy, Op, RbayConfig, RbayHost};
 pub use naming::HybridNaming;
+pub use transport::{NetAdapter, SimTransport};
 pub use types::{
     AdminCommand, Candidate, QueryId, QueryPending, QueryRecord, RbayEvent, RbayPayload,
     SearchState,

@@ -1,0 +1,70 @@
+//! Backend adapters wiring [`rbay_wire::Transport`] into this crate's
+//! protocol actors.
+//!
+//! [`SimTransport`] is the in-memory backend: it delegates straight to the
+//! `simnet::Context` the actors have always used, so simulation behavior
+//! is bit-for-bit unchanged. [`NetAdapter`] gives the sans-I/O `pastry`
+//! and `scribe` layers (which speak [`pastry::Net`]) a view of *any*
+//! transport — the simulator here, real sockets in `rbay-bench`'s
+//! `rbay-node` daemon.
+
+use crate::actor::RbayMsg;
+use crate::types::RbayPayload;
+use pastry::{Net, PastryMsg};
+use rbay_wire::Transport;
+use scribe::ScribeMsg;
+use simnet::{Context, NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
+
+/// [`Transport`] over a `simnet::Context` — the delivery path every tier-1
+/// test exercises.
+pub struct SimTransport<'a, 'c> {
+    ctx: &'a mut Context<'c, RbayMsg>,
+}
+
+impl<'a, 'c> SimTransport<'a, 'c> {
+    /// Wraps a simulation context.
+    pub fn new(ctx: &'a mut Context<'c, RbayMsg>) -> Self {
+        SimTransport { ctx }
+    }
+}
+
+impl Transport<RbayMsg> for SimTransport<'_, '_> {
+    fn send(&mut self, to: NodeAddr, msg: RbayMsg) {
+        self.ctx.send(to, msg);
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.ctx.set_timer(delay, token);
+    }
+
+    fn rtt_ms(&self, a: SiteId, b: SiteId) -> f64 {
+        self.ctx.topology().rtt_ms(a, b)
+    }
+}
+
+/// Adapter giving the sans-I/O routing layers (`pastry::Net`) a view of
+/// any [`Transport`] carrying [`RbayMsg`] frames.
+pub struct NetAdapter<'t, T> {
+    tr: &'t mut T,
+}
+
+impl<'t, T: Transport<RbayMsg>> NetAdapter<'t, T> {
+    /// Borrows a transport for the duration of one protocol call.
+    pub fn new(tr: &'t mut T) -> Self {
+        NetAdapter { tr }
+    }
+}
+
+impl<T: Transport<RbayMsg>> Net<ScribeMsg<RbayPayload>> for NetAdapter<'_, T> {
+    fn send(&mut self, to: NodeAddr, msg: PastryMsg<ScribeMsg<RbayPayload>>) {
+        self.tr.send(to, msg);
+    }
+
+    fn rtt_ms(&self, a: SiteId, b: SiteId) -> f64 {
+        self.tr.rtt_ms(a, b)
+    }
+}

@@ -221,6 +221,10 @@ pub struct QueryRecord {
     pub result: Vec<Candidate>,
     /// Whether at least `k` candidates were found and committed.
     pub satisfied: bool,
+    /// FROM-clause site names that did not resolve to any federated site —
+    /// the query silently searched fewer sites than asked, so issuers
+    /// (`trace_dump`, the `rbay-node` daemon) surface these to the user.
+    pub unknown_sites: Vec<String>,
     /// Sites that still owe a probe/search answer for the current attempt.
     pub pending: QueryPending,
 }

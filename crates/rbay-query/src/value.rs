@@ -1,5 +1,6 @@
 //! Attribute values and predicate comparison.
 
+use core::cmp::Ordering;
 use core::fmt;
 
 /// The value of a resource attribute in a node's key-value map.
@@ -21,6 +22,48 @@ impl AttrValue {
     /// Builds a string attribute.
     pub fn str(s: impl Into<String>) -> Self {
         AttrValue::Str(s.into())
+    }
+
+    /// An explicit total order over attribute values, for use as a sort
+    /// comparator (`slice::sort_by` panics on comparators that violate
+    /// totality, which `f64::partial_cmp(..).unwrap_or(Equal)` does once a
+    /// NaN shows up — NaN would compare Equal to everything while the
+    /// non-NaN keys around it stay ordered).
+    ///
+    /// The order: kinds rank `Bool < Num < Str`; booleans `false < true`;
+    /// numbers by IEEE order with **every NaN sorting last** (after
+    /// `+inf`), all NaNs equal to each other; strings lexicographically.
+    ///
+    /// ```
+    /// use rbay_query::AttrValue;
+    /// let mut keys = vec![
+    ///     AttrValue::Num(f64::NAN),
+    ///     AttrValue::Num(1.0),
+    ///     AttrValue::Num(f64::INFINITY),
+    /// ];
+    /// keys.sort_by(|a, b| a.cmp_total(b));
+    /// assert_eq!(keys[0], AttrValue::Num(1.0));
+    /// assert!(matches!(keys[2], AttrValue::Num(n) if n.is_nan()));
+    /// ```
+    pub fn cmp_total(&self, other: &AttrValue) -> Ordering {
+        fn rank(v: &AttrValue) -> u8 {
+            match v {
+                AttrValue::Bool(_) => 0,
+                AttrValue::Num(_) => 1,
+                AttrValue::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a.cmp(b),
+            (AttrValue::Num(a), AttrValue::Num(b)) => match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => a.partial_cmp(b).expect("neither operand is NaN"),
+            },
+            (AttrValue::Str(a), AttrValue::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
     }
 
     /// The canonical textual form used in tree names (`attr=value`).
@@ -152,6 +195,40 @@ mod tests {
         assert!(CmpOp::Ne.eval(&n, &s));
         assert!(!CmpOp::Lt.eval(&n, &s));
         assert!(!CmpOp::Ge.eval(&n, &s));
+    }
+
+    #[test]
+    fn cmp_total_is_a_total_order_with_nan_last() {
+        let nan = AttrValue::Num(f64::NAN);
+        let one = AttrValue::Num(1.0);
+        let inf = AttrValue::Num(f64::INFINITY);
+        assert_eq!(nan.cmp_total(&nan), Ordering::Equal);
+        assert_eq!(nan.cmp_total(&inf), Ordering::Greater, "NaN sorts last");
+        assert_eq!(one.cmp_total(&nan), Ordering::Less);
+        // Kind ranking: Bool < Num < Str, so mixed kinds stay transitive.
+        assert_eq!(
+            AttrValue::Bool(true).cmp_total(&AttrValue::Num(-1e9)),
+            Ordering::Less
+        );
+        assert_eq!(
+            AttrValue::str("0").cmp_total(&AttrValue::Num(1e9)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            AttrValue::Bool(false).cmp_total(&AttrValue::Bool(true)),
+            Ordering::Less
+        );
+        // Sorting a NaN-laden vec must neither panic nor depend on input
+        // order: NaNs land at the tail either way.
+        let mut a = [nan.clone(), one.clone(), inf.clone()];
+        let mut b = [inf.clone(), nan.clone(), one.clone()];
+        a.sort_by(|x, y| x.cmp_total(y));
+        b.sort_by(|x, y| x.cmp_total(y));
+        assert_eq!(a[0], one);
+        assert_eq!(a[1], inf);
+        assert!(matches!(a[2], AttrValue::Num(n) if n.is_nan()));
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
     }
 
     #[test]

@@ -1,0 +1,860 @@
+//! [`Wire`] implementations for primitives and for the cross-node message
+//! surface owned by `simnet` / `pastry` / `scribe` / `rbay-query`.
+//!
+//! Tag tables live in DESIGN.md §13. All integers are varints unless the
+//! value is an identifier with a fixed width (`NodeId` is 16 bytes LE);
+//! floats are 8-byte LE bit patterns with NaN canonicalized; collections
+//! are varint-length-prefixed with the length checked against remaining
+//! input before any allocation.
+
+use crate::codec::{emit, Reader, Wire, WireError};
+use pastry::{NodeId, NodeInfo, PastryMsg};
+use rbay_query::{AttrValue, CmpOp, FromClause, Predicate, Query, SortDir};
+use scribe::{AggValue, ScribeMsg, TopicId};
+use simnet::{NodeAddr, SimDuration, SimTime, SiteId};
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+impl Wire for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.byte()
+    }
+}
+
+impl Wire for u16 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, *self as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.varint_u16()
+    }
+}
+
+impl Wire for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, *self as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.varint_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.varint_u64()
+    }
+}
+
+impl Wire for u128 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::u128(out, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u128()
+    }
+}
+
+impl Wire for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::f64(out, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.f64()
+    }
+}
+
+impl Wire for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::string(out, self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.string()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.len() as u64);
+        for v in self {
+            v.encode_into(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.seq_len("Vec", 1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// simnet identifiers and time
+// ---------------------------------------------------------------------------
+
+impl Wire for NodeAddr {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.0 as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeAddr(r.varint_u32()?))
+    }
+}
+
+impl Wire for SiteId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.0 as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SiteId(r.varint_u16()?))
+    }
+}
+
+impl Wire for SimTime {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.as_micros());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SimTime::from_micros(r.varint_u64()?))
+    }
+}
+
+impl Wire for SimDuration {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.as_micros());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SimDuration::from_micros(r.varint_u64()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pastry
+// ---------------------------------------------------------------------------
+
+impl Wire for NodeId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::u128(out, self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.u128()?))
+    }
+}
+
+impl Wire for NodeInfo {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.addr.encode_into(out);
+        self.site.encode_into(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeInfo {
+            id: NodeId::decode(r)?,
+            addr: NodeAddr::decode(r)?,
+            site: SiteId::decode(r)?,
+        })
+    }
+}
+
+/// Tag bytes for [`PastryMsg`] (DESIGN.md §13 table).
+mod pastry_tag {
+    pub const ROUTE: u8 = 0;
+    pub const JOIN: u8 = 1;
+    pub const JOIN_REPLY: u8 = 2;
+    pub const ANNOUNCE: u8 = 3;
+    pub const ROW_REQUEST: u8 = 4;
+    pub const ROW_REPLY: u8 = 5;
+    pub const LEAF_REPAIR_REQUEST: u8 = 6;
+    pub const LEAF_REPAIR_REPLY: u8 = 7;
+    pub const DIRECT: u8 = 8;
+}
+
+impl<A: Wire> Wire for PastryMsg<A> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PastryMsg::Route {
+                key,
+                payload,
+                hops,
+                scope,
+            } => {
+                out.push(pastry_tag::ROUTE);
+                key.encode_into(out);
+                payload.encode_into(out);
+                hops.encode_into(out);
+                scope.encode_into(out);
+            }
+            PastryMsg::Join { joiner, rows, hops } => {
+                out.push(pastry_tag::JOIN);
+                joiner.encode_into(out);
+                rows.encode_into(out);
+                hops.encode_into(out);
+            }
+            PastryMsg::JoinReply { rows, leaves, root } => {
+                out.push(pastry_tag::JOIN_REPLY);
+                rows.encode_into(out);
+                leaves.encode_into(out);
+                root.encode_into(out);
+            }
+            PastryMsg::Announce { info } => {
+                out.push(pastry_tag::ANNOUNCE);
+                info.encode_into(out);
+            }
+            PastryMsg::RowRequest { row } => {
+                out.push(pastry_tag::ROW_REQUEST);
+                row.encode_into(out);
+            }
+            PastryMsg::RowReply { row, entries } => {
+                out.push(pastry_tag::ROW_REPLY);
+                row.encode_into(out);
+                entries.encode_into(out);
+            }
+            PastryMsg::LeafRepairRequest => out.push(pastry_tag::LEAF_REPAIR_REQUEST),
+            PastryMsg::LeafRepairReply { leaves } => {
+                out.push(pastry_tag::LEAF_REPAIR_REPLY);
+                leaves.encode_into(out);
+            }
+            PastryMsg::Direct(a) => {
+                out.push(pastry_tag::DIRECT);
+                a.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.byte()?;
+        Ok(match tag {
+            pastry_tag::ROUTE => PastryMsg::Route {
+                key: NodeId::decode(r)?,
+                payload: A::decode(r)?,
+                hops: u16::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+            },
+            pastry_tag::JOIN => PastryMsg::Join {
+                joiner: NodeInfo::decode(r)?,
+                rows: Vec::<Vec<NodeInfo>>::decode(r)?,
+                hops: u16::decode(r)?,
+            },
+            pastry_tag::JOIN_REPLY => PastryMsg::JoinReply {
+                rows: Vec::<Vec<NodeInfo>>::decode(r)?,
+                leaves: Vec::<NodeInfo>::decode(r)?,
+                root: NodeInfo::decode(r)?,
+            },
+            pastry_tag::ANNOUNCE => PastryMsg::Announce {
+                info: NodeInfo::decode(r)?,
+            },
+            pastry_tag::ROW_REQUEST => PastryMsg::RowRequest {
+                row: u8::decode(r)?,
+            },
+            pastry_tag::ROW_REPLY => PastryMsg::RowReply {
+                row: u8::decode(r)?,
+                entries: Vec::<NodeInfo>::decode(r)?,
+            },
+            pastry_tag::LEAF_REPAIR_REQUEST => PastryMsg::LeafRepairRequest,
+            pastry_tag::LEAF_REPAIR_REPLY => PastryMsg::LeafRepairReply {
+                leaves: Vec::<NodeInfo>::decode(r)?,
+            },
+            pastry_tag::DIRECT => PastryMsg::Direct(A::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "PastryMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scribe
+// ---------------------------------------------------------------------------
+
+impl Wire for TopicId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TopicId(NodeId::decode(r)?))
+    }
+}
+
+/// Tag bytes for [`AggValue`].
+mod agg_tag {
+    pub const COUNT: u8 = 0;
+    pub const SUM: u8 = 1;
+    pub const MIN: u8 = 2;
+    pub const MAX: u8 = 3;
+    pub const MEAN: u8 = 4;
+    pub const MULTI: u8 = 5;
+}
+
+impl Wire for AggValue {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AggValue::Count(n) => {
+                out.push(agg_tag::COUNT);
+                n.encode_into(out);
+            }
+            AggValue::Sum(v) => {
+                out.push(agg_tag::SUM);
+                v.encode_into(out);
+            }
+            AggValue::Min(v) => {
+                out.push(agg_tag::MIN);
+                v.encode_into(out);
+            }
+            AggValue::Max(v) => {
+                out.push(agg_tag::MAX);
+                v.encode_into(out);
+            }
+            AggValue::Mean { sum, count } => {
+                out.push(agg_tag::MEAN);
+                sum.encode_into(out);
+                count.encode_into(out);
+            }
+            AggValue::Multi(xs) => {
+                out.push(agg_tag::MULTI);
+                xs.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.byte()?;
+        Ok(match tag {
+            agg_tag::COUNT => AggValue::Count(u64::decode(r)?),
+            agg_tag::SUM => AggValue::Sum(f64::decode(r)?),
+            agg_tag::MIN => AggValue::Min(f64::decode(r)?),
+            agg_tag::MAX => AggValue::Max(f64::decode(r)?),
+            agg_tag::MEAN => AggValue::Mean {
+                sum: f64::decode(r)?,
+                count: u64::decode(r)?,
+            },
+            agg_tag::MULTI => {
+                // The only recursive wire value: guard the nesting depth so
+                // a hostile frame cannot overflow the decode stack.
+                r.enter()?;
+                let xs = Vec::<AggValue>::decode(r)?;
+                r.exit();
+                AggValue::Multi(xs)
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "AggValue",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Tag bytes for [`ScribeMsg`].
+mod scribe_tag {
+    pub const JOIN: u8 = 0;
+    pub const JOIN_ACK: u8 = 1;
+    pub const LEAVE: u8 = 2;
+    pub const MULTICAST_REQ: u8 = 3;
+    pub const MULTICAST_DATA: u8 = 4;
+    pub const ANYCAST: u8 = 5;
+    pub const ANYCAST_STEP: u8 = 6;
+    pub const ANYCAST_RESULT: u8 = 7;
+    pub const PROBE_ROOT: u8 = 8;
+    pub const PROBE_REPLY: u8 = 9;
+    pub const AGG_UPDATE: u8 = 10;
+    pub const NOT_CHILD: u8 = 11;
+    pub const APP_DIRECT: u8 = 12;
+}
+
+impl<P: Wire> Wire for ScribeMsg<P> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ScribeMsg::Join {
+                topic,
+                scope,
+                child,
+            } => {
+                out.push(scribe_tag::JOIN);
+                topic.encode_into(out);
+                scope.encode_into(out);
+                child.encode_into(out);
+            }
+            ScribeMsg::JoinAck { topic } => {
+                out.push(scribe_tag::JOIN_ACK);
+                topic.encode_into(out);
+            }
+            ScribeMsg::Leave { topic, child } => {
+                out.push(scribe_tag::LEAVE);
+                topic.encode_into(out);
+                child.encode_into(out);
+            }
+            ScribeMsg::MulticastReq {
+                topic,
+                scope,
+                payload,
+            } => {
+                out.push(scribe_tag::MULTICAST_REQ);
+                topic.encode_into(out);
+                scope.encode_into(out);
+                payload.encode_into(out);
+            }
+            ScribeMsg::MulticastData { topic, payload } => {
+                out.push(scribe_tag::MULTICAST_DATA);
+                topic.encode_into(out);
+                payload.encode_into(out);
+            }
+            ScribeMsg::Anycast {
+                topic,
+                scope,
+                payload,
+                origin,
+            } => {
+                out.push(scribe_tag::ANYCAST);
+                topic.encode_into(out);
+                scope.encode_into(out);
+                payload.encode_into(out);
+                origin.encode_into(out);
+            }
+            ScribeMsg::AnycastStep {
+                topic,
+                payload,
+                origin,
+                visited,
+                stack,
+            } => {
+                out.push(scribe_tag::ANYCAST_STEP);
+                topic.encode_into(out);
+                payload.encode_into(out);
+                origin.encode_into(out);
+                visited.encode_into(out);
+                stack.encode_into(out);
+            }
+            ScribeMsg::AnycastResult {
+                topic,
+                payload,
+                satisfied,
+            } => {
+                out.push(scribe_tag::ANYCAST_RESULT);
+                topic.encode_into(out);
+                payload.encode_into(out);
+                satisfied.encode_into(out);
+            }
+            ScribeMsg::ProbeRoot {
+                topic,
+                scope,
+                payload,
+                origin,
+            } => {
+                out.push(scribe_tag::PROBE_ROOT);
+                topic.encode_into(out);
+                scope.encode_into(out);
+                payload.encode_into(out);
+                origin.encode_into(out);
+            }
+            ScribeMsg::ProbeReply {
+                topic,
+                payload,
+                agg,
+                exists,
+            } => {
+                out.push(scribe_tag::PROBE_REPLY);
+                topic.encode_into(out);
+                payload.encode_into(out);
+                agg.encode_into(out);
+                exists.encode_into(out);
+            }
+            ScribeMsg::AggUpdate { topic, value } => {
+                out.push(scribe_tag::AGG_UPDATE);
+                topic.encode_into(out);
+                value.encode_into(out);
+            }
+            ScribeMsg::NotChild { topic } => {
+                out.push(scribe_tag::NOT_CHILD);
+                topic.encode_into(out);
+            }
+            ScribeMsg::AppDirect(p) => {
+                out.push(scribe_tag::APP_DIRECT);
+                p.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.byte()?;
+        Ok(match tag {
+            scribe_tag::JOIN => ScribeMsg::Join {
+                topic: TopicId::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+                child: NodeInfo::decode(r)?,
+            },
+            scribe_tag::JOIN_ACK => ScribeMsg::JoinAck {
+                topic: TopicId::decode(r)?,
+            },
+            scribe_tag::LEAVE => ScribeMsg::Leave {
+                topic: TopicId::decode(r)?,
+                child: NodeAddr::decode(r)?,
+            },
+            scribe_tag::MULTICAST_REQ => ScribeMsg::MulticastReq {
+                topic: TopicId::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+                payload: P::decode(r)?,
+            },
+            scribe_tag::MULTICAST_DATA => ScribeMsg::MulticastData {
+                topic: TopicId::decode(r)?,
+                payload: P::decode(r)?,
+            },
+            scribe_tag::ANYCAST => ScribeMsg::Anycast {
+                topic: TopicId::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+                payload: P::decode(r)?,
+                origin: NodeAddr::decode(r)?,
+            },
+            scribe_tag::ANYCAST_STEP => ScribeMsg::AnycastStep {
+                topic: TopicId::decode(r)?,
+                payload: P::decode(r)?,
+                origin: NodeAddr::decode(r)?,
+                visited: Vec::<NodeAddr>::decode(r)?,
+                stack: Vec::<NodeAddr>::decode(r)?,
+            },
+            scribe_tag::ANYCAST_RESULT => ScribeMsg::AnycastResult {
+                topic: TopicId::decode(r)?,
+                payload: P::decode(r)?,
+                satisfied: bool::decode(r)?,
+            },
+            scribe_tag::PROBE_ROOT => ScribeMsg::ProbeRoot {
+                topic: TopicId::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+                payload: P::decode(r)?,
+                origin: NodeAddr::decode(r)?,
+            },
+            scribe_tag::PROBE_REPLY => ScribeMsg::ProbeReply {
+                topic: TopicId::decode(r)?,
+                payload: P::decode(r)?,
+                agg: Option::<AggValue>::decode(r)?,
+                exists: bool::decode(r)?,
+            },
+            scribe_tag::AGG_UPDATE => ScribeMsg::AggUpdate {
+                topic: TopicId::decode(r)?,
+                value: AggValue::decode(r)?,
+            },
+            scribe_tag::NOT_CHILD => ScribeMsg::NotChild {
+                topic: TopicId::decode(r)?,
+            },
+            scribe_tag::APP_DIRECT => ScribeMsg::AppDirect(P::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ScribeMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rbay-query
+// ---------------------------------------------------------------------------
+
+/// Tag bytes for [`AttrValue`].
+mod attr_tag {
+    pub const BOOL: u8 = 0;
+    pub const NUM: u8 = 1;
+    pub const STR: u8 = 2;
+}
+
+impl Wire for AttrValue {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AttrValue::Bool(b) => {
+                out.push(attr_tag::BOOL);
+                b.encode_into(out);
+            }
+            AttrValue::Num(n) => {
+                out.push(attr_tag::NUM);
+                n.encode_into(out);
+            }
+            AttrValue::Str(s) => {
+                out.push(attr_tag::STR);
+                s.encode_into(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.byte()?;
+        Ok(match tag {
+            attr_tag::BOOL => AttrValue::Bool(bool::decode(r)?),
+            attr_tag::NUM => AttrValue::Num(f64::decode(r)?),
+            attr_tag::STR => AttrValue::Str(String::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "AttrValue",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for CmpOp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            5 => CmpOp::Ge,
+            tag => return Err(WireError::BadTag { what: "CmpOp", tag }),
+        })
+    }
+}
+
+impl Wire for SortDir {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SortDir::Asc => 0,
+            SortDir::Desc => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => SortDir::Asc,
+            1 => SortDir::Desc,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "SortDir",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for Predicate {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.attr.encode_into(out);
+        self.op.encode_into(out);
+        self.value.encode_into(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Predicate {
+            attr: String::decode(r)?,
+            op: CmpOp::decode(r)?,
+            value: AttrValue::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FromClause {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            FromClause::AllSites => out.push(0),
+            FromClause::Sites(names) => {
+                out.push(1);
+                names.encode_into(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => FromClause::AllSites,
+            1 => FromClause::Sites(Vec::<String>::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "FromClause",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for Query {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.from.encode_into(out);
+        self.predicates.encode_into(out);
+        match &self.order_by {
+            None => out.push(0),
+            Some((attr, dir)) => {
+                out.push(1);
+                attr.encode_into(out);
+                dir.encode_into(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let k = u32::decode(r)?;
+        let from = FromClause::decode(r)?;
+        let predicates = Vec::<Predicate>::decode(r)?;
+        let order_by = match r.byte()? {
+            0 => None,
+            1 => Some((String::decode(r)?, SortDir::decode(r)?)),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "Query.order_by",
+                    tag,
+                })
+            }
+        };
+        Ok(Query {
+            k,
+            from,
+            predicates,
+            order_by,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_frame, encode_frame, MAX_DEPTH};
+
+    fn info(n: u32) -> NodeInfo {
+        NodeInfo {
+            id: NodeId::hash_of(format!("n{n}").as_bytes()),
+            addr: NodeAddr(n),
+            site: SiteId((n % 4) as u16),
+        }
+    }
+
+    #[test]
+    fn pastry_msg_round_trips() {
+        let msgs: Vec<PastryMsg<u64>> = vec![
+            PastryMsg::Route {
+                key: NodeId(42),
+                payload: 7,
+                hops: 3,
+                scope: Some(SiteId(2)),
+            },
+            PastryMsg::Join {
+                joiner: info(9),
+                rows: vec![vec![info(1), info(2)], vec![]],
+                hops: 1,
+            },
+            PastryMsg::LeafRepairRequest,
+            PastryMsg::Direct(u64::MAX),
+        ];
+        for m in &msgs {
+            let bytes = encode_frame(m);
+            let back: PastryMsg<u64> = decode_frame(&bytes).unwrap();
+            assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn scribe_msg_round_trips() {
+        let m: ScribeMsg<String> = ScribeMsg::AnycastStep {
+            topic: TopicId::new("GPU=true", "rbay"),
+            payload: "payload".into(),
+            origin: NodeAddr(3),
+            visited: vec![NodeAddr(1), NodeAddr(2)],
+            stack: vec![NodeAddr(9)],
+        };
+        let back: ScribeMsg<String> = decode_frame(&encode_frame(&m)).unwrap();
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn agg_value_round_trips_and_depth_limits() {
+        let v = AggValue::Multi(vec![
+            AggValue::Count(4),
+            AggValue::Mean { sum: 1.5, count: 3 },
+            AggValue::Multi(vec![AggValue::Min(-2.0), AggValue::Max(9.0)]),
+        ]);
+        assert_eq!(decode_frame::<AggValue>(&encode_frame(&v)).unwrap(), v);
+
+        // Hostile nesting: MAX_DEPTH+1 nested Multi([..]) wrappers.
+        let mut deep = AggValue::Count(1);
+        for _ in 0..=MAX_DEPTH {
+            deep = AggValue::Multi(vec![deep]);
+        }
+        assert_eq!(
+            decode_frame::<AggValue>(&encode_frame(&deep)).unwrap_err(),
+            WireError::TooDeep
+        );
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let q = Query {
+            k: 5,
+            from: FromClause::Sites(vec!["Virginia".into(), "Tokyo".into()]),
+            predicates: vec![Predicate {
+                attr: "GPU".into(),
+                op: CmpOp::Eq,
+                value: AttrValue::Bool(true),
+            }],
+            order_by: Some(("CPU_utilization".into(), SortDir::Desc)),
+        };
+        assert_eq!(decode_frame::<Query>(&encode_frame(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic() {
+        let m: PastryMsg<AggValue> = PastryMsg::Route {
+            key: NodeId(7),
+            payload: AggValue::Multi(vec![AggValue::Count(1), AggValue::Sum(2.0)]),
+            hops: 2,
+            scope: None,
+        };
+        let bytes = encode_frame(&m);
+        for cut in 0..bytes.len() {
+            assert!(decode_frame::<PastryMsg<AggValue>>(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! rbay-wire: the binary wire protocol and socket transport for the RBAY
+//! federation.
+//!
+//! Until now every message in this codebase was a Rust enum moving through
+//! `simnet`'s in-memory event queue — nothing could leave the process. The
+//! paper's deployment is the opposite: 16,000 agents as real processes
+//! exchanging bytes over TCP across 8 regions. This crate makes the
+//! message plane real while keeping the protocol code untouched:
+//!
+//! * [`codec`] — a self-contained length-prefixed binary format: the
+//!   [`Wire`] trait, varint integers, length-prefixed strings, a
+//!   protocol-version frame header, and a bounds-checked [`Reader`] whose
+//!   decode path is total (hostile bytes yield [`WireError`], never a
+//!   panic or unbounded allocation).
+//! * [`impls`] — `Wire` for the full cross-node message surface owned by
+//!   `simnet`/`pastry`/`scribe`/`rbay-query`: `PastryMsg`, `ScribeMsg`,
+//!   `AggValue`, `AttrValue`, and the query AST. (`RbayPayload` and
+//!   `RbayEvent` implement `Wire` in `rbay-core` itself — the orphan rule
+//!   puts impls next to whichever side is local.)
+//! * [`transport`] — the [`Transport`] trait: message delivery + clock +
+//!   timers, the only I/O surface the protocol actors need.
+//! * [`tcp`] — the real backend: [`tcp::TcpBus`] (listener + thread-per-
+//!   peer readers and writers, bounded queues, reconnect-on-error) and
+//!   [`tcp::TcpTransport`].
+//!
+//! The simnet backend lives in `rbay-core` (`SimTransport`), so tier-1
+//! simulation behavior is bit-for-bit unchanged; the `rbay-node` daemon
+//! and `cluster` harness in `rbay-bench` run the same actors over real
+//! loopback sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod impls;
+pub mod tcp;
+pub mod transport;
+
+pub use codec::{
+    decode_frame, encode_frame, read_frame, write_frame, Reader, Wire, WireError, CANON_NAN_BITS,
+    MAX_DEPTH, MAX_FRAME_LEN, WIRE_VERSION,
+};
+pub use tcp::{Hello, Inbound, Resolver, TcpBus, TcpTransport};
+pub use transport::Transport;

@@ -1,0 +1,439 @@
+//! Real-socket backend: a [`TcpBus`] moving length-prefixed frames between
+//! OS processes over `std::net::TcpStream`, and a [`TcpTransport`] that
+//! implements [`Transport`] on top of it with a wall-clock timer wheel.
+//!
+//! Threading model (one bus per daemon):
+//!
+//! * one **listener** thread accepts inbound connections;
+//! * one **reader** thread per inbound connection: reads the hello frame
+//!   identifying the peer, then pushes every subsequent frame into a
+//!   *bounded* inbound queue (blocking when full — backpressure reaches
+//!   the peer through TCP flow control);
+//! * one **writer** thread per outbound peer, fed by a bounded channel:
+//!   connects lazily, sends its own hello, and on a write error reconnects
+//!   once before dropping the frame. A saturated outbound channel also
+//!   drops frames (`try_send`) — loss, not blocking, because every overlay
+//!   protocol above already tolerates loss (heartbeats, rejoin, repair).
+//!
+//! Only raw `Vec<u8>` frames cross threads; encoding and decoding of typed
+//! messages (which may hold non-`Send` state such as `Rc<Query>`) stay on
+//! the daemon's main thread.
+
+use crate::codec::{
+    decode_frame, encode_frame, read_frame, write_frame, Reader, Wire, WireError, MAX_FRAME_LEN,
+};
+use crate::transport::Transport;
+use simnet::{NodeAddr, SimDuration, SimTime, TimerToken};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Capacity of the shared inbound frame queue (frames, not bytes).
+const INBOUND_QUEUE: usize = 4096;
+/// Capacity of each per-peer outbound frame queue.
+const OUTBOUND_QUEUE: usize = 1024;
+
+/// First frame on every connection: who is calling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// A federation peer identified by its overlay address.
+    Peer(NodeAddr),
+    /// A control client (the `cluster` harness); carries no address.
+    Ctrl,
+}
+
+impl Wire for Hello {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Hello::Peer(addr) => {
+                out.push(0);
+                addr.encode_into(out);
+            }
+            Hello::Ctrl => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => Hello::Peer(NodeAddr::decode(r)?),
+            1 => Hello::Ctrl,
+            tag => return Err(WireError::BadTag { what: "Hello", tag }),
+        })
+    }
+}
+
+/// One frame delivered by the bus to the daemon's main loop.
+#[derive(Debug)]
+pub enum Inbound {
+    /// A protocol frame from a federation peer (still encoded — decode on
+    /// the main thread).
+    Peer {
+        /// Overlay address the peer announced in its hello.
+        from: NodeAddr,
+        /// The raw frame body.
+        frame: Vec<u8>,
+    },
+    /// A frame from a control client.
+    Ctrl {
+        /// Bus-local id of the control connection, for [`TcpBus::send_ctrl`].
+        conn: u64,
+        /// The raw frame body.
+        frame: Vec<u8>,
+    },
+    /// A control connection closed.
+    CtrlClosed {
+        /// Bus-local id of the closed connection.
+        conn: u64,
+    },
+}
+
+/// Maps overlay addresses to socket addresses (e.g. `127.0.0.1:base+i`).
+pub type Resolver = Arc<dyn Fn(NodeAddr) -> Option<SocketAddr> + Send + Sync>;
+
+struct BusInner {
+    my_addr: NodeAddr,
+    resolver: Resolver,
+    /// Outbound frame queues, one writer thread per peer, created lazily.
+    peers: Mutex<HashMap<NodeAddr, SyncSender<Vec<u8>>>>,
+    /// Write halves of live control connections.
+    ctrl_conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Frames silently dropped on saturated or broken outbound paths.
+    dropped: Mutex<u64>,
+}
+
+/// A shared handle to one daemon's socket machinery. Cheap to clone.
+#[derive(Clone)]
+pub struct TcpBus {
+    inner: Arc<BusInner>,
+}
+
+impl TcpBus {
+    /// Binds `listen`, spawns the listener thread, and returns the bus
+    /// plus the inbound frame queue its reader threads feed.
+    pub fn start(
+        listen: SocketAddr,
+        my_addr: NodeAddr,
+        resolver: Resolver,
+    ) -> std::io::Result<(TcpBus, Receiver<Inbound>)> {
+        let listener = TcpListener::bind(listen)?;
+        let (tx, rx) = sync_channel::<Inbound>(INBOUND_QUEUE);
+        let bus = TcpBus {
+            inner: Arc::new(BusInner {
+                my_addr,
+                resolver,
+                peers: Mutex::new(HashMap::new()),
+                ctrl_conns: Mutex::new(HashMap::new()),
+                dropped: Mutex::new(0),
+            }),
+        };
+        let accept_bus = bus.clone();
+        thread::Builder::new()
+            .name(format!("rbay-accept-{}", my_addr.0))
+            .spawn(move || accept_loop(listener, accept_bus, tx))
+            .expect("spawn listener thread");
+        Ok((bus, rx))
+    }
+
+    /// The overlay address this bus answers for.
+    pub fn my_addr(&self) -> NodeAddr {
+        self.inner.my_addr
+    }
+
+    /// Queues an already-encoded frame for `to`, spawning that peer's
+    /// writer thread on first use. Drops the frame (and counts it) if the
+    /// peer's queue is full or its writer has exited.
+    pub fn send_to(&self, to: NodeAddr, frame: Vec<u8>) {
+        let mut peers = self.inner.peers.lock().expect("peers lock");
+        let tx = peers.entry(to).or_insert_with(|| {
+            let (tx, rx) = sync_channel::<Vec<u8>>(OUTBOUND_QUEUE);
+            let inner = Arc::clone(&self.inner);
+            thread::Builder::new()
+                .name(format!("rbay-writer-{}-{}", self.inner.my_addr.0, to.0))
+                .spawn(move || writer_loop(inner, to, rx))
+                .expect("spawn writer thread");
+            tx
+        });
+        match tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.count_drop(),
+            Err(TrySendError::Disconnected(_)) => {
+                // Writer exited (it never does on send errors, so this is a
+                // shutdown race); forget it so a fresh one starts next send.
+                peers.remove(&to);
+                self.count_drop();
+            }
+        }
+    }
+
+    /// Writes a frame back on a control connection. Errors (including an
+    /// unknown/closed connection) are reported, not fatal.
+    pub fn send_ctrl(&self, conn: u64, frame: &[u8]) -> std::io::Result<()> {
+        let mut conns = self.inner.ctrl_conns.lock().expect("ctrl lock");
+        let stream = conns.get_mut(&conn).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "ctrl conn closed")
+        })?;
+        write_frame(stream, frame)
+    }
+
+    /// Frames dropped so far on saturated or broken outbound paths.
+    pub fn dropped_frames(&self) -> u64 {
+        *self.inner.dropped.lock().expect("dropped lock")
+    }
+
+    fn count_drop(&self) {
+        *self.inner.dropped.lock().expect("dropped lock") += 1;
+    }
+}
+
+fn accept_loop(listener: TcpListener, bus: TcpBus, tx: SyncSender<Inbound>) {
+    let mut next_ctrl: u64 = 0;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let conn_id = next_ctrl;
+        next_ctrl += 1;
+        let tx = tx.clone();
+        let bus = bus.clone();
+        let name = format!("rbay-reader-{}-{}", bus.inner.my_addr.0, conn_id);
+        let _ = thread::Builder::new()
+            .name(name)
+            .spawn(move || reader_loop(stream, conn_id, bus, tx));
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn_id: u64, bus: TcpBus, tx: SyncSender<Inbound>) {
+    // First frame must be a hello; a connection speaking anything else
+    // (wrong version, garbage) is dropped on the floor.
+    let hello = match read_frame(&mut stream, MAX_FRAME_LEN) {
+        Ok(Some(frame)) => match decode_frame::<Hello>(&frame) {
+            Ok(h) => h,
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    match hello {
+        Hello::Peer(from) => loop {
+            match read_frame(&mut stream, MAX_FRAME_LEN) {
+                Ok(Some(frame)) => {
+                    // Blocking send: a full inbound queue stalls this
+                    // reader, which stalls the peer via TCP flow control.
+                    if tx.send(Inbound::Peer { from, frame }).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        },
+        Hello::Ctrl => {
+            if let Ok(clone) = stream.try_clone() {
+                bus.inner
+                    .ctrl_conns
+                    .lock()
+                    .expect("ctrl lock")
+                    .insert(conn_id, clone);
+            }
+            while let Ok(Some(frame)) = read_frame(&mut stream, MAX_FRAME_LEN) {
+                if tx
+                    .send(Inbound::Ctrl {
+                        conn: conn_id,
+                        frame,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            bus.inner
+                .ctrl_conns
+                .lock()
+                .expect("ctrl lock")
+                .remove(&conn_id);
+            let _ = tx.send(Inbound::CtrlClosed { conn: conn_id });
+        }
+    }
+}
+
+fn writer_loop(inner: Arc<BusInner>, to: NodeAddr, rx: Receiver<Vec<u8>>) {
+    let mut conn: Option<TcpStream> = None;
+    let hello = encode_frame(&Hello::Peer(inner.my_addr));
+    while let Ok(frame) = rx.recv() {
+        // Up to two attempts per frame: reconnect-on-error, then drop.
+        let mut sent = false;
+        for _ in 0..2 {
+            if conn.is_none() {
+                conn = connect(&inner, to, &hello);
+            }
+            let Some(stream) = conn.as_mut() else { break };
+            match write_frame(stream, &frame) {
+                Ok(()) => {
+                    sent = true;
+                    break;
+                }
+                Err(_) => conn = None,
+            }
+        }
+        if !sent {
+            *inner.dropped.lock().expect("dropped lock") += 1;
+        }
+    }
+}
+
+fn connect(inner: &BusInner, to: NodeAddr, hello: &[u8]) -> Option<TcpStream> {
+    let sock = (inner.resolver)(to)?;
+    let mut stream = TcpStream::connect(sock).ok()?;
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, hello).ok()?;
+    let _ = stream.flush();
+    Some(stream)
+}
+
+/// [`Transport`] over a [`TcpBus`]: encodes messages into frames on the
+/// calling (main) thread, and keeps a wall-clock timer wheel the daemon's
+/// event loop drains with [`TcpTransport::due_timers`].
+pub struct TcpTransport<M> {
+    bus: TcpBus,
+    epoch: Instant,
+    /// Authoritative deadline per token; the heap below may hold stale
+    /// duplicates that are skipped on pop (lazy re-arm semantics).
+    deadlines: HashMap<TimerToken, SimTime>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, TimerToken)>>,
+    _msg: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M: Wire> TcpTransport<M> {
+    /// Wraps a bus; the transport's clock starts at zero now.
+    pub fn new(bus: TcpBus) -> Self {
+        TcpTransport {
+            bus,
+            epoch: Instant::now(),
+            deadlines: HashMap::new(),
+            heap: std::collections::BinaryHeap::new(),
+            _msg: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying bus.
+    pub fn bus(&self) -> &TcpBus {
+        &self.bus
+    }
+
+    /// Tokens whose deadline has passed, each delivered once.
+    pub fn due_timers(&mut self) -> Vec<TimerToken> {
+        let now = self.now();
+        let mut due = Vec::new();
+        while let Some(std::cmp::Reverse((at, token))) = self.heap.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            // Only fire if this entry is the token's live deadline.
+            if self.deadlines.get(&token) == Some(&at) {
+                self.deadlines.remove(&token);
+                due.push(token);
+            }
+        }
+        due
+    }
+
+    /// The earliest live deadline, if any — lets the event loop sleep
+    /// exactly until the next timer.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.deadlines.values().min().copied()
+    }
+}
+
+impl<M: Wire> Transport<M> for TcpTransport<M> {
+    fn send(&mut self, to: NodeAddr, msg: M) {
+        self.bus.send_to(to, encode_frame(&msg));
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let at = SimTime::from_micros(self.now().as_micros() + delay.as_micros());
+        self.deadlines.insert(token, at);
+        self.heap.push(std::cmp::Reverse((at, token)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback_pair(a: u16, b: u16) -> (Resolver, SocketAddr, SocketAddr) {
+        let sa: SocketAddr = format!("127.0.0.1:{a}").parse().unwrap();
+        let sb: SocketAddr = format!("127.0.0.1:{b}").parse().unwrap();
+        let resolver: Resolver = Arc::new(move |addr: NodeAddr| match addr.0 {
+            0 => Some(sa),
+            1 => Some(sb),
+            _ => None,
+        });
+        (resolver, sa, sb)
+    }
+
+    #[test]
+    fn frames_flow_between_two_buses() {
+        let (resolver, sa, sb) = loopback_pair(39301, 39302);
+        let (bus_a, _rx_a) = TcpBus::start(sa, NodeAddr(0), resolver.clone()).unwrap();
+        let (_bus_b, rx_b) = TcpBus::start(sb, NodeAddr(1), resolver).unwrap();
+
+        let mut tr: TcpTransport<u64> = TcpTransport::new(bus_a);
+        tr.send(NodeAddr(1), 4242);
+        match rx_b
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap()
+        {
+            Inbound::Peer { from, frame } => {
+                assert_eq!(from, NodeAddr(0));
+                assert_eq!(decode_frame::<u64>(&frame).unwrap(), 4242);
+            }
+            other => panic!("unexpected inbound: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctrl_connections_round_trip_replies() {
+        let sa: SocketAddr = "127.0.0.1:39303".parse().unwrap();
+        let resolver: Resolver = Arc::new(|_| None);
+        let (bus, rx) = TcpBus::start(sa, NodeAddr(0), resolver).unwrap();
+
+        let mut client = TcpStream::connect(sa).unwrap();
+        write_frame(&mut client, &encode_frame(&Hello::Ctrl)).unwrap();
+        write_frame(&mut client, &encode_frame(&77u64)).unwrap();
+
+        let conn = match rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap() {
+            Inbound::Ctrl { conn, frame } => {
+                assert_eq!(decode_frame::<u64>(&frame).unwrap(), 77);
+                conn
+            }
+            other => panic!("unexpected inbound: {other:?}"),
+        };
+        bus.send_ctrl(conn, &encode_frame(&88u64)).unwrap();
+        let reply = read_frame(&mut client, MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(decode_frame::<u64>(&reply).unwrap(), 88);
+    }
+
+    #[test]
+    fn timer_wheel_rearms_and_fires_in_order() {
+        let sa: SocketAddr = "127.0.0.1:39304".parse().unwrap();
+        let resolver: Resolver = Arc::new(|_| None);
+        let (bus, _rx) = TcpBus::start(sa, NodeAddr(0), resolver).unwrap();
+        let mut tr: TcpTransport<u64> = TcpTransport::new(bus);
+
+        tr.set_timer(SimDuration::from_micros(0), TimerToken(1));
+        tr.set_timer(SimDuration::from_secs(3600), TimerToken(2));
+        // Re-arm token 1 far in the future: the old deadline must not fire.
+        tr.set_timer(SimDuration::from_secs(3600), TimerToken(1));
+        assert!(tr.due_timers().is_empty());
+
+        tr.set_timer(SimDuration::from_micros(0), TimerToken(2));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(tr.due_timers(), vec![TimerToken(2)]);
+        assert!(tr.next_deadline().is_some(), "token 1 still pending");
+    }
+}

@@ -1,0 +1,41 @@
+//! The [`Transport`] abstraction: everything a protocol actor needs from
+//! the outside world — message delivery, a clock, and timers — behind one
+//! trait, so the same `pastry`/`scribe`/`rbay-core` state machines run
+//! unchanged over the in-memory simulator or a real socket backend.
+
+use simnet::{NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
+
+/// A message plane for one node: sends typed messages to peer addresses,
+/// reads a clock, and arms timers.
+///
+/// Implementations:
+///
+/// * `rbay-core`'s `SimTransport` delegates to `simnet::Context` — exactly
+///   the delivery path tier-1 tests have always exercised.
+/// * [`crate::tcp::TcpTransport`] frames messages over loopback/static TCP
+///   and keeps a real-time timer wheel.
+///
+/// Delivery is *best-effort* on every backend: the simulator can drop
+/// messages under a loss probability, and the TCP backend drops frames on
+/// broken or saturated connections. The overlay protocols already tolerate
+/// loss (heartbeats, rejoin, repair), so the trait makes no delivery
+/// promise.
+pub trait Transport<M> {
+    /// Sends `msg` to the node addressed `to`. Best-effort; never blocks
+    /// indefinitely.
+    fn send(&mut self, to: NodeAddr, msg: M);
+
+    /// The current time on this backend's clock.
+    fn now(&self) -> SimTime;
+
+    /// Arms a timer that fires `token` after `delay`. Re-arming the same
+    /// token replaces the earlier deadline.
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken);
+
+    /// Estimated round-trip time between two sites in milliseconds, used
+    /// by proximity-aware routing. Backends without a topology model
+    /// return 0 (all peers equally near).
+    fn rtt_ms(&self, _a: SiteId, _b: SiteId) -> f64 {
+        0.0
+    }
+}

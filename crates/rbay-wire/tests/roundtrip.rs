@@ -1,0 +1,320 @@
+//! Property tests for every `Wire` impl the crate provides: random
+//! values survive an encode → decode → encode cycle byte-identically
+//! (and value-identically where the type has `PartialEq`), and hostile
+//! bytes — random garbage, truncations, bit flips — never panic the
+//! decoder.
+
+use pastry::{NodeId, NodeInfo, PastryMsg};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+use rbay_query::{AttrValue, CmpOp, FromClause, Predicate, Query, SortDir};
+use rbay_wire::{decode_frame, encode_frame, Wire};
+use scribe::{AggValue, ScribeMsg, TopicId};
+use simnet::{NodeAddr, SimDuration, SimTime, SiteId};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn s_string() -> impl Strategy<Value = String> {
+    // A small alphabet with multi-byte code points keeps UTF-8 handling
+    // honest without blowing up frame sizes.
+    vec(0usize..6, 0..12).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| ['a', 'Z', '0', '_', 'Ω', '界'][i])
+            .collect()
+    })
+}
+
+fn s_node_info() -> impl Strategy<Value = NodeInfo> {
+    (any::<u128>(), any::<u32>(), any::<u16>()).prop_map(|(id, addr, site)| NodeInfo {
+        id: NodeId(id),
+        addr: NodeAddr(addr),
+        site: SiteId(site),
+    })
+}
+
+fn s_attr_value() -> BoxedStrategy<AttrValue> {
+    prop_oneof![
+        any::<bool>().prop_map(AttrValue::Bool),
+        any::<f64>().prop_map(AttrValue::Num),
+        s_string().prop_map(AttrValue::Str),
+    ]
+    .boxed()
+}
+
+fn s_agg_value() -> BoxedStrategy<AggValue> {
+    let leaf = prop_oneof![
+        any::<u64>().prop_map(AggValue::Count),
+        any::<f64>().prop_map(AggValue::Sum),
+        any::<f64>().prop_map(AggValue::Min),
+        any::<f64>().prop_map(AggValue::Max),
+        (any::<f64>(), any::<u64>()).prop_map(|(sum, count)| AggValue::Mean { sum, count }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| vec(inner, 0..4).prop_map(AggValue::Multi))
+}
+
+fn s_predicate() -> impl Strategy<Value = Predicate> {
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    (s_string(), op, s_attr_value()).prop_map(|(attr, op, value)| Predicate { attr, op, value })
+}
+
+fn s_query() -> impl Strategy<Value = Query> {
+    let from = prop_oneof![
+        Just(FromClause::AllSites),
+        vec(s_string(), 0..4).prop_map(FromClause::Sites),
+    ];
+    let dir = prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)];
+    (
+        1u32..64,
+        from,
+        vec(s_predicate(), 0..4),
+        option::of((s_string(), dir)),
+    )
+        .prop_map(|(k, from, predicates, order_by)| Query {
+            k,
+            from,
+            predicates,
+            order_by,
+        })
+}
+
+fn s_scope() -> impl Strategy<Value = Option<SiteId>> {
+    option::of(any::<u16>().prop_map(SiteId))
+}
+
+fn s_topic() -> BoxedStrategy<TopicId> {
+    any::<u128>().prop_map(|k| TopicId(NodeId(k))).boxed()
+}
+
+fn s_addr() -> BoxedStrategy<NodeAddr> {
+    any::<u32>().prop_map(NodeAddr).boxed()
+}
+
+fn s_scribe_msg() -> BoxedStrategy<ScribeMsg<AggValue>> {
+    prop_oneof![
+        (s_topic(), s_scope(), s_node_info()).prop_map(|(topic, scope, child)| {
+            ScribeMsg::Join {
+                topic,
+                scope,
+                child,
+            }
+        }),
+        s_topic().prop_map(|topic| ScribeMsg::JoinAck { topic }),
+        (s_topic(), s_addr()).prop_map(|(topic, child)| ScribeMsg::Leave { topic, child }),
+        (s_topic(), s_scope(), s_agg_value()).prop_map(|(topic, scope, payload)| {
+            ScribeMsg::MulticastReq {
+                topic,
+                scope,
+                payload,
+            }
+        }),
+        (s_topic(), s_agg_value())
+            .prop_map(|(topic, payload)| ScribeMsg::MulticastData { topic, payload }),
+        (s_topic(), s_scope(), s_agg_value(), s_addr()).prop_map(
+            |(topic, scope, payload, origin)| ScribeMsg::Anycast {
+                topic,
+                scope,
+                payload,
+                origin,
+            }
+        ),
+        (
+            s_topic(),
+            s_agg_value(),
+            s_addr(),
+            vec(s_addr(), 0..5),
+            vec(s_addr(), 0..5),
+        )
+            .prop_map(|(topic, payload, origin, visited, stack)| {
+                ScribeMsg::AnycastStep {
+                    topic,
+                    payload,
+                    origin,
+                    visited,
+                    stack,
+                }
+            }),
+        (s_topic(), s_agg_value(), any::<bool>()).prop_map(|(topic, payload, satisfied)| {
+            ScribeMsg::AnycastResult {
+                topic,
+                payload,
+                satisfied,
+            }
+        }),
+        (s_topic(), s_agg_value()).prop_map(|(topic, value)| ScribeMsg::AggUpdate { topic, value }),
+        s_topic().prop_map(|topic| ScribeMsg::NotChild { topic }),
+        s_agg_value().prop_map(ScribeMsg::AppDirect),
+    ]
+    .boxed()
+}
+
+fn s_pastry_msg() -> BoxedStrategy<PastryMsg<ScribeMsg<AggValue>>> {
+    prop_oneof![
+        (any::<u128>(), s_scribe_msg(), any::<u16>(), s_scope()).prop_map(
+            |(key, payload, hops, scope)| PastryMsg::Route {
+                key: NodeId(key),
+                payload,
+                hops,
+                scope,
+            }
+        ),
+        (
+            s_node_info(),
+            vec(vec(s_node_info(), 0..3), 0..3),
+            any::<u16>()
+        )
+            .prop_map(|(joiner, rows, hops)| PastryMsg::Join { joiner, rows, hops }),
+        (
+            vec(vec(s_node_info(), 0..3), 0..3),
+            vec(s_node_info(), 0..4),
+            s_node_info()
+        )
+            .prop_map(|(rows, leaves, root)| PastryMsg::JoinReply { rows, leaves, root }),
+        s_node_info().prop_map(|info| PastryMsg::Announce { info }),
+        any::<u8>().prop_map(|row| PastryMsg::RowRequest { row }),
+        (any::<u8>(), vec(s_node_info(), 0..4))
+            .prop_map(|(row, entries)| PastryMsg::RowReply { row, entries }),
+        Just(PastryMsg::LeafRepairRequest),
+        vec(s_node_info(), 0..4).prop_map(|leaves| PastryMsg::LeafRepairReply { leaves }),
+        s_scribe_msg().prop_map(PastryMsg::Direct),
+    ]
+    .boxed()
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+/// Frames `v`, decodes it back, and checks the decoded value re-encodes
+/// to the identical bytes (a round trip that needs no `PartialEq` on the
+/// message type; any lost or swapped field shows up as a byte diff).
+fn reencodes<T: Wire>(v: &T) -> T {
+    let bytes = encode_frame(v);
+    let back = decode_frame::<T>(&bytes).expect("valid frame decodes");
+    assert_eq!(
+        bytes,
+        encode_frame(&back),
+        "decode(encode(x)) re-encoded differently"
+    );
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn primitives_round_trip(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        c in any::<u128>(),
+        d in any::<bool>(),
+        s in s_string(),
+    ) {
+        prop_assert_eq!(reencodes(&a), a);
+        prop_assert_eq!(reencodes(&b), b);
+        prop_assert_eq!(reencodes(&c), c);
+        prop_assert_eq!(reencodes(&d), d);
+        prop_assert_eq!(reencodes(&s), s);
+    }
+
+    #[test]
+    fn ids_and_times_round_trip(addr in any::<u32>(), site in any::<u16>(), t in any::<u64>()) {
+        prop_assert_eq!(reencodes(&NodeAddr(addr)), NodeAddr(addr));
+        prop_assert_eq!(reencodes(&SiteId(site)), SiteId(site));
+        let at = SimTime::from_micros(t);
+        prop_assert_eq!(reencodes(&at), at);
+        let span = SimDuration::from_micros(t);
+        prop_assert_eq!(reencodes(&span), span);
+    }
+
+    #[test]
+    fn node_info_round_trips(info in s_node_info()) {
+        prop_assert_eq!(reencodes(&info), info);
+    }
+
+    #[test]
+    fn attr_values_round_trip(v in s_attr_value()) {
+        prop_assert_eq!(reencodes(&v), v);
+    }
+
+    #[test]
+    fn agg_values_round_trip(v in s_agg_value()) {
+        prop_assert_eq!(reencodes(&v), v);
+    }
+
+    #[test]
+    fn predicates_round_trip(p in s_predicate()) {
+        prop_assert_eq!(reencodes(&p), p);
+    }
+
+    #[test]
+    fn queries_round_trip(q in s_query()) {
+        prop_assert_eq!(reencodes(&q), q);
+    }
+
+    #[test]
+    fn scribe_msgs_round_trip(m in s_scribe_msg()) {
+        reencodes(&m);
+    }
+
+    #[test]
+    fn pastry_msgs_round_trip(m in s_pastry_msg()) {
+        reencodes(&m);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile bytes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage must decode to `Err`, never panic or hang. (A
+    /// random buffer passing the version check *and* decoding cleanly
+    /// *and* consuming every byte is possible in principle but never a
+    /// panic.)
+    #[test]
+    fn random_bytes_never_panic(bytes in vec(any::<u8>(), 0..96)) {
+        let _ = decode_frame::<PastryMsg<ScribeMsg<AggValue>>>(&bytes);
+        let _ = decode_frame::<Query>(&bytes);
+        let _ = decode_frame::<AggValue>(&bytes);
+        let _ = decode_frame::<AttrValue>(&bytes);
+        let _ = decode_frame::<NodeInfo>(&bytes);
+    }
+
+    /// Every strict prefix of a valid frame fails to decode (frames are
+    /// not self-delimiting mid-structure) — and fails with an error, not
+    /// a panic.
+    #[test]
+    fn truncations_always_error(m in s_pastry_msg()) {
+        let bytes = encode_frame(&m);
+        for len in 0..bytes.len() {
+            prop_assert!(
+                decode_frame::<PastryMsg<ScribeMsg<AggValue>>>(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    /// Flipping any byte of a valid frame never panics the decoder; when
+    /// the flip still decodes, the result re-encodes without panicking.
+    #[test]
+    fn bit_flips_never_panic(m in s_pastry_msg(), pos in any::<usize>(), flip in 1u8..255) {
+        let mut bytes = encode_frame(&m);
+        let n = bytes.len();
+        bytes[pos % n] ^= flip;
+        if let Ok(back) = decode_frame::<PastryMsg<ScribeMsg<AggValue>>>(&bytes) {
+            let _ = encode_frame(&back);
+        }
+    }
+}
