@@ -184,6 +184,8 @@ pub struct PastryNode {
     forward_log: Option<HashMap<NodeId, u64>>,
     /// Observability-plane handle; disabled (a no-op) by default.
     obs: Recorder,
+    /// Round-robin position for [`PastryNode::gossip_round`].
+    gossip_cursor: usize,
 }
 
 impl PastryNode {
@@ -199,6 +201,7 @@ impl PastryNode {
             stats: PastryStats::default(),
             forward_log: None,
             obs: Recorder::default(),
+            gossip_cursor: 0,
         }
     }
 
@@ -283,6 +286,30 @@ impl PastryNode {
         self.site_rt = site_rt;
         self.site_leaf = site_leaf;
         self.joined = true;
+    }
+
+    /// One round of peer-set anti-entropy: announces this node to one
+    /// known peer (round-robin) and pulls that peer's leaf set.
+    ///
+    /// The join-time `Announce` broadcast is one-shot and one-directional,
+    /// so concurrent joins (or a lost frame on a real network) can leave
+    /// two nodes mutually unaware forever. A periodic gossip round heals
+    /// both holes: the `Announce` teaches the peer about us, and the
+    /// `LeafRepairReply` teaches us the peer's neighbourhood — knowledge
+    /// percolates transitively through any connected member. Both handlers
+    /// are idempotent, so extra rounds are harmless.
+    pub fn gossip_round<A, N: Net<A>>(&mut self, net: &mut N) {
+        if !self.joined {
+            return;
+        }
+        let peers = self.known_peers();
+        if peers.is_empty() {
+            return;
+        }
+        let peer = peers[self.gossip_cursor % peers.len()];
+        self.gossip_cursor = self.gossip_cursor.wrapping_add(1);
+        net.send(peer.addr, PastryMsg::Announce { info: self.info });
+        net.send(peer.addr, PastryMsg::LeafRepairRequest);
     }
 
     /// All peers this node knows, deduplicated by address.

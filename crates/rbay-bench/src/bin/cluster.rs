@@ -1,63 +1,105 @@
 //! `cluster` — spawns a local RBAY federation as real OS processes and
-//! runs one end-to-end query through it.
+//! runs end-to-end queries through it.
 //!
-//! The harness launches `--count` `rbay-node` daemons on loopback TCP,
-//! waits for the Pastry overlay to converge, posts `GPU = true` on `k+1`
-//! of them (with the password `onGet` guard installed, so AAScript runs
-//! in-process too), waits for the aggregation trees to attach, then
-//! issues `SELECT k FROM * WHERE GPU = true` from the last daemon and
-//! verifies that `k` candidates were found **and committed** on the
-//! holders. Exit status 0 only on a fully verified run — CI's
-//! `cluster-smoke` job runs exactly this binary.
+//! The harness launches `--agents` federation members packed
+//! `--agents-per-proc` to an `rbay-node` daemon (so
+//! `--agents 16000 --agents-per-proc 100` is 160 OS processes on
+//! loopback TCP), waits for the Pastry overlay to converge, posts
+//! `GPU = true` on `k+1` evenly spaced members (with the password
+//! `onGet` guard installed, so AAScript runs in-process too), waits for
+//! the aggregation trees to attach, then issues
+//! `SELECT k FROM * WHERE GPU = true` from the last member and verifies
+//! that `k` candidates were found **and committed** on the holders. A
+//! final throughput phase runs `--qps-queries` back-to-back queries
+//! (releasing reservations between them) to measure queries/sec.
+//!
+//! Exit status 0 only on a fully verified run — CI's `cluster-smoke`
+//! and `cluster-packed` jobs run exactly this binary. With `--json` the
+//! run appends a `{agents, agents_per_proc, converge_ms,
+//! queries_per_sec, dropped_frames}` record to `BENCH_wire.json`.
 //!
 //! ```text
-//! cluster [--count 5] [--k 3] [--base-port 46100] [--num-sites 1]
+//! cluster [--agents 5] [--agents-per-proc 1] [--k 3] [--base-port 21100]
+//!         [--num-sites 1] [--tick-ms <ms>] [--qps-queries 10] [--json]
 //! ```
 
-use rbay_bench::cluster::{sock_of, CtrlMsg, DEFAULT_BASE_PORT};
+use rbay_bench::cluster::{proc_of, proc_sock, CtrlMsg, DEFAULT_BASE_PORT};
+use rbay_bench::{append_json_record, JsonRecord};
+use rbay_core::Candidate;
 use rbay_wire::{decode_frame, encode_frame, read_frame, write_frame, Hello, MAX_FRAME_LEN};
 use rbay_workloads::{password_aa_script, WORKLOAD_PASSWORD};
 use simnet::NodeAddr;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::process::{Child, Command};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Where cluster benchmark rows land (repo root, next to the codec rows).
+const WIRE_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+
 struct Args {
-    count: u32,
+    agents: u32,
+    per: u32,
     k: usize,
     base_port: u16,
     num_sites: u16,
+    tick_ms: u64,
+    qps_queries: u32,
+    json: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        count: 5,
+        agents: 5,
+        per: 1,
         k: 3,
         base_port: DEFAULT_BASE_PORT,
         num_sites: 1,
+        tick_ms: 0, // 0 = pick by scale below
+        qps_queries: 10,
+        json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--count" => args.count = flag_value(&argv, i),
+            // `--count` kept as an alias for unpacked runs.
+            "--agents" | "--count" => args.agents = flag_value(&argv, i),
+            "--agents-per-proc" => args.per = flag_value(&argv, i),
             "--k" => args.k = flag_value(&argv, i),
             "--base-port" => args.base_port = flag_value(&argv, i),
             "--num-sites" => args.num_sites = flag_value(&argv, i),
+            "--tick-ms" => args.tick_ms = flag_value(&argv, i),
+            "--qps-queries" => args.qps_queries = flag_value(&argv, i),
+            "--json" => {
+                args.json = true;
+                i += 1;
+                continue;
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nusage: cluster [--count <n>] [--k <k>] \
-                     [--base-port <p>] [--num-sites <s>]"
+                    "unknown flag {other}\nusage: cluster [--agents <n>] [--agents-per-proc <m>] \
+                     [--k <k>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>] \
+                     [--qps-queries <q>] [--json]"
                 );
                 std::process::exit(2);
             }
         }
         i += 2;
     }
-    if args.count < 2 || args.k + 1 >= args.count as usize {
-        eprintln!("need --count >= 2 and --k + 1 < --count (k holders plus a querier)");
+    if args.agents < 2 || args.k + 1 >= args.agents as usize {
+        eprintln!("need --agents >= 2 and --k + 1 < --agents (k holders plus a querier)");
         std::process::exit(2);
+    }
+    if args.per == 0 {
+        eprintln!("--agents-per-proc must be >= 1");
+        std::process::exit(2);
+    }
+    if args.tick_ms == 0 {
+        // Big fleets tick slower: maintenance is O(members) per tick and
+        // convergence is gated on join retries, not tick frequency.
+        args.tick_ms = if args.agents >= 2000 { 500 } else { 150 };
     }
     args
 }
@@ -79,17 +121,19 @@ where
         })
 }
 
-/// The spawned daemons; killed on drop so no run leaks processes.
-struct Fleet {
-    children: Vec<Child>,
-}
+/// The spawned daemons. Global so [`fail`] can kill them before
+/// `exit(1)` — `std::process::exit` runs no destructors, and a leaked
+/// 160-process fleet keeps squatting on the port range.
+static FLEET: Mutex<Vec<Child>> = Mutex::new(Vec::new());
 
-impl Drop for Fleet {
-    fn drop(&mut self) {
-        for c in &mut self.children {
+/// Kills and reaps every spawned daemon.
+fn kill_fleet() {
+    if let Ok(mut children) = FLEET.lock() {
+        for c in children.iter_mut() {
             let _ = c.kill();
             let _ = c.wait();
         }
+        children.clear();
     }
 }
 
@@ -136,13 +180,23 @@ impl Ctrl {
     }
 }
 
+/// Wraps a request for one specific member in its `To` envelope.
+fn to(member: NodeAddr, msg: CtrlMsg) -> CtrlMsg {
+    CtrlMsg::To {
+        member,
+        msg: Box::new(msg),
+    }
+}
+
 fn fail(msg: &str) -> ! {
     eprintln!("cluster: FAIL: {msg}");
+    kill_fleet();
     std::process::exit(1);
 }
 
 fn main() {
     let args = parse_args();
+    let procs = args.agents.div_ceil(args.per);
     let daemon = std::env::current_exe()
         .expect("own path")
         .with_file_name("rbay-node");
@@ -151,107 +205,235 @@ fn main() {
     }
 
     println!(
-        "cluster: spawning {} daemons (base port {}, {} site(s))",
-        args.count, args.base_port, args.num_sites
+        "cluster: spawning {} member(s) across {} process(es) (x{} packed, base port {}, \
+         {} site(s), tick {}ms)",
+        args.agents, procs, args.per, args.base_port, args.num_sites, args.tick_ms
     );
-    let mut fleet = Fleet {
-        children: Vec::new(),
-    };
-    for i in 0..args.count {
+    let spawn_start = Instant::now();
+    for i in 0..procs {
         let child = Command::new(&daemon)
             .args(["--index", &i.to_string()])
-            .args(["--count", &args.count.to_string()])
+            .args(["--agents", &args.agents.to_string()])
+            .args(["--agents-per-proc", &args.per.to_string()])
             .args(["--base-port", &args.base_port.to_string()])
             .args(["--num-sites", &args.num_sites.to_string()])
+            .args(["--tick-ms", &args.tick_ms.to_string()])
             .spawn()
             .unwrap_or_else(|e| fail(&format!("spawn daemon {i}: {e}")));
-        fleet.children.push(child);
+        FLEET.lock().unwrap().push(child);
     }
 
-    // Control connections to every daemon.
-    let deadline = Instant::now() + Duration::from_secs(15);
-    let mut ctrls: Vec<Ctrl> = (0..args.count)
+    // Control connections to every daemon. On a loaded single-core host
+    // a 160-process fleet takes a while to get everyone listening.
+    let deadline = Instant::now() + Duration::from_secs(30 + procs as u64);
+    let mut ctrls: Vec<Ctrl> = (0..procs)
         .map(|i| {
-            Ctrl::connect(sock_of(args.base_port, NodeAddr(i)), deadline)
+            Ctrl::connect(proc_sock(args.base_port, i), deadline)
                 .unwrap_or_else(|e| fail(&format!("ctrl connect to daemon {i}: {e}")))
         })
         .collect();
 
-    // Phase 1: overlay convergence — every daemon joined and aware of the
-    // full membership.
-    wait_until(Duration::from_secs(60), "overlay convergence", || {
+    // Phase 1: overlay convergence — every member joined. Small runs keep
+    // the stricter full-membership check (Pastry state is O(log n), so at
+    // scale a member legitimately knows only a fraction of its peers).
+    let strict_peers = args.agents <= 32;
+    let converge_budget = Duration::from_secs(120 + args.agents as u64 / 20);
+    wait_until(converge_budget, "overlay convergence", || {
         let mut joined = 0;
-        let mut ok = true;
+        let mut min_peers = u32::MAX;
+        let mut dropped = 0u64;
         for (i, ctrl) in ctrls.iter_mut().enumerate() {
-            match ctrl.request(&CtrlMsg::Status, Duration::from_secs(5)) {
-                Ok(CtrlMsg::StatusReply {
+            match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
+                Ok(CtrlMsg::ProcStatusReply {
                     joined: j,
-                    known_peers,
+                    min_known_peers,
+                    dropped_frames,
                     ..
                 }) => {
-                    if j && known_peers >= args.count - 1 {
-                        joined += 1;
-                    } else {
-                        ok = false;
-                    }
+                    joined += j;
+                    min_peers = min_peers.min(min_known_peers);
+                    dropped += dropped_frames;
                 }
-                other => fail(&format!("status from daemon {i}: {other:?}")),
+                other => fail(&format!("proc status from daemon {i}: {other:?}")),
             }
         }
-        println!("cluster: {} of {} daemons converged", joined, args.count);
-        ok
+        println!(
+            "cluster: {} of {} members joined (min known peers {}, {} dropped)",
+            joined,
+            args.agents,
+            if min_peers == u32::MAX { 0 } else { min_peers },
+            dropped
+        );
+        joined == args.agents && (!strict_peers || min_peers >= args.agents - 1)
     });
+    let converge_ms = spawn_start.elapsed().as_secs_f64() * 1e3;
+    println!("cluster: overlay converged in {converge_ms:.0} ms");
 
-    // Phase 2: k+1 holders post the resource behind the password guard.
-    let holders = args.k + 1;
-    for (i, ctrl) in ctrls.iter_mut().take(holders).enumerate() {
+    // Phase 2: k+1 evenly spaced holders post the resource behind the
+    // password guard.
+    let holders: Vec<NodeAddr> = (0..args.k as u32 + 1)
+        .map(|i| NodeAddr(i * args.agents / (args.k as u32 + 1)))
+        .collect();
+    for &h in &holders {
+        let ctrl = &mut ctrls[proc_of(h, args.per) as usize];
         match ctrl.request(
-            &CtrlMsg::InstallNodeAa {
-                src: password_aa_script(),
-            },
-            Duration::from_secs(5),
+            &to(
+                h,
+                CtrlMsg::InstallNodeAa {
+                    src: password_aa_script(),
+                },
+            ),
+            Duration::from_secs(10),
         ) {
             Ok(CtrlMsg::Ok) => {}
-            other => fail(&format!("install AA on daemon {i}: {other:?}")),
+            other => fail(&format!("install AA on member {h:?}: {other:?}")),
         }
         match ctrl.request(
-            &CtrlMsg::Post {
-                attr: "GPU".into(),
-                value: rbay_query::AttrValue::Bool(true),
-            },
-            Duration::from_secs(5),
+            &to(
+                h,
+                CtrlMsg::Post {
+                    attr: "GPU".into(),
+                    value: rbay_query::AttrValue::Bool(true),
+                },
+            ),
+            Duration::from_secs(10),
         ) {
             Ok(CtrlMsg::Ok) => {}
-            other => fail(&format!("post on daemon {i}: {other:?}")),
+            other => fail(&format!("post on member {h:?}: {other:?}")),
         }
     }
-    println!("cluster: posted GPU=true on {holders} daemons");
+    println!(
+        "cluster: posted GPU=true on {} members: {holders:?}",
+        holders.len()
+    );
 
     // Phase 3: every holder attached to its aggregation tree.
-    wait_until(Duration::from_secs(60), "tree attachment", || {
+    wait_until(Duration::from_secs(120), "tree attachment", || {
         let mut attached = 0;
-        for (i, ctrl) in ctrls.iter_mut().take(holders).enumerate() {
-            match ctrl.request(&CtrlMsg::Status, Duration::from_secs(5)) {
+        for &h in &holders {
+            let ctrl = &mut ctrls[proc_of(h, args.per) as usize];
+            match ctrl.request(&to(h, CtrlMsg::Status), Duration::from_secs(10)) {
                 Ok(CtrlMsg::StatusReply { attached: a, .. }) if a >= 1 => attached += 1,
                 Ok(CtrlMsg::StatusReply { .. }) => {}
-                other => fail(&format!("status from daemon {i}: {other:?}")),
+                other => fail(&format!("status from member {h:?}: {other:?}")),
             }
         }
-        println!("cluster: {attached} of {holders} holders attached to the tree");
-        attached == holders
+        println!(
+            "cluster: {attached} of {} holders attached to the tree",
+            holders.len()
+        );
+        attached == holders.len()
     });
 
-    // Phase 4: the last daemon runs the query; retry while trees settle.
+    // Phase 4: the last member runs the query; retry while trees settle.
+    let querier = NodeAddr(args.agents - 1);
+    let results = run_query(&mut ctrls, &args, querier, 5)
+        .unwrap_or_else(|| fail(&format!("query never committed {} results", args.k)));
+    println!("cluster: query satisfied with {} result(s):", results.len());
+    for c in &results {
+        println!("  node {:?} at {:?} (site {:?})", c.id, c.addr, c.site);
+    }
+
+    // Phase 5: the commits really landed on the chosen members. The
+    // QueryDone reply races the commit messages still in flight to the
+    // holders, so poll rather than check once.
+    wait_until(Duration::from_secs(30), "commit verification", || {
+        let mut committed = 0;
+        for c in &results {
+            let ctrl = &mut ctrls[proc_of(c.addr, args.per) as usize];
+            match ctrl.request(&to(c.addr, CtrlMsg::Status), Duration::from_secs(10)) {
+                Ok(CtrlMsg::StatusReply { committed: n, .. }) if n >= 1 => committed += 1,
+                Ok(_) => {}
+                Err(e) => fail(&format!("status from member {:?}: {e}", c.addr)),
+            }
+        }
+        println!(
+            "cluster: {committed} of {} commits verified on the chosen members",
+            results.len()
+        );
+        committed == results.len()
+    });
+    release_results(&mut ctrls, &args, &results);
+
+    // Phase 6: query throughput — back-to-back queries from the same
+    // member, releasing each round's reservations so inventory is not
+    // depleted.
+    let mut queries_per_sec = 0.0;
+    if args.qps_queries > 0 {
+        let qps_start = Instant::now();
+        let mut satisfied = 0u32;
+        for _ in 0..args.qps_queries {
+            match run_query(&mut ctrls, &args, querier, 3) {
+                Some(results) => {
+                    satisfied += 1;
+                    release_results(&mut ctrls, &args, &results);
+                }
+                None => fail("throughput query never satisfied"),
+            }
+        }
+        queries_per_sec = satisfied as f64 / qps_start.elapsed().as_secs_f64();
+        println!(
+            "cluster: {} queries in {:.2} s -> {:.2} queries/sec",
+            satisfied,
+            qps_start.elapsed().as_secs_f64(),
+            queries_per_sec
+        );
+    }
+
+    // Final sweep: total frames dropped anywhere in the fleet.
+    let mut dropped_frames = 0u64;
+    for (i, ctrl) in ctrls.iter_mut().enumerate() {
+        match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
+            Ok(CtrlMsg::ProcStatusReply {
+                dropped_frames: d, ..
+            }) => dropped_frames += d,
+            other => fail(&format!("final proc status from daemon {i}: {other:?}")),
+        }
+    }
+    println!("cluster: {dropped_frames} frame(s) dropped fleet-wide");
+
+    for (i, ctrl) in ctrls.iter_mut().enumerate() {
+        if let Err(e) = ctrl.request(&CtrlMsg::Shutdown, Duration::from_secs(5)) {
+            eprintln!("cluster: shutdown daemon {i}: {e}");
+        }
+    }
+    kill_fleet();
+
+    if args.json {
+        let rec = JsonRecord::new("cluster")
+            .int("agents", args.agents as u64)
+            .int("agents_per_proc", args.per as u64)
+            .num("converge_ms", converge_ms)
+            .num("queries_per_sec", queries_per_sec)
+            .int("dropped_frames", dropped_frames);
+        match append_json_record(WIRE_JSON, &rec) {
+            Ok(()) => println!("cluster: appended record to {WIRE_JSON}"),
+            Err(e) => eprintln!("cluster: cannot write {WIRE_JSON}: {e}"),
+        }
+    }
+    println!("cluster: PASS");
+}
+
+/// Issues `SELECT k FROM * WHERE GPU = true` from `querier` with up to
+/// `attempts` retries; returns the committed candidates on success.
+fn run_query(
+    ctrls: &mut [Ctrl],
+    args: &Args,
+    querier: NodeAddr,
+    attempts: u32,
+) -> Option<Vec<Candidate>> {
     let zql = format!("SELECT {} FROM * WHERE GPU = true", args.k);
-    let querier = args.count as usize - 1;
-    let mut outcome = None;
-    for attempt in 1..=5 {
-        println!("cluster: issuing `{zql}` from daemon {querier} (attempt {attempt})");
-        let res = ctrls[querier].request(
-            &CtrlMsg::IssueQuery {
-                zql: zql.clone(),
-                password: Some(WORKLOAD_PASSWORD.into()),
-            },
+    let proc = proc_of(querier, args.per) as usize;
+    for attempt in 1..=attempts {
+        println!("cluster: issuing `{zql}` from member {querier:?} (attempt {attempt})");
+        let res = ctrls[proc].request(
+            &to(
+                querier,
+                CtrlMsg::IssueQuery {
+                    zql: zql.clone(),
+                    password: Some(WORKLOAD_PASSWORD.into()),
+                },
+            ),
             Duration::from_secs(90),
         );
         match res {
@@ -264,8 +446,7 @@ fn main() {
                     fail(&format!("unexpected unknown sites: {unknown_sites:?}"));
                 }
                 if satisfied && results.len() == args.k {
-                    outcome = Some(results);
-                    break;
+                    return Some(results);
                 }
                 println!(
                     "cluster: attempt {attempt}: satisfied={satisfied}, {} result(s); retrying",
@@ -275,8 +456,8 @@ fn main() {
             Ok(other) => fail(&format!("query answer: {other:?}")),
             Err(e) => {
                 println!("cluster: attempt {attempt}: {e}; reconnecting");
-                ctrls[querier] = Ctrl::connect(
-                    sock_of(args.base_port, NodeAddr(querier as u32)),
+                ctrls[proc] = Ctrl::connect(
+                    proc_sock(args.base_port, proc as u32),
                     Instant::now() + Duration::from_secs(10),
                 )
                 .unwrap_or_else(|e| fail(&format!("reconnect: {e}")));
@@ -284,32 +465,19 @@ fn main() {
         }
         std::thread::sleep(Duration::from_secs(1));
     }
-    let results =
-        outcome.unwrap_or_else(|| fail(&format!("query never committed {} results", args.k)));
-    println!("cluster: query satisfied with {} result(s):", results.len());
-    for c in &results {
-        println!("  node {:?} at {:?} (site {:?})", c.id, c.addr, c.site);
-    }
+    None
+}
 
-    // Phase 5: the commits really landed on the chosen daemons.
-    let mut committed = 0;
-    for c in &results {
-        let i = c.addr.0 as usize;
-        match ctrls[i].request(&CtrlMsg::Status, Duration::from_secs(5)) {
-            Ok(CtrlMsg::StatusReply { committed: n, .. }) if n >= 1 => committed += 1,
-            Ok(other) => fail(&format!("daemon {i} shows no commit: {other:?}")),
-            Err(e) => fail(&format!("status from daemon {i}: {e}")),
+/// Clears the reservation each committed candidate holds, so the next
+/// query finds free inventory again.
+fn release_results(ctrls: &mut [Ctrl], args: &Args, results: &[Candidate]) {
+    for c in results {
+        let ctrl = &mut ctrls[proc_of(c.addr, args.per) as usize];
+        match ctrl.request(&to(c.addr, CtrlMsg::Release), Duration::from_secs(10)) {
+            Ok(CtrlMsg::Ok) => {}
+            other => fail(&format!("release on member {:?}: {other:?}", c.addr)),
         }
     }
-    println!("cluster: {committed} commits verified on the chosen daemons");
-
-    for (i, ctrl) in ctrls.iter_mut().enumerate() {
-        if let Err(e) = ctrl.request(&CtrlMsg::Shutdown, Duration::from_secs(5)) {
-            eprintln!("cluster: shutdown daemon {i}: {e}");
-        }
-    }
-    drop(fleet);
-    println!("cluster: PASS");
 }
 
 /// Polls `check` (roughly twice a second) until it returns true, failing

@@ -1,28 +1,49 @@
-//! `rbay-node` — one RBAY federation member as a real OS process.
+//! `rbay-node` — one process hosting one *or many* RBAY federation
+//! members (agent packing, the paper's ~100-agents-per-VM deployment
+//! shape).
 //!
-//! Listens on `127.0.0.1:(base_port + index)`, joins the Pastry overlay
-//! through daemon 0 (which seeds itself as bootstrap), then runs the same
-//! protocol code the simulator runs — routed messages, Scribe trees,
-//! AAScript handlers, the five-step query protocol — over loopback TCP
-//! via [`rbay_wire::TcpTransport`]. Operator tools (the `cluster`
-//! harness) drive it over control connections speaking
-//! [`rbay_bench::cluster::CtrlMsg`].
+//! Process `index` hosts the contiguous overlay addresses
+//! `index*per .. min((index+1)*per, agents)` in a [`rbay_core::Pack`],
+//! listening on `127.0.0.1:(base_port + index)`. Messages between
+//! co-hosted members loop back in-process; everything else rides the
+//! single event-loop [`TcpBus`], multiplexed by the `[from][to]` frame
+//! header. Process 0's first member seeds the overlay; every other
+//! member's slot-0 sibling joins through it, and remaining members join
+//! through their local sibling — spreading join load off the bootstrap.
+//!
+//! Operator tools (the `cluster` harness) drive it over control
+//! connections speaking [`rbay_bench::cluster::CtrlMsg`]; requests for a
+//! specific member arrive wrapped in [`CtrlMsg::To`].
 //!
 //! ```text
-//! rbay-node --index 0 --count 5 [--base-port 46100] [--num-sites 1] [--tick-ms 150]
+//! rbay-node --index 0 --agents 1000 [--agents-per-proc 100] \
+//!     [--base-port 21100] [--num-sites 1] [--tick-ms 150]
 //! ```
 
 use rbay_bench::cluster::{self, CtrlMsg};
-use rbay_core::{QueryId, RbayConfig, RbayMsg, RbayNode};
+use rbay_core::{Pack, QueryId, RbayConfig, RbayMsg};
 use rbay_query::parse_query;
-use rbay_wire::{decode_frame, encode_frame, Inbound, TcpBus, TcpTransport, Transport};
+use rbay_wire::{decode_frame, encode_frame, Inbound, TcpBus, Transport};
 use simnet::NodeAddr;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
+
+/// Unjoined members (re-)sending their Pastry join per tick, bounding the
+/// thundering herd on the bootstrap at high packing factors.
+const JOIN_BATCH: usize = 16;
+/// Inbound frames drained per wakeup before pumping loopback again.
+const RECV_BATCH: usize = 4096;
+/// Ticks one full maintenance sweep over the pack is spread across, so a
+/// 100-member pack maintains ~10 members per tick instead of all of them
+/// (per-member maintenance cadence stays bounded; CPU per tick is O(per /
+/// MAINT_SWEEP_TICKS), which is what keeps 160 packed daemons viable on a
+/// small host).
+const MAINT_SWEEP_TICKS: u32 = 10;
 
 struct Args {
     index: u32,
-    count: u32,
+    agents: u32,
+    per: u32,
     base_port: u16,
     num_sites: u16,
     tick: Duration,
@@ -31,7 +52,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         index: 0,
-        count: 1,
+        agents: 1,
+        per: 1,
         base_port: cluster::DEFAULT_BASE_PORT,
         num_sites: 1,
         tick: Duration::from_millis(150),
@@ -41,22 +63,28 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--index" => args.index = flag_value(&argv, i),
-            "--count" => args.count = flag_value(&argv, i),
+            // `--count` kept as an alias for one-agent-per-process runs.
+            "--agents" | "--count" => args.agents = flag_value(&argv, i),
+            "--agents-per-proc" => args.per = flag_value(&argv, i),
             "--base-port" => args.base_port = flag_value(&argv, i),
             "--num-sites" => args.num_sites = flag_value(&argv, i),
             "--tick-ms" => args.tick = Duration::from_millis(flag_value(&argv, i)),
             other => {
                 eprintln!(
-                    "unknown flag {other}\nusage: rbay-node --index <i> --count <n> \
-                     [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>]"
+                    "unknown flag {other}\nusage: rbay-node --index <i> --agents <n> \
+                     [--agents-per-proc <m>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>]"
                 );
                 std::process::exit(2);
             }
         }
         i += 2;
     }
-    if args.index >= args.count {
-        eprintln!("--index must be < --count");
+    if args.per == 0 {
+        eprintln!("--agents-per-proc must be >= 1");
+        std::process::exit(2);
+    }
+    if args.index.saturating_mul(args.per) >= args.agents {
+        eprintln!("--index hosts no members (index * per >= agents)");
         std::process::exit(2);
     }
     args
@@ -81,166 +109,280 @@ where
 
 fn main() {
     let args = parse_args();
-    let me = NodeAddr(args.index);
+    let start = args.index * args.per;
+    let end = (start + args.per).min(args.agents);
     let (bus, rx) = TcpBus::start(
-        cluster::sock_of(args.base_port, me),
-        me,
-        cluster::resolver(args.base_port, args.count),
+        cluster::proc_sock(args.base_port, args.index),
+        NodeAddr(start),
+        cluster::packed_resolver(args.base_port, args.agents, args.per),
     )
     .unwrap_or_else(|e| {
         eprintln!("rbay-node[{}]: cannot listen: {e}", args.index);
         std::process::exit(1);
     });
-    let mut tr: TcpTransport<RbayMsg> = TcpTransport::new(bus);
-    let mut node = cluster::build_node(
-        args.index,
-        args.count,
-        args.num_sites,
-        RbayConfig::default(),
-    );
-    if args.index == 0 {
-        node.seed_as_bootstrap();
-    } else {
-        node.join_via(&mut tr, NodeAddr(0));
+    let members = (start..end)
+        .map(|a| cluster::build_node(a, args.agents, args.num_sites, RbayConfig::default()))
+        .collect();
+    let mut pack = Pack::new(start, members);
+    if start == 0 {
+        pack.member_mut(0).seed_as_bootstrap();
     }
     eprintln!(
-        "rbay-node[{}]: listening on {}, site {:?}",
+        "rbay-node[{}]: hosting members {start}..{end} on {}",
         args.index,
-        cluster::sock_of(args.base_port, me),
-        node.host.site
+        bus.local_addr(),
     );
-    run(&mut node, &mut tr, &rx, &args);
+    run(&mut pack, bus, &rx, &args);
 }
 
-/// The daemon's event loop: fire due timers, run the maintenance tick,
-/// answer finished queries, then block on the inbound queue until the
-/// next deadline.
-fn run(node: &mut RbayNode, tr: &mut TcpTransport<RbayMsg>, rx: &Receiver<Inbound>, args: &Args) {
+/// The daemon's main loop: fire due timers, run the per-tick join and
+/// maintenance work, drain loopback, answer finished queries, then block
+/// on the inbound queue until the next deadline.
+fn run(pack: &mut Pack, bus: TcpBus, rx: &Receiver<Inbound>, args: &Args) {
+    let mut sink = bus.clone();
     // Queries issued over a control connection, awaiting completion:
-    // `(query, ctrl conn to answer)`.
-    let mut pending: Vec<(QueryId, u64)> = Vec::new();
+    // `(member slot, query, ctrl conn to answer)`.
+    let mut pending: Vec<(u32, QueryId, u64)> = Vec::new();
     let mut next_tick = Instant::now() + args.tick;
+    let maint_batch = pack.len().div_ceil(MAINT_SWEEP_TICKS).max(1);
+    let mut maint_cursor = 0u32;
     loop {
-        for token in tr.due_timers() {
-            node.on_timer_via(tr, token);
-        }
-        let now = Instant::now();
-        if now >= next_tick {
-            if args.index != 0 && !node.pastry.is_joined() {
-                // Join traffic is best-effort; keep knocking until joined.
-                node.join_via(tr, NodeAddr(0));
+        pack.fire_due(&mut sink);
+        if Instant::now() >= next_tick {
+            tick_joins(pack, &mut sink);
+            for _ in 0..maint_batch {
+                pack.maintenance_round(&mut sink, maint_cursor);
+                maint_cursor = (maint_cursor + 1) % pack.len();
             }
-            node.maintenance_round_via(tr);
             next_tick = Instant::now() + args.tick;
         }
-        answer_finished_queries(node, tr, &mut pending);
+        while pack.has_loopback() {
+            pack.pump(&mut sink);
+        }
+        answer_finished_queries(pack, &bus, &mut pending);
 
         let mut wait = next_tick.saturating_duration_since(Instant::now());
-        if let Some(deadline) = tr.next_deadline() {
-            let until = Duration::from_micros(deadline.saturating_since(tr.now()).as_micros());
+        if let Some(deadline) = pack.next_deadline() {
+            let until = Duration::from_micros(deadline.saturating_since(pack.now()).as_micros());
             wait = wait.min(until);
         }
         match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
-            Ok(Inbound::Peer { from, frame }) => match decode_frame::<RbayMsg>(&frame) {
-                Ok(msg) => node.on_message_via(tr, from, msg),
-                Err(e) => eprintln!("rbay-node[{}]: bad frame from {from:?}: {e}", args.index),
-            },
-            Ok(Inbound::Ctrl { conn, frame }) => {
-                if on_ctrl(node, tr, &mut pending, conn, &frame, args) {
+            Ok(first) => {
+                if on_inbound(pack, &mut sink, &bus, &mut pending, first, args) {
+                    bus.shutdown();
                     return;
                 }
+                // Batch-drain whatever else arrived before pumping again.
+                for _ in 0..RECV_BATCH {
+                    match rx.try_recv() {
+                        Ok(msg) => {
+                            if on_inbound(pack, &mut sink, &bus, &mut pending, msg, args) {
+                                bus.shutdown();
+                                return;
+                            }
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => return,
+                    }
+                }
             }
-            Ok(Inbound::CtrlClosed { conn }) => pending.retain(|(_, c)| *c != conn),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
 
+/// Sends (or re-sends) Pastry joins for not-yet-joined members, at most
+/// [`JOIN_BATCH`] per tick. Slot 0 joins the global bootstrap
+/// (`NodeAddr(0)`); later slots wait for slot 0 and then join through it
+/// locally, so the bootstrap process sees O(procs) joiners, not
+/// O(agents).
+fn tick_joins(pack: &mut Pack, sink: &mut TcpBus) {
+    let slot0_joined = pack.member(0).pastry.is_joined();
+    let mut sent = 0;
+    for slot in 0..pack.len() {
+        if sent >= JOIN_BATCH {
+            break;
+        }
+        if pack.member(slot).pastry.is_joined() {
+            continue; // covers the seeded bootstrap member too
+        }
+        let bootstrap = if slot == 0 {
+            NodeAddr(0)
+        } else if slot0_joined {
+            pack.addr_of(0)
+        } else {
+            continue; // wait for the local gateway member first
+        };
+        pack.join_member(sink, slot, bootstrap);
+        sent += 1;
+    }
+}
+
+/// Handles one inbound bus event; returns `true` when the daemon should
+/// exit.
+fn on_inbound(
+    pack: &mut Pack,
+    sink: &mut TcpBus,
+    bus: &TcpBus,
+    pending: &mut Vec<(u32, QueryId, u64)>,
+    msg: Inbound,
+    args: &Args,
+) -> bool {
+    match msg {
+        Inbound::Peer { from, to, frame } => match decode_frame::<RbayMsg>(&frame) {
+            Ok(msg) => {
+                if !pack.on_message(sink, from, to, msg) {
+                    eprintln!(
+                        "rbay-node[{}]: frame for unhosted member {to:?}",
+                        args.index
+                    );
+                }
+            }
+            Err(e) => eprintln!("rbay-node[{}]: bad frame from {from:?}: {e}", args.index),
+        },
+        Inbound::Ctrl { conn, frame } => {
+            return on_ctrl(pack, sink, bus, pending, conn, &frame, args);
+        }
+        Inbound::CtrlClosed { conn } => pending.retain(|(_, _, c)| *c != conn),
+    }
+    false
+}
+
 /// Handles one control request; returns `true` when the daemon should
 /// exit.
 fn on_ctrl(
-    node: &mut RbayNode,
-    tr: &mut TcpTransport<RbayMsg>,
-    pending: &mut Vec<(QueryId, u64)>,
+    pack: &mut Pack,
+    sink: &mut TcpBus,
+    bus: &TcpBus,
+    pending: &mut Vec<(u32, QueryId, u64)>,
     conn: u64,
     frame: &[u8],
     args: &Args,
 ) -> bool {
-    let reply = |tr: &TcpTransport<RbayMsg>, msg: &CtrlMsg| {
-        if let Err(e) = tr.bus().send_ctrl(conn, &encode_frame(msg)) {
+    let reply = |msg: &CtrlMsg| {
+        if let Err(e) = bus.send_ctrl(conn, &encode_frame(msg)) {
             eprintln!("rbay-node[{}]: ctrl reply failed: {e}", args.index);
         }
     };
     let msg = match decode_frame::<CtrlMsg>(frame) {
         Ok(m) => m,
         Err(e) => {
-            reply(tr, &CtrlMsg::Err { msg: e.to_string() });
+            reply(&CtrlMsg::Err { msg: e.to_string() });
             return false;
         }
     };
-    node.host.now = tr.now();
+    // Unwrap member addressing; bare requests target the first member.
+    let (slot, msg) = match msg {
+        CtrlMsg::To { member, msg } => match pack.slot_of(member) {
+            Some(slot) => (slot, *msg),
+            None => {
+                reply(&CtrlMsg::Err {
+                    msg: format!("member {member:?} not hosted here"),
+                });
+                return false;
+            }
+        },
+        msg => (0, msg),
+    };
     match msg {
         CtrlMsg::Post { attr, value } => {
-            node.host.post_resource(&attr, value);
-            node.drain_ops_via(tr);
-            reply(tr, &CtrlMsg::Ok);
+            pack.with_member(sink, slot, |node, ctx| {
+                node.host.now = ctx.now();
+                node.host.post_resource(&attr, value);
+            });
+            reply(&CtrlMsg::Ok);
         }
-        CtrlMsg::InstallNodeAa { src } => match node.host.install_node_aa(&src) {
-            Ok(()) => reply(tr, &CtrlMsg::Ok),
-            Err(e) => reply(tr, &CtrlMsg::Err { msg: e.to_string() }),
-        },
+        CtrlMsg::InstallNodeAa { src } => {
+            let res = pack.with_member(sink, slot, |node, ctx| {
+                node.host.now = ctx.now();
+                node.host.install_node_aa(&src)
+            });
+            match res {
+                Ok(()) => reply(&CtrlMsg::Ok),
+                Err(e) => reply(&CtrlMsg::Err { msg: e.to_string() }),
+            }
+        }
         CtrlMsg::IssueQuery { zql, password } => match parse_query(&zql) {
             Ok(q) => {
-                let id = node.host.issue_query(q, password);
-                node.drain_ops_via(tr);
-                pending.push((id, conn));
+                let id = pack.with_member(sink, slot, |node, ctx| {
+                    node.host.now = ctx.now();
+                    node.host.issue_query(q, password)
+                });
+                pending.push((slot, id, conn));
             }
-            Err(e) => reply(tr, &CtrlMsg::Err { msg: e.to_string() }),
+            Err(e) => reply(&CtrlMsg::Err { msg: e.to_string() }),
         },
         CtrlMsg::Status => {
+            let node = pack.member(slot);
             let attached = node
                 .scribe
                 .topics()
                 .filter(|(_, st)| st.is_root || st.parent.is_some())
                 .count() as u32;
-            reply(
-                tr,
-                &CtrlMsg::StatusReply {
-                    addr: node.pastry.info().addr,
-                    site: node.host.site,
-                    joined: node.pastry.is_joined(),
-                    known_peers: node.pastry.known_peers().len() as u32,
-                    topics: node.scribe.topics().count() as u32,
-                    attached,
-                    committed: node.host.committed.len() as u32,
-                },
-            );
+            reply(&CtrlMsg::StatusReply {
+                addr: node.pastry.info().addr,
+                site: node.host.site,
+                joined: node.pastry.is_joined(),
+                known_peers: node.pastry.known_peers().len() as u32,
+                topics: node.scribe.topics().count() as u32,
+                attached,
+                committed: node.host.committed.len() as u32,
+            });
+        }
+        CtrlMsg::ProcStatus => {
+            let mut joined = 0;
+            let mut attached_members = 0;
+            let mut topics = 0;
+            let mut committed = 0;
+            let mut min_known_peers = u32::MAX;
+            for slot in 0..pack.len() {
+                let node = pack.member(slot);
+                if node.pastry.is_joined() {
+                    joined += 1;
+                }
+                if node
+                    .scribe
+                    .topics()
+                    .any(|(_, st)| st.is_root || st.parent.is_some())
+                {
+                    attached_members += 1;
+                }
+                topics += node.scribe.topics().count() as u32;
+                committed += node.host.committed.len() as u32;
+                min_known_peers = min_known_peers.min(node.pastry.known_peers().len() as u32);
+            }
+            reply(&CtrlMsg::ProcStatusReply {
+                members: pack.len(),
+                joined,
+                attached_members,
+                topics,
+                committed,
+                dropped_frames: bus.dropped_frames() + pack.loopback_dropped(),
+                min_known_peers: if pack.is_empty() { 0 } else { min_known_peers },
+            });
+        }
+        CtrlMsg::Release => {
+            pack.member_mut(slot).host.reservation = None;
+            reply(&CtrlMsg::Ok);
         }
         CtrlMsg::Shutdown => {
-            reply(tr, &CtrlMsg::Ok);
+            reply(&CtrlMsg::Ok);
             eprintln!("rbay-node[{}]: shutdown requested", args.index);
             return true;
         }
-        other => reply(
-            tr,
-            &CtrlMsg::Err {
-                msg: format!("unexpected request: {other:?}"),
-            },
-        ),
+        other => reply(&CtrlMsg::Err {
+            msg: format!("unexpected request: {other:?}"),
+        }),
     }
     false
 }
 
 /// Sends [`CtrlMsg::QueryDone`] for every pending query whose record has
 /// completed, dropping it from the wait list.
-fn answer_finished_queries(
-    node: &mut RbayNode,
-    tr: &mut TcpTransport<RbayMsg>,
-    pending: &mut Vec<(QueryId, u64)>,
-) {
-    pending.retain(|&(id, conn)| {
-        let Some(rec) = node.host.queries.get(&id) else {
+fn answer_finished_queries(pack: &mut Pack, bus: &TcpBus, pending: &mut Vec<(u32, QueryId, u64)>) {
+    pending.retain(|&(slot, id, conn)| {
+        let Some(rec) = pack.member(slot).host.queries.get(&id) else {
             return false;
         };
         if rec.completed_at.is_none() {
@@ -251,7 +393,7 @@ fn answer_finished_queries(
             results: rec.result.clone(),
             unknown_sites: rec.unknown_sites.clone(),
         };
-        if let Err(e) = tr.bus().send_ctrl(conn, &encode_frame(&done)) {
+        if let Err(e) = bus.send_ctrl(conn, &encode_frame(&done)) {
             eprintln!("rbay-node: query answer failed: {e}");
         }
         false

@@ -2,8 +2,11 @@
 //! loopback address plan, and the control protocol the `cluster` harness
 //! speaks to `rbay-node` daemons.
 //!
-//! Address plan: daemon `i` of an `n`-daemon deployment is overlay address
-//! `NodeAddr(i)` listening on `127.0.0.1:(base_port + i)`. Sites are
+//! Address plan: an `n`-agent deployment packs `per` members into each
+//! daemon process; process `p` hosts the contiguous overlay addresses
+//! `p*per .. min((p+1)*per, n)` and listens on `127.0.0.1:(base_port + p)`.
+//! With `per = 1` this degenerates to the original one-agent-per-process
+//! plan (daemon `i` = `NodeAddr(i)` on `base_port + i`). Sites are
 //! contiguous blocks of indices (`ceil(n / num_sites)` each) named
 //! `site0..`, with each site's three lowest addresses as its border
 //! routers — the same layout `Federation` uses in simulation, so a
@@ -21,23 +24,44 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 /// Default first TCP port of a local deployment; daemon `i` listens on
-/// `base + i`.
-pub const DEFAULT_BASE_PORT: u16 = 46_100;
+/// `base + i`. Kept below the Linux ephemeral range (32768..61000 by
+/// default): a big fleet opens thousands of outbound bus connections
+/// whose kernel-assigned source ports would otherwise collide with
+/// later daemons' listen ports.
+pub const DEFAULT_BASE_PORT: u16 = 21_100;
 
 /// The socket address of overlay node `addr` under `base_port`.
 pub fn sock_of(base_port: u16, addr: NodeAddr) -> SocketAddr {
     SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), base_port + addr.0 as u16)
 }
 
-/// A [`Resolver`] for an `n`-daemon loopback deployment.
-pub fn resolver(base_port: u16, count: u32) -> Resolver {
+/// The daemon-process index hosting overlay address `addr` when `per`
+/// members are packed per process.
+pub fn proc_of(addr: NodeAddr, per: u32) -> u32 {
+    addr.0 / per
+}
+
+/// The listening socket of daemon process `proc`.
+pub fn proc_sock(base_port: u16, proc: u32) -> SocketAddr {
+    SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), base_port + proc as u16)
+}
+
+/// A [`Resolver`] for an `n`-agent loopback deployment packing `per`
+/// members per process: every member of a process resolves to that
+/// process's one listening socket.
+pub fn packed_resolver(base_port: u16, count: u32, per: u32) -> Resolver {
     Arc::new(move |addr: NodeAddr| {
         if addr.0 < count {
-            Some(sock_of(base_port, addr))
+            Some(proc_sock(base_port, proc_of(addr, per)))
         } else {
             None
         }
     })
+}
+
+/// A [`Resolver`] for an `n`-daemon deployment with one agent per process.
+pub fn resolver(base_port: u16, count: u32) -> Resolver {
+    packed_resolver(base_port, count, 1)
 }
 
 /// The site of daemon `index` in an `n`-daemon, `num_sites`-site plan:
@@ -147,6 +171,38 @@ pub enum CtrlMsg {
     },
     /// Ask the daemon to exit cleanly.
     Shutdown,
+    /// Address a request to one member of a packed daemon (which hosts
+    /// many overlay addresses). Unwrapped requests go to the daemon's
+    /// first member.
+    To {
+        /// The hosted member the inner request targets.
+        member: NodeAddr,
+        /// The request itself.
+        msg: Box<CtrlMsg>,
+    },
+    /// Ask for process-level aggregate state (cheap at any packing
+    /// factor, unlike per-member [`CtrlMsg::Status`] sweeps).
+    ProcStatus,
+    /// Answer to [`CtrlMsg::ProcStatus`].
+    ProcStatusReply {
+        /// Members hosted by this process.
+        members: u32,
+        /// Members whose Pastry join completed.
+        joined: u32,
+        /// Members attached to at least one aggregation tree.
+        attached_members: u32,
+        /// Scribe topics across all members.
+        topics: u32,
+        /// Queries committed across all members.
+        committed: u32,
+        /// Frames dropped by this process (bus + loopback overflow).
+        dropped_frames: u64,
+        /// Smallest per-member routing-state size, a convergence signal.
+        min_known_peers: u32,
+    },
+    /// Release the member's current reservation (commits hold inventory
+    /// for an hour otherwise — benchmark loops release between queries).
+    Release,
 }
 
 mod ctrl_tag {
@@ -159,6 +215,10 @@ mod ctrl_tag {
     pub const OK: u8 = 6;
     pub const ERR: u8 = 7;
     pub const SHUTDOWN: u8 = 8;
+    pub const TO: u8 = 9;
+    pub const PROC_STATUS: u8 = 10;
+    pub const PROC_STATUS_REPLY: u8 = 11;
+    pub const RELEASE: u8 = 12;
 }
 
 impl Wire for CtrlMsg {
@@ -213,6 +273,31 @@ impl Wire for CtrlMsg {
                 msg.encode_into(out);
             }
             CtrlMsg::Shutdown => out.push(ctrl_tag::SHUTDOWN),
+            CtrlMsg::To { member, msg } => {
+                out.push(ctrl_tag::TO);
+                member.encode_into(out);
+                msg.encode_into(out);
+            }
+            CtrlMsg::ProcStatus => out.push(ctrl_tag::PROC_STATUS),
+            CtrlMsg::ProcStatusReply {
+                members,
+                joined,
+                attached_members,
+                topics,
+                committed,
+                dropped_frames,
+                min_known_peers,
+            } => {
+                out.push(ctrl_tag::PROC_STATUS_REPLY);
+                members.encode_into(out);
+                joined.encode_into(out);
+                attached_members.encode_into(out);
+                topics.encode_into(out);
+                committed.encode_into(out);
+                dropped_frames.encode_into(out);
+                min_known_peers.encode_into(out);
+            }
+            CtrlMsg::Release => out.push(ctrl_tag::RELEASE),
         }
     }
 
@@ -250,6 +335,24 @@ impl Wire for CtrlMsg {
                 msg: String::decode(r)?,
             },
             ctrl_tag::SHUTDOWN => CtrlMsg::Shutdown,
+            ctrl_tag::TO => {
+                let member = NodeAddr::decode(r)?;
+                r.enter()?;
+                let msg = Box::new(CtrlMsg::decode(r)?);
+                r.exit();
+                CtrlMsg::To { member, msg }
+            }
+            ctrl_tag::PROC_STATUS => CtrlMsg::ProcStatus,
+            ctrl_tag::PROC_STATUS_REPLY => CtrlMsg::ProcStatusReply {
+                members: u32::decode(r)?,
+                joined: u32::decode(r)?,
+                attached_members: u32::decode(r)?,
+                topics: u32::decode(r)?,
+                committed: u32::decode(r)?,
+                dropped_frames: u64::decode(r)?,
+                min_known_peers: u32::decode(r)?,
+            },
+            ctrl_tag::RELEASE => CtrlMsg::Release,
             tag => {
                 return Err(WireError::BadTag {
                     what: "CtrlMsg",
@@ -289,10 +392,58 @@ mod tests {
             CtrlMsg::Status,
             CtrlMsg::Ok,
             CtrlMsg::Shutdown,
+            CtrlMsg::To {
+                member: NodeAddr(123),
+                msg: Box::new(CtrlMsg::IssueQuery {
+                    zql: "SELECT 1 FROM * WHERE GPU = true".into(),
+                    password: None,
+                }),
+            },
+            CtrlMsg::ProcStatus,
+            CtrlMsg::ProcStatusReply {
+                members: 100,
+                joined: 99,
+                attached_members: 4,
+                topics: 7,
+                committed: 2,
+                dropped_frames: 1,
+                min_known_peers: 12,
+            },
+            CtrlMsg::Release,
         ];
         for m in &msgs {
             assert_eq!(&decode_frame::<CtrlMsg>(&encode_frame(m)).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn nested_to_wrappers_hit_the_depth_guard() {
+        // A hostile chain of To-wrappers must error out, not recurse
+        // unboundedly.
+        let mut msg = CtrlMsg::Status;
+        for _ in 0..100 {
+            msg = CtrlMsg::To {
+                member: NodeAddr(0),
+                msg: Box::new(msg),
+            };
+        }
+        assert!(decode_frame::<CtrlMsg>(&encode_frame(&msg)).is_err());
+    }
+
+    #[test]
+    fn packed_address_plan_is_consistent() {
+        // 10 agents, 4 per process: procs host [0..4), [4..8), [8..10).
+        assert_eq!(proc_of(NodeAddr(0), 4), 0);
+        assert_eq!(proc_of(NodeAddr(3), 4), 0);
+        assert_eq!(proc_of(NodeAddr(4), 4), 1);
+        assert_eq!(proc_of(NodeAddr(9), 4), 2);
+        let r = packed_resolver(50_000, 10, 4);
+        assert_eq!(r(NodeAddr(5)), Some(proc_sock(50_000, 1)));
+        assert_eq!(r(NodeAddr(9)), Some(proc_sock(50_000, 2)));
+        assert_eq!(r(NodeAddr(10)), None);
+        // per = 1 matches the historical one-agent-per-process plan.
+        let r1 = resolver(50_000, 3);
+        assert_eq!(r1(NodeAddr(2)), Some(sock_of(50_000, NodeAddr(2))));
     }
 
     #[test]

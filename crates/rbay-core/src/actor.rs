@@ -149,6 +149,13 @@ impl RbayNode {
             self.scribe
                 .aggregate_tick::<RbayPayload, _>(&mut self.pastry, &mut net);
         }
+        // Peer-set anti-entropy: one Announce + leaf-set pull per round so
+        // routing knowledge lost to concurrent joins or dropped frames
+        // eventually heals (the join-time Announce is one-shot).
+        {
+            let mut net = NetAdapter::new(tr);
+            self.pastry.gossip_round(&mut net);
+        }
         if self.host.cfg.failure_detection {
             // Probe the leaf set plus tree parents/children — the peers
             // whose failure this node must react to.

@@ -34,6 +34,7 @@ mod engine;
 mod federation;
 mod host;
 mod naming;
+mod pack;
 mod transport;
 mod types;
 mod wire;
@@ -42,6 +43,7 @@ pub use actor::{RbayMsg, RbayNode};
 pub use federation::Federation;
 pub use host::{InstallError, LintPolicy, Op, RbayConfig, RbayHost};
 pub use naming::HybridNaming;
+pub use pack::{FrameSink, MemberCtx, Pack};
 pub use transport::{NetAdapter, SimTransport};
 pub use types::{
     AdminCommand, Candidate, QueryId, QueryPending, QueryRecord, RbayEvent, RbayPayload,

@@ -1,0 +1,444 @@
+//! Agent packing: many federation members in one OS process.
+//!
+//! The paper scales to 16,000 agents by packing ~100 agents per VM (§IV).
+//! This module is the equivalent for the real-socket deployment: a
+//! [`Pack`] owns a contiguous block of [`RbayNode`] members
+//! (`NodeAddr(base) .. NodeAddr(base + len)`) and runs them all on the
+//! daemon's main thread over **one** shared bus connection per peer
+//! process:
+//!
+//! * messages between two members of the same pack short-circuit through
+//!   an in-process loopback queue — no codec, no socket, no copy of the
+//!   (non-`Send`, `Rc`-bearing) message value;
+//! * messages leaving the pack are encoded once and handed to a
+//!   [`FrameSink`] together with their `(from, to)` overlay addresses, so
+//!   the transport can multiplex every member over the same sockets;
+//! * timers are keyed `(slot, token)` — two members arming the same
+//!   protocol token never collide.
+//!
+//! Backpressure follows the transport's drop-not-block rule: the loopback
+//! queue is bounded and overflow drops messages (counted via
+//! [`Pack::loopback_dropped`]); protocols above already tolerate loss.
+
+use crate::actor::{RbayMsg, RbayNode};
+use rbay_wire::{encode_frame, Transport};
+use simnet::{NodeAddr, SimDuration, SimTime, TimerToken};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
+
+/// Loopback queue cap (messages); overflow is dropped and counted.
+const LOOPBACK_MAX: usize = 65_536;
+/// Messages dispatched per [`Pack::pump`] call, bounding main-loop latency
+/// even when members generate message storms.
+const PUMP_BUDGET: usize = 100_000;
+
+/// Where a pack's outbound (off-process) frames go. Implemented by
+/// `rbay_wire::tcp::TcpBus`; tests use an in-memory vector.
+pub trait FrameSink {
+    /// Queues one encoded frame from hosted member `from` to remote
+    /// member `to`. Must not block.
+    fn send_frame(&mut self, from: NodeAddr, to: NodeAddr, frame: Vec<u8>);
+}
+
+impl FrameSink for rbay_wire::TcpBus {
+    fn send_frame(&mut self, from: NodeAddr, to: NodeAddr, frame: Vec<u8>) {
+        self.send_from(from, to, frame);
+    }
+}
+
+/// State every member's transport view borrows: the loopback queue, the
+/// shared clock, and the (slot-keyed) timer wheel.
+struct PackShared {
+    base: u32,
+    len: u32,
+    epoch: Instant,
+    /// In-process deliveries: `(from, destination slot, message)`.
+    loopback: VecDeque<(NodeAddr, u32, RbayMsg)>,
+    /// Authoritative deadline per `(slot, token)`; the heap holds lazy
+    /// duplicates skipped on pop.
+    deadlines: HashMap<(u32, TimerToken), SimTime>,
+    heap: BinaryHeap<std::cmp::Reverse<(SimTime, u32, TimerToken)>>,
+    loopback_dropped: u64,
+}
+
+impl PackShared {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn slot_of(&self, addr: NodeAddr) -> Option<u32> {
+        (addr.0 >= self.base && addr.0 < self.base + self.len).then(|| addr.0 - self.base)
+    }
+}
+
+/// The [`Transport`] a packed member sees: local destinations loop back
+/// in-process, remote ones are encoded into the [`FrameSink`], and timers
+/// land in the pack's shared wheel under this member's slot.
+pub struct MemberCtx<'a, S: FrameSink> {
+    slot: u32,
+    src: NodeAddr,
+    shared: &'a mut PackShared,
+    sink: &'a mut S,
+}
+
+impl<S: FrameSink> Transport<RbayMsg> for MemberCtx<'_, S> {
+    fn send(&mut self, to: NodeAddr, msg: RbayMsg) {
+        if let Some(slot) = self.shared.slot_of(to) {
+            if self.shared.loopback.len() >= LOOPBACK_MAX {
+                self.shared.loopback_dropped += 1;
+            } else {
+                self.shared.loopback.push_back((self.src, slot, msg));
+            }
+        } else {
+            self.sink.send_frame(self.src, to, encode_frame(&msg));
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let at = SimTime::from_micros(self.shared.now().as_micros() + delay.as_micros());
+        self.shared.deadlines.insert((self.slot, token), at);
+        self.shared
+            .heap
+            .push(std::cmp::Reverse((at, self.slot, token)));
+    }
+}
+
+/// A contiguous block of federation members hosted by one process.
+pub struct Pack {
+    members: Vec<RbayNode>,
+    shared: PackShared,
+}
+
+/// Dispatches one message to a member with split borrows, so the member's
+/// handlers can send (loopback or sink) while running.
+fn dispatch<S: FrameSink>(
+    members: &mut [RbayNode],
+    shared: &mut PackShared,
+    sink: &mut S,
+    slot: u32,
+    from: NodeAddr,
+    msg: RbayMsg,
+) {
+    let src = NodeAddr(shared.base + slot);
+    let mut ctx = MemberCtx {
+        slot,
+        src,
+        shared,
+        sink,
+    };
+    members[slot as usize].on_message_via(&mut ctx, from, msg);
+}
+
+impl Pack {
+    /// Hosts `members` as overlay addresses `base .. base + members.len()`
+    /// (member `i`'s own address must be `NodeAddr(base + i)`).
+    pub fn new(base: u32, members: Vec<RbayNode>) -> Pack {
+        let len = members.len() as u32;
+        Pack {
+            members,
+            shared: PackShared {
+                base,
+                len,
+                epoch: Instant::now(),
+                loopback: VecDeque::new(),
+                deadlines: HashMap::new(),
+                heap: BinaryHeap::new(),
+                loopback_dropped: 0,
+            },
+        }
+    }
+
+    /// First hosted overlay address.
+    pub fn base(&self) -> u32 {
+        self.shared.base
+    }
+
+    /// Number of hosted members.
+    pub fn len(&self) -> u32 {
+        self.shared.len
+    }
+
+    /// Whether the pack hosts no members.
+    pub fn is_empty(&self) -> bool {
+        self.shared.len == 0
+    }
+
+    /// The overlay address of slot `slot`.
+    pub fn addr_of(&self, slot: u32) -> NodeAddr {
+        NodeAddr(self.shared.base + slot)
+    }
+
+    /// The slot hosting `addr`, if this pack hosts it.
+    pub fn slot_of(&self, addr: NodeAddr) -> Option<u32> {
+        self.shared.slot_of(addr)
+    }
+
+    /// Immutable member access.
+    pub fn member(&self, slot: u32) -> &RbayNode {
+        &self.members[slot as usize]
+    }
+
+    /// Mutable member access (state inspection/mutation outside dispatch).
+    pub fn member_mut(&mut self, slot: u32) -> &mut RbayNode {
+        &mut self.members[slot as usize]
+    }
+
+    /// The pack's wall clock (shared by every member).
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Messages dropped on loopback overflow so far.
+    pub fn loopback_dropped(&self) -> u64 {
+        self.shared.loopback_dropped
+    }
+
+    /// Whether loopback deliveries are pending.
+    pub fn has_loopback(&self) -> bool {
+        !self.shared.loopback.is_empty()
+    }
+
+    /// Delivers one decoded off-process message to the member hosting
+    /// `to`. Returns `false` (message dropped) if `to` is not hosted here.
+    pub fn on_message<S: FrameSink>(
+        &mut self,
+        sink: &mut S,
+        from: NodeAddr,
+        to: NodeAddr,
+        msg: RbayMsg,
+    ) -> bool {
+        let Some(slot) = self.shared.slot_of(to) else {
+            return false;
+        };
+        dispatch(&mut self.members, &mut self.shared, sink, slot, from, msg);
+        true
+    }
+
+    /// Drains pending loopback deliveries (which may enqueue more), up to
+    /// an internal budget. Returns the number dispatched; call again when
+    /// [`Pack::has_loopback`] remains true.
+    pub fn pump<S: FrameSink>(&mut self, sink: &mut S) -> usize {
+        let mut n = 0;
+        while n < PUMP_BUDGET {
+            let Some((from, slot, msg)) = self.shared.loopback.pop_front() else {
+                break;
+            };
+            dispatch(&mut self.members, &mut self.shared, sink, slot, from, msg);
+            n += 1;
+        }
+        n
+    }
+
+    /// Fires every expired timer on its owning member. Returns how many
+    /// fired.
+    pub fn fire_due<S: FrameSink>(&mut self, sink: &mut S) -> usize {
+        let now = self.shared.now();
+        let mut due: Vec<(u32, TimerToken)> = Vec::new();
+        while let Some(std::cmp::Reverse((at, slot, token))) = self.shared.heap.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.shared.heap.pop();
+            if self.shared.deadlines.get(&(slot, token)) == Some(&at) {
+                self.shared.deadlines.remove(&(slot, token));
+                due.push((slot, token));
+            }
+        }
+        let fired = due.len();
+        for (slot, token) in due {
+            let Pack { members, shared } = self;
+            let src = NodeAddr(shared.base + slot);
+            let mut ctx = MemberCtx {
+                slot,
+                src,
+                shared,
+                sink,
+            };
+            members[slot as usize].on_timer_via(&mut ctx, token);
+        }
+        fired
+    }
+
+    /// The earliest live deadline across all members, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.shared.deadlines.values().min().copied()
+    }
+
+    /// Runs one maintenance round for member `slot`.
+    pub fn maintenance_round<S: FrameSink>(&mut self, sink: &mut S, slot: u32) {
+        let Pack { members, shared } = self;
+        let src = NodeAddr(shared.base + slot);
+        let mut ctx = MemberCtx {
+            slot,
+            src,
+            shared,
+            sink,
+        };
+        members[slot as usize].maintenance_round_via(&mut ctx);
+    }
+
+    /// (Re-)sends member `slot`'s Pastry join toward `bootstrap` (which
+    /// may be another member of this pack — the join then rides loopback).
+    pub fn join_member<S: FrameSink>(&mut self, sink: &mut S, slot: u32, bootstrap: NodeAddr) {
+        let Pack { members, shared } = self;
+        let src = NodeAddr(shared.base + slot);
+        let mut ctx = MemberCtx {
+            slot,
+            src,
+            shared,
+            sink,
+        };
+        members[slot as usize].join_via(&mut ctx, bootstrap);
+    }
+
+    /// Runs `f` against member `slot` with a live transport view, then
+    /// drains the member's deferred operations. Use for control-plane
+    /// actions (post, install, issue-query) that may send messages.
+    pub fn with_member<S: FrameSink, R>(
+        &mut self,
+        sink: &mut S,
+        slot: u32,
+        f: impl FnOnce(&mut RbayNode, &mut MemberCtx<'_, S>) -> R,
+    ) -> R {
+        let Pack { members, shared } = self;
+        let src = NodeAddr(shared.base + slot);
+        let mut ctx = MemberCtx {
+            slot,
+            src,
+            shared,
+            sink,
+        };
+        let node = &mut members[slot as usize];
+        let r = f(node, &mut ctx);
+        node.drain_ops_via(&mut ctx);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{RbayConfig, RbayHost};
+    use aascript::SharedSandbox;
+    use pastry::{NodeId, NodeInfo, PastryNode};
+    use scribe::ScribeLayer;
+    use simnet::SiteId;
+    use std::rc::Rc;
+
+    /// Captures off-process frames.
+    #[derive(Default)]
+    struct VecSink(Vec<(NodeAddr, NodeAddr, Vec<u8>)>);
+
+    impl FrameSink for VecSink {
+        fn send_frame(&mut self, from: NodeAddr, to: NodeAddr, frame: Vec<u8>) {
+            self.0.push((from, to, frame));
+        }
+    }
+
+    fn node(index: u32) -> RbayNode {
+        let info = NodeInfo {
+            id: NodeId::hash_of(format!("pack-test:{index}").as_bytes()),
+            addr: NodeAddr(index),
+            site: SiteId(0),
+        };
+        let host = RbayHost::new(
+            Rc::new(RbayConfig::default()),
+            info.id,
+            info.addr,
+            info.site,
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["site0".into()],
+        );
+        RbayNode {
+            pastry: PastryNode::new(info),
+            scribe: ScribeLayer::new(),
+            host,
+        }
+    }
+
+    #[test]
+    fn members_join_each_other_over_loopback() {
+        let mut pack = Pack::new(0, (0..4).map(node).collect());
+        let mut sink = VecSink::default();
+        pack.member_mut(0).seed_as_bootstrap();
+        for slot in 1..4 {
+            pack.join_member(&mut sink, slot, NodeAddr(0));
+        }
+        // Joins and their replies ride the loopback queue only.
+        let mut rounds = 0;
+        while pack.has_loopback() {
+            pack.pump(&mut sink);
+            rounds += 1;
+            assert!(rounds < 100, "loopback never quiesced");
+        }
+        for slot in 0..4 {
+            assert!(
+                pack.member(slot).pastry.is_joined(),
+                "member {slot} not joined"
+            );
+        }
+        assert!(
+            sink.0.is_empty(),
+            "intra-pack traffic must not reach the sink"
+        );
+        assert_eq!(pack.loopback_dropped(), 0);
+    }
+
+    #[test]
+    fn remote_destinations_reach_the_sink_with_member_source() {
+        let mut pack = Pack::new(10, vec![node(10), node(11)]);
+        let mut sink = VecSink::default();
+        // Member in slot 1 (addr 11) joins via a bootstrap outside the
+        // pack: the join frame must leave through the sink, stamped with
+        // the member's own address.
+        pack.join_member(&mut sink, 1, NodeAddr(500));
+        assert_eq!(sink.0.len(), 1);
+        let (from, to, frame) = &sink.0[0];
+        assert_eq!(*from, NodeAddr(11));
+        assert_eq!(*to, NodeAddr(500));
+        assert!(
+            rbay_wire::decode_frame::<RbayMsg>(frame).is_ok(),
+            "sink frames are complete encoded messages"
+        );
+    }
+
+    #[test]
+    fn misdirected_messages_are_refused() {
+        let mut pack = Pack::new(0, vec![node(0)]);
+        let mut sink = VecSink::default();
+        pack.member_mut(0).seed_as_bootstrap();
+        // Borrow a real message by round-tripping a join through the sink.
+        let mut other = Pack::new(77, vec![node(77)]);
+        other.join_member(&mut sink, 0, NodeAddr(0));
+        let (_, _, frame) = sink.0.pop().unwrap();
+        let msg = rbay_wire::decode_frame::<RbayMsg>(&frame).unwrap();
+        assert!(!pack.on_message(&mut sink, NodeAddr(77), NodeAddr(99), msg));
+    }
+
+    #[test]
+    fn timers_are_keyed_per_slot() {
+        let mut pack = Pack::new(0, vec![node(0), node(1)]);
+        let mut sink = VecSink::default();
+        // Both slots arm the *same* protocol token: with per-slot keying
+        // both must stay live and both must fire.
+        for slot in 0..2 {
+            pack.with_member(&mut sink, slot, |_, ctx| {
+                ctx.set_timer(SimDuration::from_micros(0), TimerToken(42));
+            });
+        }
+        assert!(pack.next_deadline().is_some());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut fired = 0;
+        while fired < 2 {
+            fired += pack.fire_due(&mut sink);
+            assert!(std::time::Instant::now() < deadline, "timers never fired");
+        }
+        assert_eq!(fired, 2, "one slot's timer clobbered the other's");
+        assert_eq!(pack.next_deadline(), None);
+    }
+}

@@ -16,21 +16,25 @@ use simnet::{NodeAddr, SimTime, SiteId};
 use std::rc::Rc;
 
 impl Wire for QueryId {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.0.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(QueryId(u64::decode(r)?))
     }
 }
 
 impl Wire for Candidate {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.id.encode_into(out);
         self.addr.encode_into(out);
         self.site.encode_into(out);
         self.sort_key.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Candidate {
             id: NodeId::decode(r)?,
@@ -42,6 +46,7 @@ impl Wire for Candidate {
 }
 
 impl Wire for SearchState {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.query_id.encode_into(out);
         self.reply_to.encode_into(out);
@@ -49,6 +54,7 @@ impl Wire for SearchState {
         self.password.encode_into(out);
         self.slots.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SearchState {
             query_id: QueryId::decode(r)?,
@@ -61,12 +67,14 @@ impl Wire for SearchState {
 }
 
 impl Wire for AdminCommand {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.cmd_id.encode_into(out);
         self.attr.encode_into(out);
         self.payload.encode_into(out);
         self.issued_at.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(AdminCommand {
             cmd_id: u64::decode(r)?,
@@ -95,6 +103,7 @@ mod payload_tag {
 }
 
 impl Wire for RbayPayload {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             RbayPayload::SizeProbe {
@@ -192,6 +201,7 @@ impl Wire for RbayPayload {
         }
     }
 
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {
@@ -267,6 +277,7 @@ mod event_tag {
 }
 
 impl Wire for RbayEvent {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             RbayEvent::Subscribed {
@@ -304,6 +315,7 @@ impl Wire for RbayEvent {
         }
     }
 
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {

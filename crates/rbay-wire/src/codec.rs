@@ -105,6 +105,7 @@ pub struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     /// Wraps a byte slice.
+    #[inline]
     pub fn new(buf: &'a [u8]) -> Self {
         Reader {
             buf,
@@ -114,16 +115,19 @@ impl<'a> Reader<'a> {
     }
 
     /// Bytes not yet consumed.
+    #[inline]
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
     /// Whether every byte has been consumed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
 
     /// Consumes one byte.
+    #[inline]
     pub fn byte(&mut self) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
@@ -131,6 +135,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Consumes exactly `n` bytes.
+    #[inline]
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if n > self.remaining() {
             return Err(WireError::Truncated);
@@ -140,10 +145,22 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    /// LEB128 varint, at most 10 bytes for a `u64`.
+    /// LEB128 varint, at most 10 bytes for a `u64`. The single-byte case
+    /// (values < 128 — most tags, lengths, and small ids) is the fast
+    /// path.
+    #[inline]
     pub fn varint_u64(&mut self) -> Result<u64, WireError> {
-        let mut out: u64 = 0;
-        for shift in (0..64).step_by(7) {
+        let b = self.byte()?;
+        if b & 0x80 == 0 {
+            return Ok(b as u64);
+        }
+        self.varint_u64_slow(b)
+    }
+
+    #[cold]
+    fn varint_u64_slow(&mut self, first: u8) -> Result<u64, WireError> {
+        let mut out: u64 = (first & 0x7f) as u64;
+        for shift in (7..64).step_by(7) {
             let b = self.byte()?;
             let chunk = (b & 0x7f) as u64;
             // The 10th byte may only carry the top single bit of a u64.
@@ -159,11 +176,13 @@ impl<'a> Reader<'a> {
     }
 
     /// Varint narrowed to `u32`.
+    #[inline]
     pub fn varint_u32(&mut self) -> Result<u32, WireError> {
         u32::try_from(self.varint_u64()?).map_err(|_| WireError::BadVarint)
     }
 
     /// Varint narrowed to `u16`.
+    #[inline]
     pub fn varint_u16(&mut self) -> Result<u16, WireError> {
         u16::try_from(self.varint_u64()?).map_err(|_| WireError::BadVarint)
     }
@@ -172,6 +191,7 @@ impl<'a> Reader<'a> {
     /// least `min_elem_bytes` further input. Rejecting `len` against the
     /// *remaining* bytes means a hostile prefix can never drive a large
     /// allocation: whatever we reserve is bounded by input actually held.
+    #[inline]
     pub fn seq_len(
         &mut self,
         what: &'static str,
@@ -187,6 +207,7 @@ impl<'a> Reader<'a> {
 
     /// Eight little-endian bytes as an `f64`, with every NaN collapsed to
     /// the canonical quiet NaN.
+    #[inline]
     pub fn f64(&mut self) -> Result<f64, WireError> {
         let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) returned 8 bytes");
         let v = f64::from_bits(u64::from_le_bytes(bytes));
@@ -198,6 +219,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Sixteen little-endian bytes as a `u128` (ring identifiers).
+    #[inline]
     pub fn u128(&mut self) -> Result<u128, WireError> {
         let bytes: [u8; 16] = self
             .take(16)?
@@ -207,14 +229,19 @@ impl<'a> Reader<'a> {
     }
 
     /// A length-prefixed UTF-8 string.
+    #[inline]
     pub fn string(&mut self) -> Result<String, WireError> {
         let len = self.seq_len("string", 1)?;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(WireError::BadUtf8),
+        }
     }
 
     /// Enters one nesting level of a recursive value; callers must pair
     /// with [`Reader::exit`].
+    #[inline]
     pub fn enter(&mut self) -> Result<(), WireError> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
@@ -224,6 +251,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Leaves one nesting level.
+    #[inline]
     pub fn exit(&mut self) {
         self.depth = self.depth.saturating_sub(1);
     }
@@ -234,6 +262,7 @@ pub mod emit {
     use super::CANON_NAN_BITS;
 
     /// LEB128 varint.
+    #[inline]
     pub fn varint_u64(out: &mut Vec<u8>, mut v: u64) {
         loop {
             let byte = (v & 0x7f) as u8;
@@ -247,6 +276,7 @@ pub mod emit {
     }
 
     /// `f64` as 8 little-endian bytes, NaN canonicalized.
+    #[inline]
     pub fn f64(out: &mut Vec<u8>, v: f64) {
         let bits = if v.is_nan() {
             CANON_NAN_BITS
@@ -257,11 +287,13 @@ pub mod emit {
     }
 
     /// `u128` as 16 little-endian bytes.
+    #[inline]
     pub fn u128(out: &mut Vec<u8>, v: u128) {
         out.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Length-prefixed UTF-8 string.
+    #[inline]
     pub fn string(out: &mut Vec<u8>, s: &str) {
         varint_u64(out, s.len() as u64);
         out.extend_from_slice(s.as_bytes());
@@ -281,6 +313,7 @@ pub trait Wire: Sized {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
 
     /// Convenience: this value encoded into a fresh buffer.
+    #[inline]
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         self.encode_into(&mut out);
@@ -290,6 +323,7 @@ pub trait Wire: Sized {
 
 /// Encodes a message as a frame body: `[WIRE_VERSION][message bytes]`.
 /// (The outer length prefix is added by the stream layer, [`write_frame`].)
+#[inline]
 pub fn encode_frame<M: Wire>(msg: &M) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.push(WIRE_VERSION);
@@ -299,6 +333,7 @@ pub fn encode_frame<M: Wire>(msg: &M) -> Vec<u8> {
 
 /// Decodes a frame body produced by [`encode_frame`]: checks the version,
 /// decodes the message, and rejects trailing bytes.
+#[inline]
 pub fn decode_frame<M: Wire>(frame: &[u8]) -> Result<M, WireError> {
     let mut r = Reader::new(frame);
     let version = r.byte()?;

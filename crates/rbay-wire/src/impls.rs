@@ -18,54 +18,66 @@ use simnet::{NodeAddr, SimDuration, SimTime, SiteId};
 // ---------------------------------------------------------------------------
 
 impl Wire for u8 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(*self);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.byte()
     }
 }
 
 impl Wire for u16 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, *self as u64);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.varint_u16()
     }
 }
 
 impl Wire for u32 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, *self as u64);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.varint_u32()
     }
 }
 
 impl Wire for u64 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, *self);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.varint_u64()
     }
 }
 
 impl Wire for u128 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::u128(out, *self);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.u128()
     }
 }
 
 impl Wire for bool {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(*self as u8);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.byte()? {
             0 => Ok(false),
@@ -76,24 +88,29 @@ impl Wire for bool {
 }
 
 impl Wire for f64 {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::f64(out, *self);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.f64()
     }
 }
 
 impl Wire for String {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::string(out, self);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         r.string()
     }
 }
 
 impl<T: Wire> Wire for Option<T> {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             None => out.push(0),
@@ -103,6 +120,7 @@ impl<T: Wire> Wire for Option<T> {
             }
         }
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.byte()? {
             0 => Ok(None),
@@ -116,12 +134,14 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl<T: Wire> Wire for Vec<T> {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, self.len() as u64);
         for v in self {
             v.encode_into(out);
         }
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = r.seq_len("Vec", 1)?;
         let mut out = Vec::with_capacity(len);
@@ -137,36 +157,44 @@ impl<T: Wire> Wire for Vec<T> {
 // ---------------------------------------------------------------------------
 
 impl Wire for NodeAddr {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, self.0 as u64);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NodeAddr(r.varint_u32()?))
     }
 }
 
 impl Wire for SiteId {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, self.0 as u64);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SiteId(r.varint_u16()?))
     }
 }
 
 impl Wire for SimTime {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, self.as_micros());
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SimTime::from_micros(r.varint_u64()?))
     }
 }
 
 impl Wire for SimDuration {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::varint_u64(out, self.as_micros());
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SimDuration::from_micros(r.varint_u64()?))
     }
@@ -177,20 +205,24 @@ impl Wire for SimDuration {
 // ---------------------------------------------------------------------------
 
 impl Wire for NodeId {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         emit::u128(out, self.0);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NodeId(r.u128()?))
     }
 }
 
 impl Wire for NodeInfo {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.id.encode_into(out);
         self.addr.encode_into(out);
         self.site.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NodeInfo {
             id: NodeId::decode(r)?,
@@ -214,6 +246,7 @@ mod pastry_tag {
 }
 
 impl<A: Wire> Wire for PastryMsg<A> {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             PastryMsg::Route {
@@ -265,6 +298,7 @@ impl<A: Wire> Wire for PastryMsg<A> {
         }
     }
 
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {
@@ -314,9 +348,11 @@ impl<A: Wire> Wire for PastryMsg<A> {
 // ---------------------------------------------------------------------------
 
 impl Wire for TopicId {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.0.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(TopicId(NodeId::decode(r)?))
     }
@@ -333,6 +369,7 @@ mod agg_tag {
 }
 
 impl Wire for AggValue {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             AggValue::Count(n) => {
@@ -363,6 +400,7 @@ impl Wire for AggValue {
         }
     }
 
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {
@@ -410,6 +448,7 @@ mod scribe_tag {
 }
 
 impl<P: Wire> Wire for ScribeMsg<P> {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             ScribeMsg::Join {
@@ -522,6 +561,7 @@ impl<P: Wire> Wire for ScribeMsg<P> {
         }
     }
 
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {
@@ -606,6 +646,7 @@ mod attr_tag {
 }
 
 impl Wire for AttrValue {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             AttrValue::Bool(b) => {
@@ -622,6 +663,7 @@ impl Wire for AttrValue {
             }
         }
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tag = r.byte()?;
         Ok(match tag {
@@ -639,6 +681,7 @@ impl Wire for AttrValue {
 }
 
 impl Wire for CmpOp {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(match self {
             CmpOp::Eq => 0,
@@ -649,6 +692,7 @@ impl Wire for CmpOp {
             CmpOp::Ge => 5,
         });
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match r.byte()? {
             0 => CmpOp::Eq,
@@ -663,12 +707,14 @@ impl Wire for CmpOp {
 }
 
 impl Wire for SortDir {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(match self {
             SortDir::Asc => 0,
             SortDir::Desc => 1,
         });
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match r.byte()? {
             0 => SortDir::Asc,
@@ -684,11 +730,13 @@ impl Wire for SortDir {
 }
 
 impl Wire for Predicate {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.attr.encode_into(out);
         self.op.encode_into(out);
         self.value.encode_into(out);
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Predicate {
             attr: String::decode(r)?,
@@ -699,6 +747,7 @@ impl Wire for Predicate {
 }
 
 impl Wire for FromClause {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             FromClause::AllSites => out.push(0),
@@ -708,6 +757,7 @@ impl Wire for FromClause {
             }
         }
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match r.byte()? {
             0 => FromClause::AllSites,
@@ -723,6 +773,7 @@ impl Wire for FromClause {
 }
 
 impl Wire for Query {
+    #[inline]
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.k.encode_into(out);
         self.from.encode_into(out);
@@ -736,6 +787,7 @@ impl Wire for Query {
             }
         }
     }
+    #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let k = u32::decode(r)?;
         let from = FromClause::decode(r)?;

@@ -19,8 +19,13 @@
 //!   puts impls next to whichever side is local.)
 //! * [`transport`] — the [`Transport`] trait: message delivery + clock +
 //!   timers, the only I/O surface the protocol actors need.
-//! * [`tcp`] — the real backend: [`tcp::TcpBus`] (listener + thread-per-
-//!   peer readers and writers, bounded queues, reconnect-on-error) and
+//! * [`buf`] — zero-copy inbound framing: [`FrameBuf`] views into shared
+//!   read buffers and the [`FrameAssembler`] that carves socket reads
+//!   into frame runs.
+//! * [`tcp`] — the real backend: [`tcp::TcpBus`], a single-threaded
+//!   nonblocking event loop (vendored `epoll-shim`) with per-connection
+//!   write coalescing, bounded staging queues, and `[from][to]`-headered
+//!   peer frames so one bus can host many packed members; and
 //!   [`tcp::TcpTransport`].
 //!
 //! The simnet backend lives in `rbay-core` (`SimTransport`), so tier-1
@@ -31,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod codec;
 pub mod impls;
 pub mod tcp;
 pub mod transport;
 
+pub use buf::{FrameAssembler, FrameBuf};
 pub use codec::{
     decode_frame, encode_frame, read_frame, write_frame, Reader, Wire, WireError, CANON_NAN_BITS,
     MAX_DEPTH, MAX_FRAME_LEN, WIRE_VERSION,

@@ -9,7 +9,7 @@ use proptest::collection::vec;
 use proptest::option;
 use proptest::prelude::*;
 use rbay_query::{AttrValue, CmpOp, FromClause, Predicate, Query, SortDir};
-use rbay_wire::{decode_frame, encode_frame, Wire};
+use rbay_wire::{decode_frame, encode_frame, FrameAssembler, Wire, MAX_FRAME_LEN};
 use scribe::{AggValue, ScribeMsg, TopicId};
 use simnet::{NodeAddr, SimDuration, SimTime, SiteId};
 
@@ -315,6 +315,100 @@ proptest! {
         bytes[pos % n] ^= flip;
         if let Ok(back) = decode_frame::<PastryMsg<ScribeMsg<AggValue>>>(&bytes) {
             let _ = encode_frame(&back);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame runs through the assembler (the event-loop inbound path)
+// ---------------------------------------------------------------------------
+
+/// Concatenates length-prefixed frames into one byte run the way the
+/// socket writer lays them out: `[u32 LE len][body]` per frame.
+fn run_of(encoded: &[Vec<u8>]) -> Vec<u8> {
+    let mut run = Vec::new();
+    for body in encoded {
+        run.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        run.extend_from_slice(body);
+    }
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A concatenated run of N encoded frames, fed in arbitrary chunk
+    /// splits (including byte-at-a-time and whole-run chunks), reassembles
+    /// to exactly the N original messages in order.
+    #[test]
+    fn frame_runs_reassemble_across_any_split(
+        msgs in vec(s_pastry_msg(), 1..8),
+        splits in vec(1usize..64, 1..32),
+    ) {
+        let encoded: Vec<Vec<u8>> = msgs.iter().map(encode_frame).collect();
+        let run = run_of(&encoded);
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        let mut off = 0;
+        let mut turn = 0;
+        while off < run.len() {
+            let step = splits[turn % splits.len()].min(run.len() - off);
+            turn += 1;
+            asm.feed(run[off..off + step].to_vec(), &mut frames).expect("valid run");
+            off += step;
+        }
+        prop_assert_eq!(frames.len(), encoded.len());
+        for (frame, body) in frames.iter().zip(&encoded) {
+            prop_assert_eq!(&frame[..], &body[..]);
+            prop_assert!(decode_frame::<PastryMsg<ScribeMsg<AggValue>>>(frame).is_ok());
+        }
+        prop_assert_eq!(asm.pending_len(), 0);
+    }
+
+    /// Truncating a run mid-frame yields only the complete frames; the
+    /// cut tail stays pending (never a panic, never a partial frame).
+    #[test]
+    fn truncated_runs_hold_the_tail(msgs in vec(s_pastry_msg(), 1..6), cut in 1usize..1024) {
+        let encoded: Vec<Vec<u8>> = msgs.iter().map(encode_frame).collect();
+        let run = run_of(&encoded);
+        let cut = cut % run.len();
+        let keep = run.len() - 1 - cut.min(run.len() - 1); // strict prefix
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        asm.feed(run[..keep].to_vec(), &mut frames).expect("prefix of a valid run");
+        prop_assert!(frames.len() < encoded.len());
+        for (frame, body) in frames.iter().zip(&encoded) {
+            prop_assert_eq!(&frame[..], &body[..]);
+        }
+        // Whatever was cut mid-frame is still buffered, not emitted.
+        prop_assert_eq!(asm.pending_len() + frames.iter().map(|f| f.len() + 4).sum::<usize>(), keep);
+    }
+
+    /// A valid run followed by garbage still yields the valid frames; the
+    /// garbage either stays pending, parses as further (decodable or not)
+    /// frames, or errors on an oversized length — never a panic, and
+    /// never corruption of the preceding frames.
+    #[test]
+    fn garbage_suffix_never_corrupts_prior_frames(
+        msgs in vec(s_pastry_msg(), 1..6),
+        junk in vec(any::<u8>(), 0..64),
+    ) {
+        let encoded: Vec<Vec<u8>> = msgs.iter().map(encode_frame).collect();
+        let mut run = run_of(&encoded);
+        run.extend_from_slice(&junk);
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        let fed = asm.feed(run, &mut frames);
+        match fed {
+            Ok(()) => {
+                prop_assert!(frames.len() >= encoded.len());
+                for (frame, body) in frames.iter().zip(&encoded) {
+                    prop_assert_eq!(&frame[..], &body[..]);
+                }
+            }
+            // The junk happened to form an over-MAX_FRAME_LEN length
+            // prefix; the feed reports it instead of allocating.
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
         }
     }
 }
