@@ -23,9 +23,10 @@
 //!         [--num-sites 1] [--tick-ms <ms>] [--qps-queries 10] [--json]
 //! ```
 
-use rbay_bench::cluster::{proc_of, proc_sock, CtrlMsg, DEFAULT_BASE_PORT};
+use rbay_bench::cluster::{proc_of, proc_sock, site_of, CtrlMsg, DEFAULT_BASE_PORT};
 use rbay_bench::{append_json_record, JsonRecord};
-use rbay_core::Candidate;
+use rbay_core::{Candidate, FrontdoorStats};
+use rbay_wire::DropStats;
 use rbay_wire::{decode_frame, encode_frame, read_frame, write_frame, Hello, MAX_FRAME_LEN};
 use rbay_workloads::{password_aa_script, WORKLOAD_PASSWORD};
 use simnet::NodeAddr;
@@ -47,6 +48,8 @@ struct Args {
     tick_ms: u64,
     qps_queries: u32,
     json: bool,
+    frontdoor: bool,
+    fd_max_pending: u32,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +62,8 @@ fn parse_args() -> Args {
         tick_ms: 0, // 0 = pick by scale below
         qps_queries: 10,
         json: false,
+        frontdoor: false,
+        fd_max_pending: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,8 +77,14 @@ fn parse_args() -> Args {
             "--num-sites" => args.num_sites = flag_value(&argv, i),
             "--tick-ms" => args.tick_ms = flag_value(&argv, i),
             "--qps-queries" => args.qps_queries = flag_value(&argv, i),
+            "--fd-max-pending" => args.fd_max_pending = flag_value(&argv, i),
             "--json" => {
                 args.json = true;
+                i += 1;
+                continue;
+            }
+            "--frontdoor" => {
+                args.frontdoor = true;
                 i += 1;
                 continue;
             }
@@ -81,7 +92,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown flag {other}\nusage: cluster [--agents <n>] [--agents-per-proc <m>] \
                      [--k <k>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>] \
-                     [--qps-queries <q>] [--json]"
+                     [--qps-queries <q>] [--frontdoor] [--fd-max-pending <n>] [--json]"
                 );
                 std::process::exit(2);
             }
@@ -211,13 +222,17 @@ fn main() {
     );
     let spawn_start = Instant::now();
     for i in 0..procs {
-        let child = Command::new(&daemon)
-            .args(["--index", &i.to_string()])
+        let mut cmd = Command::new(&daemon);
+        cmd.args(["--index", &i.to_string()])
             .args(["--agents", &args.agents.to_string()])
             .args(["--agents-per-proc", &args.per.to_string()])
             .args(["--base-port", &args.base_port.to_string()])
             .args(["--num-sites", &args.num_sites.to_string()])
-            .args(["--tick-ms", &args.tick_ms.to_string()])
+            .args(["--tick-ms", &args.tick_ms.to_string()]);
+        if args.frontdoor {
+            cmd.arg("--frontdoor");
+        }
+        let child = cmd
             .spawn()
             .unwrap_or_else(|e| fail(&format!("spawn daemon {i}: {e}")));
         FLEET.lock().unwrap().push(child);
@@ -268,6 +283,41 @@ fn main() {
     });
     let converge_ms = spawn_start.elapsed().as_secs_f64() * 1e3;
     println!("cluster: overlay converged in {converge_ms:.0} ms");
+
+    // Front door: enable the cache on every gateway (each site's three
+    // lowest members — the layout build_node computes on every daemon).
+    let mut gateways: Vec<NodeAddr> = Vec::new();
+    if args.frontdoor {
+        let mut per_site = vec![0u32; args.num_sites as usize];
+        for i in 0..args.agents {
+            let s = site_of(i, args.agents, args.num_sites).0 as usize;
+            if per_site[s] < 3 {
+                per_site[s] += 1;
+                gateways.push(NodeAddr(i));
+            }
+        }
+        for &g in &gateways {
+            let ctrl = &mut ctrls[proc_of(g, args.per) as usize];
+            match ctrl.request(
+                &to(
+                    g,
+                    CtrlMsg::EnableFrontdoor {
+                        ttl_ms: 600_000,
+                        capacity: 1024,
+                        max_pending: args.fd_max_pending,
+                    },
+                ),
+                Duration::from_secs(10),
+            ) {
+                Ok(CtrlMsg::Ok) => {}
+                other => fail(&format!("enable frontdoor on {g:?}: {other:?}")),
+            }
+        }
+        println!(
+            "cluster: front door enabled on {} gateway(s): {gateways:?}",
+            gateways.len()
+        );
+    }
 
     // Phase 2: k+1 evenly spaced holders post the resource behind the
     // password guard.
@@ -380,17 +430,130 @@ fn main() {
         );
     }
 
-    // Final sweep: total frames dropped anywhere in the fleet.
-    let mut dropped_frames = 0u64;
-    for (i, ctrl) in ctrls.iter_mut().enumerate() {
-        match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
-            Ok(CtrlMsg::ProcStatusReply {
-                dropped_frames: d, ..
-            }) => dropped_frames += d,
-            other => fail(&format!("final proc status from daemon {i}: {other:?}")),
+    // Phase 7 (with --frontdoor): cache hits under repetition, zero stale
+    // reads after the invalidation multicast, and shedding under a burst.
+    let mut stale_reads = 0u64;
+    if args.frontdoor {
+        // A gateway that holds no inventory, so its queries walk the tree.
+        let gateway = gateways
+            .iter()
+            .copied()
+            .find(|g| !holders.contains(g))
+            .unwrap_or(gateways[0]);
+
+        // 7a: the same query repeated through the gateway front door. The
+        // first walk fills the cache; repeats must produce hits.
+        let warm = run_query(&mut ctrls, &args, gateway, 5)
+            .unwrap_or_else(|| fail("frontdoor warmup query never satisfied"));
+        release_results(&mut ctrls, &args, &warm);
+        for _ in 0..8 {
+            let cached = run_query(&mut ctrls, &args, gateway, 3)
+                .unwrap_or_else(|| fail("repeat query through the front door"));
+            release_results(&mut ctrls, &args, &cached);
+        }
+        let (fd, _) = fleet_stats(&mut ctrls);
+        println!(
+            "cluster: front door warm: {} hit(s), {} miss(es), {} coalesced",
+            fd.hits, fd.misses, fd.coalesced
+        );
+        if fd.hits == 0 {
+            fail("no cache hits after repeating an identical query");
+        }
+
+        // 7b: flip one holder's attribute; the invalidation multicast must
+        // purge the cached entry and the next query must re-walk.
+        let flipped = holders[0];
+        let misses_before = fd.misses;
+        let ctrl = &mut ctrls[proc_of(flipped, args.per) as usize];
+        match ctrl.request(
+            &to(
+                flipped,
+                CtrlMsg::Post {
+                    attr: "GPU".into(),
+                    value: rbay_query::AttrValue::Bool(false),
+                },
+            ),
+            Duration::from_secs(10),
+        ) {
+            Ok(CtrlMsg::Ok) => {}
+            other => fail(&format!("flip GPU on {flipped:?}: {other:?}")),
+        }
+        wait_until(Duration::from_secs(60), "invalidation multicast", || {
+            let (fd, _) = fleet_stats(&mut ctrls);
+            println!("cluster: {} invalidation(s) observed", fd.invalidations);
+            fd.invalidations > 0
+        });
+        let fresh = run_query(&mut ctrls, &args, gateway, 5)
+            .unwrap_or_else(|| fail("post-invalidation query never satisfied"));
+        if fresh.iter().any(|c| c.addr == flipped) {
+            stale_reads += 1;
+        }
+        let (fd, _) = fleet_stats(&mut ctrls);
+        if fd.misses <= misses_before {
+            stale_reads += 1; // served from cache instead of re-walking
+        }
+        release_results(&mut ctrls, &args, &fresh);
+        if stale_reads > 0 {
+            fail("stale result served after invalidation");
+        }
+        println!("cluster: zero stale reads after invalidation (fresh walk excluded {flipped:?})");
+
+        // 7c: a burst of distinct queries beyond the admission bound must
+        // shed with retry-after rather than queue without limit.
+        let burst = args.fd_max_pending + 6;
+        let mut shed = 0u64;
+        'rounds: for round in 0..3 {
+            let ctrl = &mut ctrls[proc_of(gateway, args.per) as usize];
+            for i in 0..burst {
+                let zql = format!("SELECT 1 FROM * WHERE fdshed_r{round}_q{i} = true");
+                ctrl.send(&to(
+                    gateway,
+                    CtrlMsg::IssueQuery {
+                        zql,
+                        password: None,
+                    },
+                ))
+                .unwrap_or_else(|e| fail(&format!("burst send: {e}")));
+            }
+            for _ in 0..burst {
+                match ctrl.recv(Duration::from_secs(90)) {
+                    Ok(CtrlMsg::QueryShed { .. }) => shed += 1,
+                    Ok(CtrlMsg::QueryDone { .. }) => {}
+                    Ok(other) => fail(&format!("burst reply: {other:?}")),
+                    Err(e) => fail(&format!("burst reply: {e}")),
+                }
+            }
+            println!("cluster: burst round {round}: {shed} shed so far");
+            if shed > 0 {
+                break 'rounds;
+            }
+        }
+        if shed == 0 {
+            fail("admission control never shed under a query burst");
         }
     }
-    println!("cluster: {dropped_frames} frame(s) dropped fleet-wide");
+
+    // Final sweep: frames dropped anywhere in the fleet, by cause, plus
+    // fleet-wide front-door counters.
+    let (fd, drops) = fleet_stats(&mut ctrls);
+    let dropped_frames = drops.total();
+    println!(
+        "cluster: {dropped_frames} frame(s) dropped fleet-wide \
+         (staging full {}, write cap {}, connect exhausted {}, conn closed {}, unresolvable {})",
+        drops.outbound_full,
+        drops.write_cap,
+        drops.connect_exhausted,
+        drops.conn_closed,
+        drops.unresolvable
+    );
+    if args.frontdoor {
+        println!(
+            "cluster: front door totals: {} hit(s), {} miss(es), {} coalesced, {} shed, \
+             {} invalidation(s), {} stale read(s)",
+            fd.hits, fd.misses, fd.coalesced, fd.shed, fd.invalidations, stale_reads
+        );
+    }
+    let run_s = spawn_start.elapsed().as_secs_f64();
 
     for (i, ctrl) in ctrls.iter_mut().enumerate() {
         if let Err(e) = ctrl.request(&CtrlMsg::Shutdown, Duration::from_secs(5)) {
@@ -400,12 +563,34 @@ fn main() {
     kill_fleet();
 
     if args.json {
-        let rec = JsonRecord::new("cluster")
+        let mut rec = JsonRecord::new("cluster")
             .int("agents", args.agents as u64)
             .int("agents_per_proc", args.per as u64)
+            .int("num_sites", args.num_sites as u64)
+            .int("k", args.k as u64)
+            .int("tick_ms", args.tick_ms)
+            .int("qps_queries", args.qps_queries as u64)
+            .text("query_mix", "SELECT k FROM * WHERE GPU = true")
+            .int("warmup_queries", 1)
+            .num("run_s", run_s)
             .num("converge_ms", converge_ms)
             .num("queries_per_sec", queries_per_sec)
-            .int("dropped_frames", dropped_frames);
+            .int("dropped_frames", dropped_frames)
+            .int("drop_outbound_full", drops.outbound_full)
+            .int("drop_write_cap", drops.write_cap)
+            .int("drop_connect_exhausted", drops.connect_exhausted)
+            .int("drop_conn_closed", drops.conn_closed)
+            .int("drop_unresolvable", drops.unresolvable)
+            .int("frontdoor", args.frontdoor as u64);
+        if args.frontdoor {
+            rec = rec
+                .int("fd_hits", fd.hits)
+                .int("fd_misses", fd.misses)
+                .int("fd_coalesced", fd.coalesced)
+                .int("fd_shed", fd.shed)
+                .int("fd_invalidations", fd.invalidations)
+                .int("stale_reads", stale_reads);
+        }
         match append_json_record(WIRE_JSON, &rec) {
             Ok(()) => println!("cluster: appended record to {WIRE_JSON}"),
             Err(e) => eprintln!("cluster: cannot write {WIRE_JSON}: {e}"),
@@ -466,6 +651,27 @@ fn run_query(
         std::thread::sleep(Duration::from_secs(1));
     }
     None
+}
+
+/// One `ProcStatus` sweep over every daemon, aggregating front-door and
+/// per-cause drop counters fleet-wide.
+fn fleet_stats(ctrls: &mut [Ctrl]) -> (FrontdoorStats, DropStats) {
+    let mut fd = FrontdoorStats::default();
+    let mut drops = DropStats::default();
+    for (i, ctrl) in ctrls.iter_mut().enumerate() {
+        match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
+            Ok(CtrlMsg::ProcStatusReply {
+                drops: d,
+                frontdoor: f,
+                ..
+            }) => {
+                drops.merge(&d);
+                fd.merge(&f);
+            }
+            other => fail(&format!("proc status from daemon {i}: {other:?}")),
+        }
+    }
+    (fd, drops)
 }
 
 /// Clears the reservation each committed candidate holds, so the next

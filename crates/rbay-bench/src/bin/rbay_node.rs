@@ -21,10 +21,12 @@
 //! ```
 
 use rbay_bench::cluster::{self, CtrlMsg};
-use rbay_core::{Pack, QueryId, RbayConfig, RbayMsg};
+use rbay_core::{
+    FrontdoorConfig, FrontdoorResponse, FrontdoorStats, Pack, QueryId, RbayConfig, RbayMsg,
+};
 use rbay_query::parse_query;
 use rbay_wire::{decode_frame, encode_frame, Inbound, TcpBus, Transport};
-use simnet::NodeAddr;
+use simnet::{NodeAddr, SimDuration};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
 
@@ -47,6 +49,7 @@ struct Args {
     base_port: u16,
     num_sites: u16,
     tick: Duration,
+    frontdoor: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
         base_port: cluster::DEFAULT_BASE_PORT,
         num_sites: 1,
         tick: Duration::from_millis(150),
+        frontdoor: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -69,10 +73,16 @@ fn parse_args() -> Args {
             "--base-port" => args.base_port = flag_value(&argv, i),
             "--num-sites" => args.num_sites = flag_value(&argv, i),
             "--tick-ms" => args.tick = Duration::from_millis(flag_value(&argv, i)),
+            "--frontdoor" => {
+                args.frontdoor = true;
+                i += 1;
+                continue;
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: rbay-node --index <i> --agents <n> \
-                     [--agents-per-proc <m>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>]"
+                     [--agents-per-proc <m>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>] \
+                     [--frontdoor]"
                 );
                 std::process::exit(2);
             }
@@ -120,8 +130,12 @@ fn main() {
         eprintln!("rbay-node[{}]: cannot listen: {e}", args.index);
         std::process::exit(1);
     });
+    let cfg = RbayConfig {
+        frontdoor_invalidation: args.frontdoor,
+        ..RbayConfig::default()
+    };
     let members = (start..end)
-        .map(|a| cluster::build_node(a, args.agents, args.num_sites, RbayConfig::default()))
+        .map(|a| cluster::build_node(a, args.agents, args.num_sites, cfg.clone()))
         .collect();
     let mut pack = Pack::new(start, members);
     if start == 0 {
@@ -305,14 +319,46 @@ fn on_ctrl(
         }
         CtrlMsg::IssueQuery { zql, password } => match parse_query(&zql) {
             Ok(q) => {
-                let id = pack.with_member(sink, slot, |node, ctx| {
+                // Route through the front door: a no-op pass-through on
+                // members where it is not enabled.
+                let resp = pack.with_member(sink, slot, |node, ctx| {
                     node.host.now = ctx.now();
-                    node.host.issue_query(q, password)
+                    node.host.frontdoor_query(q, password)
                 });
-                pending.push((slot, id, conn));
+                match resp {
+                    FrontdoorResponse::Cached { result, satisfied } => {
+                        reply(&CtrlMsg::QueryDone {
+                            satisfied,
+                            results: result,
+                            unknown_sites: Vec::new(),
+                        });
+                    }
+                    FrontdoorResponse::Pending { id, .. } => pending.push((slot, id, conn)),
+                    FrontdoorResponse::Shed { retry_after } => {
+                        reply(&CtrlMsg::QueryShed {
+                            retry_after_ms: retry_after.as_micros() / 1000,
+                        });
+                    }
+                }
             }
             Err(e) => reply(&CtrlMsg::Err { msg: e.to_string() }),
         },
+        CtrlMsg::EnableFrontdoor {
+            ttl_ms,
+            capacity,
+            max_pending,
+        } => {
+            pack.with_member(sink, slot, |node, ctx| {
+                node.host.now = ctx.now();
+                node.host.enable_frontdoor(FrontdoorConfig {
+                    cache_ttl: SimDuration::from_millis(ttl_ms),
+                    cache_capacity: capacity as usize,
+                    max_pending: max_pending as usize,
+                    retry_after: SimDuration::from_millis(100),
+                });
+            });
+            reply(&CtrlMsg::Ok);
+        }
         CtrlMsg::Status => {
             let node = pack.member(slot);
             let attached = node
@@ -336,6 +382,7 @@ fn on_ctrl(
             let mut topics = 0;
             let mut committed = 0;
             let mut min_known_peers = u32::MAX;
+            let mut frontdoor = FrontdoorStats::default();
             for slot in 0..pack.len() {
                 let node = pack.member(slot);
                 if node.pastry.is_joined() {
@@ -351,6 +398,9 @@ fn on_ctrl(
                 topics += node.scribe.topics().count() as u32;
                 committed += node.host.committed.len() as u32;
                 min_known_peers = min_known_peers.min(node.pastry.known_peers().len() as u32);
+                if let Some(fd) = &node.host.frontdoor {
+                    frontdoor.merge(&fd.stats);
+                }
             }
             reply(&CtrlMsg::ProcStatusReply {
                 members: pack.len(),
@@ -360,6 +410,8 @@ fn on_ctrl(
                 committed,
                 dropped_frames: bus.dropped_frames() + pack.loopback_dropped(),
                 min_known_peers: if pack.is_empty() { 0 } else { min_known_peers },
+                drops: bus.drop_stats(),
+                frontdoor,
             });
         }
         CtrlMsg::Release => {

@@ -143,6 +143,22 @@ pub enum CtrlMsg {
         /// FROM-clause site names that did not resolve.
         unknown_sites: Vec<String>,
     },
+    /// The front door refused a query under overload ([`CtrlMsg::IssueQuery`]
+    /// answer when admission control sheds).
+    QueryShed {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// Enable the query front door on the addressed member (sent to each
+    /// gateway after convergence).
+    EnableFrontdoor {
+        /// Cache entry TTL.
+        ttl_ms: u64,
+        /// Cache capacity (entries).
+        capacity: u32,
+        /// Admission-control bound on concurrent leader walks.
+        max_pending: u32,
+    },
     /// Ask for the daemon's overlay/application state.
     Status,
     /// Answer to [`CtrlMsg::Status`].
@@ -199,6 +215,10 @@ pub enum CtrlMsg {
         dropped_frames: u64,
         /// Smallest per-member routing-state size, a convergence signal.
         min_known_peers: u32,
+        /// The bus's dropped frames broken down by cause.
+        drops: rbay_wire::DropStats,
+        /// Front-door counters summed over this process's members.
+        frontdoor: rbay_core::FrontdoorStats,
     },
     /// Release the member's current reservation (commits hold inventory
     /// for an hour otherwise — benchmark loops release between queries).
@@ -219,6 +239,8 @@ mod ctrl_tag {
     pub const PROC_STATUS: u8 = 10;
     pub const PROC_STATUS_REPLY: u8 = 11;
     pub const RELEASE: u8 = 12;
+    pub const QUERY_SHED: u8 = 13;
+    pub const ENABLE_FRONTDOOR: u8 = 14;
 }
 
 impl Wire for CtrlMsg {
@@ -287,6 +309,8 @@ impl Wire for CtrlMsg {
                 committed,
                 dropped_frames,
                 min_known_peers,
+                drops,
+                frontdoor,
             } => {
                 out.push(ctrl_tag::PROC_STATUS_REPLY);
                 members.encode_into(out);
@@ -296,8 +320,24 @@ impl Wire for CtrlMsg {
                 committed.encode_into(out);
                 dropped_frames.encode_into(out);
                 min_known_peers.encode_into(out);
+                drops.encode_into(out);
+                frontdoor.encode_into(out);
             }
             CtrlMsg::Release => out.push(ctrl_tag::RELEASE),
+            CtrlMsg::QueryShed { retry_after_ms } => {
+                out.push(ctrl_tag::QUERY_SHED);
+                retry_after_ms.encode_into(out);
+            }
+            CtrlMsg::EnableFrontdoor {
+                ttl_ms,
+                capacity,
+                max_pending,
+            } => {
+                out.push(ctrl_tag::ENABLE_FRONTDOOR);
+                ttl_ms.encode_into(out);
+                capacity.encode_into(out);
+                max_pending.encode_into(out);
+            }
         }
     }
 
@@ -351,8 +391,18 @@ impl Wire for CtrlMsg {
                 committed: u32::decode(r)?,
                 dropped_frames: u64::decode(r)?,
                 min_known_peers: u32::decode(r)?,
+                drops: rbay_wire::DropStats::decode(r)?,
+                frontdoor: rbay_core::FrontdoorStats::decode(r)?,
             },
             ctrl_tag::RELEASE => CtrlMsg::Release,
+            ctrl_tag::QUERY_SHED => CtrlMsg::QueryShed {
+                retry_after_ms: u64::decode(r)?,
+            },
+            ctrl_tag::ENABLE_FRONTDOOR => CtrlMsg::EnableFrontdoor {
+                ttl_ms: u64::decode(r)?,
+                capacity: u32::decode(r)?,
+                max_pending: u32::decode(r)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "CtrlMsg",
@@ -408,8 +458,31 @@ mod tests {
                 committed: 2,
                 dropped_frames: 1,
                 min_known_peers: 12,
+                drops: rbay_wire::DropStats {
+                    unresolvable: 1,
+                    outbound_full: 2,
+                    write_cap: 3,
+                    connect_exhausted: 4,
+                    conn_closed: 5,
+                },
+                frontdoor: rbay_core::FrontdoorStats {
+                    hits: 10,
+                    misses: 4,
+                    coalesced: 2,
+                    shed: 1,
+                    invalidations: 3,
+                    evictions: 0,
+                },
             },
             CtrlMsg::Release,
+            CtrlMsg::QueryShed {
+                retry_after_ms: 100,
+            },
+            CtrlMsg::EnableFrontdoor {
+                ttl_ms: 10_000,
+                capacity: 1024,
+                max_pending: 256,
+            },
         ];
         for m in &msgs {
             assert_eq!(&decode_frame::<CtrlMsg>(&encode_frame(m)).unwrap(), m);

@@ -398,6 +398,23 @@ impl RbayHost {
             seq,
             satisfied,
         });
+        // Front-door completion: a leader walk fills the result cache and
+        // releases its single-flight slot (coalesced waiters poll this
+        // record directly, so no explicit fan-out message is needed).
+        if self.frontdoor.is_some() {
+            let (result, attrs) = {
+                let rec = &self.queries[&query_id];
+                (
+                    rec.result.clone(),
+                    crate::frontdoor::query_attrs(&rec.query),
+                )
+            };
+            if let Some(fd) = self.frontdoor.as_mut() {
+                if fd.complete(query_id, result, satisfied, attrs, now) {
+                    self.obs.count(node, "fd_fill");
+                }
+            }
+        }
     }
 
     /// Handles a query timer (timeout or backoff retry). Timers carry the

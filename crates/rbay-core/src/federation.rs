@@ -4,8 +4,9 @@
 //! composite queries.
 
 use crate::actor::RbayNode;
+use crate::frontdoor::{lowest_rtt_site, FrontdoorConfig, FrontdoorResponse, FrontdoorStats};
 use crate::host::{RbayConfig, RbayHost};
-use crate::types::{AdminCommand, QueryId, QueryRecord, RbayEvent, RbayPayload};
+use crate::types::{AdminCommand, Candidate, QueryId, QueryRecord, RbayEvent, RbayPayload};
 use aascript::SharedSandbox;
 use pastry::{seed_overlay, NodeId, NodeInfo, PastryNode};
 use rbay_query::{parse_query, AttrValue, ParseQueryError, Query};
@@ -218,12 +219,16 @@ impl Federation {
     }
 
     /// Admin API: updates an attribute reading without changing
-    /// membership (e.g. a fresh utilization sample).
+    /// membership (e.g. a fresh utilization sample). Drains ops: under
+    /// [`RbayConfig::frontdoor_invalidation`] the update multicasts a
+    /// cache invalidation.
     pub fn update_attr(&mut self, node: NodeAddr, attr: &str, value: AttrValue) {
         let attr = attr.to_owned();
         let now = self.sim.now();
-        self.sim.schedule_call(now, node, move |a, _ctx| {
+        self.sim.schedule_call(now, node, move |a, ctx| {
+            a.host.now = ctx.now();
             a.host.update_attr(&attr, value);
+            a.drain_ops(ctx);
         });
     }
 
@@ -357,6 +362,100 @@ impl Federation {
         id
     }
 
+    /// Enables the query front door on every gateway of every site (the
+    /// three lowest addresses per site) with the given tunables, and
+    /// subscribes each to its site's `__frontdoor` invalidation tree.
+    /// Build the federation with [`RbayConfig::frontdoor_invalidation`]
+    /// set so writes keep those caches coherent; call `settle()` (or let
+    /// traffic flow) so the tree joins complete.
+    pub fn enable_frontdoor(&mut self, fcfg: FrontdoorConfig) {
+        let now = self.sim.now();
+        let sites = self.sim.topology().site_count() as u16;
+        for s in 0..sites {
+            let gws = self.sim.actor(NodeAddr(0)).host.gateways[s as usize].clone();
+            for gw in gws {
+                let fcfg = fcfg.clone();
+                self.sim.schedule_call(now, gw, move |a, ctx| {
+                    a.host.now = ctx.now();
+                    a.host.enable_frontdoor(fcfg);
+                    a.drain_ops(ctx);
+                });
+            }
+        }
+    }
+
+    /// Geo-aware redirection: the site whose front door a client should
+    /// talk to — the lowest-RTT site by the topology's matrix (for the
+    /// AWS-8 preset, the paper's Table II numbers).
+    pub fn frontdoor_site_for(&self, client: NodeAddr) -> SiteId {
+        let topo = self.sim.topology();
+        let client_site = topo.site_of(client);
+        let all: Vec<SiteId> = (0..topo.site_count() as u16).map(SiteId).collect();
+        lowest_rtt_site(client_site, &all, |a, b| topo.rtt_ms(a, b)).unwrap_or(client_site)
+    }
+
+    /// Customer API via the front door: redirects `client` to its
+    /// lowest-RTT site's first gateway, then routes the query through
+    /// that gateway's cache / single-flight / admission state. `Pending`
+    /// outcomes resolve on the *gateway* — poll
+    /// [`Federation::query_record`] with the returned gateway and id after
+    /// [`Federation::settle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed query text.
+    pub fn frontdoor_query(
+        &mut self,
+        client: NodeAddr,
+        query: &str,
+        password: Option<&str>,
+    ) -> Result<FrontdoorOutcome, ParseQueryError> {
+        let q = parse_query(query)?;
+        let site = self.frontdoor_site_for(client);
+        let gateway = self.sim.actor(client).host.gateways[site.0 as usize][0];
+        let now = self.sim.now();
+        let password = password.map(str::to_owned);
+        let response = {
+            let a = self.sim.actor_mut(gateway);
+            a.host.now = now;
+            a.host.frontdoor_query(q, password)
+        };
+        // A new walk issued ops (probes, timers) synchronously into the
+        // gateway's queue; drain them in-context, and keep the federation's
+        // per-node id mirror in step with the gateway's sequence counter.
+        if let FrontdoorResponse::Pending {
+            coalesced: false, ..
+        } = &response
+        {
+            *self.issued.entry(gateway).or_insert(0) += 1;
+            self.sim.schedule_call(now, gateway, |a, ctx| {
+                a.drain_ops(ctx);
+            });
+        }
+        Ok(match response {
+            FrontdoorResponse::Cached { result, satisfied } => {
+                FrontdoorOutcome::Cached { result, satisfied }
+            }
+            FrontdoorResponse::Pending { id, coalesced } => FrontdoorOutcome::Pending {
+                gateway,
+                id,
+                coalesced,
+            },
+            FrontdoorResponse::Shed { retry_after } => FrontdoorOutcome::Shed { retry_after },
+        })
+    }
+
+    /// The front-door counters of `node` (`None` when it has no front
+    /// door).
+    pub fn frontdoor_stats(&self, node: NodeAddr) -> Option<FrontdoorStats> {
+        self.sim
+            .actor(node)
+            .host
+            .frontdoor
+            .as_ref()
+            .map(|fd| fd.stats)
+    }
+
     /// Runs `rounds` maintenance rounds (AA timers + aggregation ticks) on
     /// every node, separated by `interval` so each round's messages land
     /// before the next.
@@ -402,6 +501,33 @@ impl Federation {
     pub fn node_mut(&mut self, addr: NodeAddr) -> &mut RbayNode {
         self.sim.actor_mut(addr)
     }
+}
+
+/// Outcome of a [`Federation::frontdoor_query`].
+#[derive(Debug, Clone)]
+pub enum FrontdoorOutcome {
+    /// Answered from the gateway cache, no overlay traffic.
+    Cached {
+        /// The cached candidate set.
+        result: Vec<Candidate>,
+        /// Whether the cached walk found its `k` nodes.
+        satisfied: bool,
+    },
+    /// A walk (new or shared) will answer on `gateway`; poll
+    /// [`Federation::query_record`] after settling.
+    Pending {
+        /// Which gateway runs the walk.
+        gateway: NodeAddr,
+        /// The walk to poll.
+        id: QueryId,
+        /// Whether this query attached to an already-running walk.
+        coalesced: bool,
+    },
+    /// Refused by admission control.
+    Shed {
+        /// Suggested client backoff.
+        retry_after: SimDuration,
+    },
 }
 
 impl std::fmt::Debug for Federation {

@@ -6,12 +6,13 @@
 //! the enclosing actor drains with full access to the Pastry/Scribe state
 //! (see [`crate::actor`]).
 
+use crate::frontdoor::{query_key, Frontdoor, FrontdoorConfig, FrontdoorDecision};
 use crate::naming::HybridNaming;
 use crate::types::{Candidate, QueryId, QueryRecord, RbayEvent, RbayPayload, SearchState};
 use aascript::analysis::{has_errors, Diagnostic, LintOptions};
 use aascript::{AaInstance, Script, SharedSandbox, Value};
 use pastry::NodeId;
-use rbay_query::AttrValue;
+use rbay_query::{AttrValue, Query};
 use scribe::{AggValue, ScribeHost, TopicId, Visit};
 use simnet::obs::{ObsEvent, Recorder};
 use simnet::{NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
@@ -79,6 +80,13 @@ pub struct RbayConfig {
     /// `set_global`) beyond the standard `now_ms`/`attrs`/`sha1hex`; the
     /// linter treats reads of these as defined.
     pub lint_externs: Vec<String>,
+    /// Front-door cache coherence: when true, every `post_resource` /
+    /// `update_attr` emits an [`RbayPayload::Invalidate`] multicast over
+    /// the site-local `__frontdoor` tree (plus one Direct per remote site's
+    /// gateway, which re-multicasts there), so gateway result caches never
+    /// serve a result whose inputs changed. Off by default — deployments
+    /// without a front door should not pay the write-path fan-out.
+    pub frontdoor_invalidation: bool,
 }
 
 /// Install-time enforcement level for static analysis of AA scripts
@@ -157,9 +165,14 @@ impl Default for RbayConfig {
             aggregate_attr: None,
             lint_policy: LintPolicy::default(),
             lint_externs: Vec::new(),
+            frontdoor_invalidation: false,
         }
     }
 }
+
+/// Name of the per-site control tree carrying front-door cache
+/// invalidations (gateways subscribe on [`RbayHost::enable_frontdoor`]).
+pub const FRONTDOOR_TREE: &str = "__frontdoor";
 
 /// A deferred operation queued by host callbacks and executed by the actor.
 #[derive(Debug)]
@@ -317,6 +330,10 @@ pub struct RbayHost {
     pub lint_reports: Vec<(String, Vec<Diagnostic>)>,
     /// Observability-plane handle; disabled (a no-op) by default.
     pub obs: Recorder,
+    /// The query front door (result cache, single-flight, admission
+    /// control); `None` unless [`RbayHost::enable_frontdoor`] ran — only
+    /// gateway nodes carry one.
+    pub frontdoor: Option<Box<Frontdoor>>,
 }
 
 impl RbayHost {
@@ -360,6 +377,7 @@ impl RbayHost {
             aa_errors: 0,
             lint_reports: Vec::new(),
             obs: Recorder::default(),
+            frontdoor: None,
         }
     }
 
@@ -432,12 +450,118 @@ impl RbayHost {
         let scope = self.routing_scope(self.site);
         self.sub_requested.insert(topic, self.now);
         self.ops.push_back(Op::Subscribe { topic, scope });
+        self.emit_invalidation(attr);
     }
 
     /// Updates an attribute value without touching tree membership (used
     /// by monitoring updates like utilization readings).
     pub fn update_attr(&mut self, attr: &str, value: AttrValue) {
         self.attrs.insert(attr.to_owned(), value);
+        self.emit_invalidation(attr);
+    }
+
+    /// Write-path half of front-door cache coherence: purge this node's
+    /// own cache (a gateway may change its own attributes), multicast the
+    /// invalidation over the site-local `__frontdoor` tree, and hand one
+    /// Direct to each remote site's gateway for local re-multicast. A
+    /// no-op unless [`RbayConfig::frontdoor_invalidation`] is set.
+    fn emit_invalidation(&mut self, attr: &str) {
+        if !self.cfg.frontdoor_invalidation {
+            return;
+        }
+        if let Some(fd) = self.frontdoor.as_mut() {
+            fd.invalidate_attr(attr);
+        }
+        let topic = self.tree_topic(FRONTDOOR_TREE, self.site);
+        let scope = self.routing_scope(self.site);
+        self.ops.push_back(Op::Multicast {
+            topic,
+            scope,
+            payload: RbayPayload::Invalidate {
+                attr: attr.to_owned(),
+                fanout: false,
+            },
+        });
+        for s in 0..self.gateways.len() as u16 {
+            let site = SiteId(s);
+            if site == self.site {
+                continue;
+            }
+            self.ops.push_back(Op::Direct {
+                to: self.gateway_for(site, 0),
+                payload: RbayPayload::Invalidate {
+                    attr: attr.to_owned(),
+                    fanout: true,
+                },
+            });
+        }
+    }
+
+    /// Turns this node into a front-door gateway: installs the cache /
+    /// single-flight / admission state and subscribes to the site-local
+    /// `__frontdoor` invalidation tree. Call on gateway nodes once the
+    /// overlay has converged (the subscription routes like any tree join).
+    pub fn enable_frontdoor(&mut self, cfg: FrontdoorConfig) {
+        self.frontdoor = Some(Box::new(Frontdoor::new(cfg)));
+        let topic = self.tree_topic(FRONTDOOR_TREE, self.site);
+        let scope = self.routing_scope(self.site);
+        self.sub_requested.insert(topic, self.now);
+        self.ops.push_back(Op::Subscribe { topic, scope });
+    }
+
+    /// Routes one client query through the front door: cache hit,
+    /// coalesce onto an identical in-flight walk, launch a new walk, or
+    /// shed under overload. Falls back to a plain [`RbayHost::issue_query`]
+    /// when no front door is enabled, so callers need not special-case.
+    pub fn frontdoor_query(
+        &mut self,
+        query: Query,
+        password: Option<String>,
+    ) -> crate::frontdoor::FrontdoorResponse {
+        use crate::frontdoor::FrontdoorResponse;
+        let node = self.addr;
+        let Some(fd) = self.frontdoor.as_mut() else {
+            let id = self.issue_query(query, password);
+            return FrontdoorResponse::Pending {
+                id,
+                coalesced: false,
+            };
+        };
+        let key = query_key(&query);
+        match fd.begin(&key, self.now) {
+            FrontdoorDecision::Hit { result, satisfied } => {
+                self.obs.count(node, "fd_hit");
+                FrontdoorResponse::Cached { result, satisfied }
+            }
+            FrontdoorDecision::Coalesce { leader } => {
+                self.obs.count(node, "fd_coalesce");
+                FrontdoorResponse::Pending {
+                    id: leader,
+                    coalesced: true,
+                }
+            }
+            FrontdoorDecision::Shed { retry_after } => {
+                self.obs.count(node, "fd_shed");
+                FrontdoorResponse::Shed { retry_after }
+            }
+            FrontdoorDecision::Admit => {
+                self.obs.count(node, "fd_miss");
+                // Register the leader *before* issuing: anchorless queries
+                // complete synchronously inside `issue_query`, and the
+                // completion hook must already see the leader entry.
+                let id = QueryId::new(self.addr, self.next_seq);
+                self.frontdoor
+                    .as_mut()
+                    .expect("checked above")
+                    .lead(key, id);
+                let got = self.issue_query(query, password);
+                debug_assert_eq!(got, id, "leader id must match issue order");
+                FrontdoorResponse::Pending {
+                    id,
+                    coalesced: false,
+                }
+            }
+        }
     }
 
     /// Extends an AA instance with RBAY's runtime primitives — currently
@@ -796,6 +920,15 @@ impl RbayHost {
 
 impl ScribeHost<RbayPayload> for RbayHost {
     fn on_multicast(&mut self, _topic: TopicId, payload: &RbayPayload) {
+        if let RbayPayload::Invalidate { attr, .. } = payload {
+            if let Some(fd) = self.frontdoor.as_mut() {
+                if fd.invalidate_attr(attr) > 0 {
+                    let node = self.addr;
+                    self.obs.count(node, "fd_invalidate");
+                }
+            }
+            return;
+        }
         let RbayPayload::Admin(cmd) = payload else {
             return;
         };
@@ -987,6 +1120,28 @@ impl ScribeHost<RbayPayload> for RbayHost {
             RbayPayload::Pong { info, .. } => {
                 self.pending_pings.remove(&_from);
                 self.ops.push_back(Op::LearnPeer { info });
+            }
+            RbayPayload::Invalidate { attr, fanout } => {
+                if let Some(fd) = self.frontdoor.as_mut() {
+                    if fd.invalidate_attr(&attr) > 0 {
+                        let node = self.addr;
+                        self.obs.count(node, "fd_invalidate");
+                    }
+                }
+                if fanout {
+                    // Border-router relay: spread the invalidation to the
+                    // rest of this site's gateways over the local tree.
+                    let topic = self.tree_topic(FRONTDOOR_TREE, self.site);
+                    let scope = self.routing_scope(self.site);
+                    self.ops.push_back(Op::Multicast {
+                        topic,
+                        scope,
+                        payload: RbayPayload::Invalidate {
+                            attr,
+                            fanout: false,
+                        },
+                    });
+                }
             }
             _ => {}
         }

@@ -32,6 +32,7 @@
 mod actor;
 mod engine;
 mod federation;
+pub mod frontdoor;
 mod host;
 mod naming;
 mod pack;
@@ -40,8 +41,9 @@ mod types;
 mod wire;
 
 pub use actor::{RbayMsg, RbayNode};
-pub use federation::Federation;
-pub use host::{InstallError, LintPolicy, Op, RbayConfig, RbayHost};
+pub use federation::{Federation, FrontdoorOutcome};
+pub use frontdoor::{query_key, Frontdoor, FrontdoorConfig, FrontdoorResponse, FrontdoorStats};
+pub use host::{InstallError, LintPolicy, Op, RbayConfig, RbayHost, FRONTDOOR_TREE};
 pub use naming::HybridNaming;
 pub use pack::{FrameSink, MemberCtx, Pack};
 pub use transport::{NetAdapter, SimTransport};

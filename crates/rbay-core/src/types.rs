@@ -176,6 +176,19 @@ pub enum RbayPayload {
         /// The responder's overlay identity (see [`RbayPayload::Ping`]).
         info: pastry::NodeInfo,
     },
+    /// Front-door cache invalidation: `attr` changed somewhere, so every
+    /// gateway must purge cached results that depend on it. Multicast over
+    /// the site-local `__frontdoor` admin tree; sent Direct (with `fanout`)
+    /// to one gateway per remote site, which re-multicasts locally —
+    /// the same border-router pattern queries use under administrative
+    /// isolation.
+    Invalidate {
+        /// The attribute whose value changed.
+        attr: String,
+        /// When true the receiving gateway re-multicasts the invalidation
+        /// over its own site's `__frontdoor` tree.
+        fanout: bool,
+    },
 }
 
 impl MessageSize for RbayPayload {
@@ -196,6 +209,7 @@ impl MessageSize for RbayPayload {
             RbayPayload::Ping { .. } | RbayPayload::Pong { .. } => 33,
             RbayPayload::StatsProbe { tree, .. } => 5 + tree.len(),
             RbayPayload::StatsEcho { tree, .. } => 30 + tree.len(),
+            RbayPayload::Invalidate { attr, .. } => 3 + attr.len(),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! in memory purely for cheap intra-process cloning; on the wire it is a
 //! plain `Query`, re-wrapped on decode.
 
+use crate::frontdoor::FrontdoorStats;
 use crate::types::{AdminCommand, Candidate, QueryId, RbayEvent, RbayPayload, SearchState};
 use pastry::{NodeId, NodeInfo};
 use rbay_query::{AttrValue, Query};
@@ -23,6 +24,29 @@ impl Wire for QueryId {
     #[inline]
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(QueryId(u64::decode(r)?))
+    }
+}
+
+impl Wire for FrontdoorStats {
+    #[inline]
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.hits.encode_into(out);
+        self.misses.encode_into(out);
+        self.coalesced.encode_into(out);
+        self.shed.encode_into(out);
+        self.invalidations.encode_into(out);
+        self.evictions.encode_into(out);
+    }
+    #[inline]
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FrontdoorStats {
+            hits: u64::decode(r)?,
+            misses: u64::decode(r)?,
+            coalesced: u64::decode(r)?,
+            shed: u64::decode(r)?,
+            invalidations: u64::decode(r)?,
+            evictions: u64::decode(r)?,
+        })
     }
 }
 
@@ -100,6 +124,7 @@ mod payload_tag {
     pub const STATS_ECHO: u8 = 10;
     pub const PING: u8 = 11;
     pub const PONG: u8 = 12;
+    pub const INVALIDATE: u8 = 13;
 }
 
 impl Wire for RbayPayload {
@@ -198,6 +223,11 @@ impl Wire for RbayPayload {
                 nonce.encode_into(out);
                 info.encode_into(out);
             }
+            RbayPayload::Invalidate { attr, fanout } => {
+                out.push(payload_tag::INVALIDATE);
+                attr.encode_into(out);
+                fanout.encode_into(out);
+            }
         }
     }
 
@@ -258,6 +288,10 @@ impl Wire for RbayPayload {
             payload_tag::PONG => RbayPayload::Pong {
                 nonce: u64::decode(r)?,
                 info: NodeInfo::decode(r)?,
+            },
+            payload_tag::INVALIDATE => RbayPayload::Invalidate {
+                attr: String::decode(r)?,
+                fanout: bool::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {

@@ -1,0 +1,203 @@
+//! Property tests for the front-door cache key (`frontdoor::query_key`).
+//!
+//! Semantically identical Zql queries — predicate order, whitespace,
+//! keyword case, equivalent literal spellings (`10` vs `10.0`), site-name
+//! case and duplication — must map to the same key, and distinct
+//! normalized queries must not collide on the generated corpus.
+
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+use rbay_core::query_key;
+use rbay_query::{parse_query, AttrValue, CmpOp, FromClause, Predicate, Query, SortDir};
+use std::collections::BTreeMap;
+
+fn attr_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        ![
+            "SELECT", "FROM", "WHERE", "AND", "GROUPBY", "ASC", "DESC", "true", "false", "NodeId",
+        ]
+        .iter()
+        .any(|k| k.eq_ignore_ascii_case(s))
+    })
+}
+
+fn literal() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-100_000i64..100_000).prop_map(|n| AttrValue::Num(n as f64)),
+        "[A-Za-z0-9._-]{0,12}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    (attr_name(), cmp_op(), literal()).prop_map(|(attr, op, value)| Predicate { attr, op, value })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        1u32..1000,
+        prop_oneof![
+            Just(FromClause::AllSites),
+            vec("[A-Za-z][A-Za-z0-9_]{0,8}", 1..4).prop_map(FromClause::Sites),
+        ],
+        vec(predicate(), 0..4),
+        option::of((
+            attr_name(),
+            prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)],
+        )),
+    )
+        .prop_map(|(k, from, predicates, order_by)| Query {
+            k,
+            from,
+            predicates,
+            order_by,
+        })
+}
+
+/// Renders `q` back to Zql with cosmetic noise: permuted predicates,
+/// extra whitespace, mixed keyword case, duplicated / re-cased sites,
+/// and `N.0` spellings for integer literals. The result still parses to
+/// a semantically identical query.
+fn noisy_render(q: &Query, rot: usize, shout: bool, pad: bool) -> String {
+    let ws = if pad { "   " } else { " " };
+    let kw = |s: &str| {
+        if shout {
+            s.to_uppercase()
+        } else {
+            s.to_lowercase()
+        }
+    };
+    let mut s = format!("{}{ws}{}{ws}{}{ws}", kw("SELECT"), q.k, kw("FROM"));
+    match &q.from {
+        FromClause::AllSites => s.push('*'),
+        FromClause::Sites(sites) => {
+            let mut rendered: Vec<String> = sites
+                .iter()
+                .map(|site| {
+                    if shout {
+                        format!("\"{}\"", site.to_uppercase())
+                    } else {
+                        format!("\"{}\"", site.to_lowercase())
+                    }
+                })
+                .collect();
+            // Duplicate the first site: FROM a, b ≡ FROM a, b, a.
+            rendered.push(rendered[0].clone());
+            let n = rendered.len();
+            rendered.rotate_left(rot % n);
+            s.push_str(&rendered.join(&format!(",{ws}")));
+        }
+    }
+    if !q.predicates.is_empty() {
+        let mut preds: Vec<String> = q
+            .predicates
+            .iter()
+            .map(|p| {
+                let val = match &p.value {
+                    AttrValue::Num(n) if n.fract() == 0.0 && pad => format!("{n:.1}"),
+                    AttrValue::Str(s) => format!("\"{s}\""),
+                    v => v.to_string(),
+                };
+                format!("{}{ws}{}{ws}{}", p.attr, p.op.as_str(), val)
+            })
+            .collect();
+        let n = preds.len();
+        preds.rotate_left(rot % n);
+        s.push_str(&format!(
+            "{ws}{}{ws}{}",
+            kw("WHERE"),
+            preds.join(&format!("{ws}{}{ws}", kw("AND")))
+        ));
+    }
+    if let Some((attr, dir)) = &q.order_by {
+        let d = match dir {
+            SortDir::Asc => kw("ASC"),
+            SortDir::Desc => kw("DESC"),
+        };
+        s.push_str(&format!("{ws}{}{ws}{attr}{ws}{d}", kw("GROUPBY")));
+    }
+    s
+}
+
+/// The canonical normal form a key is supposed to fingerprint: sorted
+/// deduped predicates (via canonical literal rendering), lowercased
+/// sorted deduped sites, k, and order_by.
+fn normal_form(q: &Query) -> String {
+    let mut sites = match &q.from {
+        FromClause::AllSites => vec!["*".to_string()],
+        FromClause::Sites(s) => s.iter().map(|x| x.to_lowercase()).collect(),
+    };
+    sites.sort();
+    sites.dedup();
+    let mut preds: Vec<String> = q
+        .predicates
+        .iter()
+        .map(|p| format!("{}\t{}\t{}", p.attr, p.op.as_str(), p.value.canonical()))
+        .collect();
+    preds.sort();
+    preds.dedup();
+    format!(
+        "{}|{:?}|{:?}|{:?}",
+        q.k,
+        sites,
+        preds,
+        q.order_by
+            .as_ref()
+            .map(|(a, d)| (a.clone(), matches!(d, SortDir::Asc)))
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cosmetic rewrites of the same query — reordered predicates, extra
+    /// whitespace, keyword case, `10.0` for `10`, re-cased and duplicated
+    /// site lists — all hash to one cache key.
+    #[test]
+    fn equivalent_spellings_share_a_key(
+        q in query(),
+        rot in 0usize..8,
+        shout in any::<bool>(),
+        pad in any::<bool>(),
+    ) {
+        let baseline = query_key(&q);
+        let noisy = noisy_render(&q, rot, shout, pad);
+        let reparsed = parse_query(&noisy)
+            .map_err(|e| TestCaseError::fail(format!("{e} for `{noisy}`")))?;
+        prop_assert_eq!(query_key(&reparsed), baseline);
+    }
+
+    /// Two queries share a key only when their normal forms agree: the
+    /// key never conflates semantically different queries.
+    #[test]
+    fn distinct_queries_do_not_collide(a in query(), b in query()) {
+        if query_key(&a) == query_key(&b) {
+            prop_assert_eq!(normal_form(&a), normal_form(&b));
+        }
+    }
+
+    /// Corpus-level check: within one batch of generated queries, keys
+    /// partition the corpus exactly as normal forms do.
+    #[test]
+    fn keys_partition_like_normal_forms(qs in vec(query(), 1..20)) {
+        let mut by_key: BTreeMap<String, String> = BTreeMap::new();
+        for q in &qs {
+            let nf = normal_form(q);
+            if let Some(prev) = by_key.insert(query_key(q), nf.clone()) {
+                prop_assert_eq!(prev, nf);
+            }
+        }
+    }
+}

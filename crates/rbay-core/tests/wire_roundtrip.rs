@@ -180,6 +180,8 @@ fn s_payload() -> BoxedStrategy<RbayPayload> {
             .prop_map(|(tree, agg, exists)| RbayPayload::StatsEcho { tree, agg, exists }),
         (any::<u64>(), s_node_info()).prop_map(|(nonce, info)| RbayPayload::Ping { nonce, info }),
         (any::<u64>(), s_node_info()).prop_map(|(nonce, info)| RbayPayload::Pong { nonce, info }),
+        (s_string(), any::<bool>())
+            .prop_map(|(attr, fanout)| RbayPayload::Invalidate { attr, fanout }),
     ]
     .boxed()
 }

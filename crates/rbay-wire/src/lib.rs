@@ -47,5 +47,5 @@ pub use codec::{
     decode_frame, encode_frame, read_frame, write_frame, Reader, Wire, WireError, CANON_NAN_BITS,
     MAX_DEPTH, MAX_FRAME_LEN, WIRE_VERSION,
 };
-pub use tcp::{Hello, Inbound, Resolver, TcpBus, TcpTransport};
+pub use tcp::{DropStats, Hello, Inbound, Resolver, TcpBus, TcpTransport};
 pub use transport::Transport;

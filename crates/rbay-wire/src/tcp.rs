@@ -52,11 +52,16 @@ use std::time::Instant;
 
 /// Capacity of the shared inbound frame queue (frames, not bytes).
 const INBOUND_QUEUE: usize = 4096;
-/// Capacity of each per-peer outbound staging queue (frames).
-const OUTBOUND_QUEUE: usize = 1024;
+/// Capacity of each per-peer outbound staging queue (frames). 4096: at
+/// 16,000 packed agents the convergence burst overruns a 1024-frame
+/// queue long before the write path is the bottleneck (62k drops in the
+/// BENCH_wire 16k row were dominated by staging overflow).
+const OUTBOUND_QUEUE: usize = 4096;
 /// Hard cap on a connection's un-flushed write buffer; beyond this new
 /// frames for the connection are dropped (slow-receiver protection).
-const WRITE_BUF_MAX: usize = 4 * 1024 * 1024;
+/// 8 MiB absorbs the deeper staging queue above without letting one
+/// stalled peer pin unbounded memory.
+const WRITE_BUF_MAX: usize = 8 * 1024 * 1024;
 /// Compact the write buffer once this many sent bytes accumulate at its
 /// front.
 const WRITE_COMPACT: usize = 256 * 1024;
@@ -135,6 +140,86 @@ pub enum Inbound {
 /// Maps overlay addresses to socket addresses (e.g. `127.0.0.1:base+i`).
 pub type Resolver = Arc<dyn Fn(NodeAddr) -> Option<SocketAddr> + Send + Sync>;
 
+/// Dropped-frame counts broken down by cause, so a lossy run says *why*
+/// (snapshot of [`TcpBus::drop_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// The resolver had no socket address for the destination.
+    pub unresolvable: u64,
+    /// A per-peer outbound staging queue was full (sender outran the
+    /// event loop or a not-yet-established connection).
+    pub outbound_full: u64,
+    /// A connection's un-flushed write buffer exceeded its cap (slow
+    /// receiver).
+    pub write_cap: u64,
+    /// The connect-retry budget toward a peer was exhausted.
+    pub connect_exhausted: u64,
+    /// A connection broke with frames still queued on it.
+    pub conn_closed: u64,
+}
+
+impl DropStats {
+    /// Total frames dropped across all causes.
+    pub fn total(&self) -> u64 {
+        self.unresolvable
+            + self.outbound_full
+            + self.write_cap
+            + self.connect_exhausted
+            + self.conn_closed
+    }
+
+    /// Adds another snapshot's counts (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &DropStats) {
+        self.unresolvable += other.unresolvable;
+        self.outbound_full += other.outbound_full;
+        self.write_cap += other.write_cap;
+        self.connect_exhausted += other.connect_exhausted;
+        self.conn_closed += other.conn_closed;
+    }
+}
+
+impl Wire for DropStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.unresolvable.encode_into(out);
+        self.outbound_full.encode_into(out);
+        self.write_cap.encode_into(out);
+        self.connect_exhausted.encode_into(out);
+        self.conn_closed.encode_into(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, crate::WireError> {
+        Ok(DropStats {
+            unresolvable: u64::decode(r)?,
+            outbound_full: u64::decode(r)?,
+            write_cap: u64::decode(r)?,
+            connect_exhausted: u64::decode(r)?,
+            conn_closed: u64::decode(r)?,
+        })
+    }
+}
+
+/// Per-cause drop counters shared between sender threads and the event
+/// loop.
+#[derive(Default)]
+struct DropCounters {
+    unresolvable: AtomicU64,
+    outbound_full: AtomicU64,
+    write_cap: AtomicU64,
+    connect_exhausted: AtomicU64,
+    conn_closed: AtomicU64,
+}
+
+impl DropCounters {
+    fn snapshot(&self) -> DropStats {
+        DropStats {
+            unresolvable: self.unresolvable.load(Ordering::Relaxed),
+            outbound_full: self.outbound_full.load(Ordering::Relaxed),
+            write_cap: self.write_cap.load(Ordering::Relaxed),
+            connect_exhausted: self.connect_exhausted.load(Ordering::Relaxed),
+            conn_closed: self.conn_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared between sender threads and the event loop, guarded by one
 /// mutex held only for queue pushes/takes (never across I/O).
 #[derive(Default)]
@@ -155,8 +240,8 @@ struct BusInner {
     shared: Mutex<Shared>,
     /// Self-pipe write half: one byte nudges the event loop awake.
     wake_tx: UnixStream,
-    /// Frames dropped on saturated or broken outbound paths.
-    dropped: AtomicU64,
+    /// Frames dropped on saturated or broken outbound paths, by cause.
+    dropped: DropCounters,
 }
 
 /// A shared handle to one daemon's socket machinery. Cheap to clone.
@@ -191,7 +276,7 @@ impl TcpBus {
                 resolver,
                 shared: Mutex::new(Shared::default()),
                 wake_tx,
-                dropped: AtomicU64::new(0),
+                dropped: DropCounters::default(),
             }),
         };
         let mut ev = EventLoop {
@@ -239,7 +324,10 @@ impl TcpBus {
     /// full.
     pub fn send_from(&self, from: NodeAddr, to: NodeAddr, frame: Vec<u8>) {
         let Some(sock) = (self.inner.resolver)(to) else {
-            self.count_drop(1);
+            self.inner
+                .dropped
+                .unresolvable
+                .fetch_add(1, Ordering::Relaxed);
             return;
         };
         {
@@ -249,7 +337,10 @@ impl TcpBus {
             }
             let q = sh.out.entry(sock).or_default();
             if q.len() >= OUTBOUND_QUEUE {
-                self.count_drop(1);
+                self.inner
+                    .dropped
+                    .outbound_full
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
             q.push_back((from, to, frame));
@@ -275,19 +366,21 @@ impl TcpBus {
         Ok(())
     }
 
-    /// Frames dropped so far on saturated or broken outbound paths.
+    /// Frames dropped so far on saturated or broken outbound paths
+    /// (total across causes — see [`TcpBus::drop_stats`]).
     pub fn dropped_frames(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
+        self.drop_stats().total()
+    }
+
+    /// Per-cause breakdown of the dropped-frame count.
+    pub fn drop_stats(&self) -> DropStats {
+        self.inner.dropped.snapshot()
     }
 
     /// Asks the event loop to exit; in-flight frames may be lost.
     pub fn shutdown(&self) {
         self.inner.shared.lock().expect("shared lock").shutdown = true;
         self.wake();
-    }
-
-    fn count_drop(&self, n: u64) {
-        self.inner.dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     fn wake(&self) {
@@ -461,7 +554,10 @@ impl EventLoop {
             let staged = self.staged.entry(sock).or_default();
             for frame in q {
                 if staged.len() >= OUTBOUND_QUEUE {
-                    self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .dropped
+                        .outbound_full
+                        .fetch_add(1, Ordering::Relaxed);
                 } else {
                     staged.push_back(frame);
                 }
@@ -514,7 +610,10 @@ impl EventLoop {
                 }
             }
             if overflowed > 0 {
-                self.inner.dropped.fetch_add(overflowed, Ordering::Relaxed);
+                self.inner
+                    .dropped
+                    .write_cap
+                    .fetch_add(overflowed, Ordering::Relaxed);
             }
         }
     }
@@ -529,6 +628,7 @@ impl EventLoop {
             if let Some(q) = self.staged.remove(&sock) {
                 self.inner
                     .dropped
+                    .connect_exhausted
                     .fetch_add(q.len() as u64, Ordering::Relaxed);
             }
             self.retry.remove(&sock);
@@ -831,7 +931,10 @@ impl EventLoop {
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         let unsent = conn.wr.unsent_frames() as u64;
         if unsent > 0 {
-            self.inner.dropped.fetch_add(unsent, Ordering::Relaxed);
+            self.inner
+                .dropped
+                .conn_closed
+                .fetch_add(unsent, Ordering::Relaxed);
         }
         if let Some(sock) = conn.sock {
             self.by_sock.remove(&sock);
@@ -1099,6 +1202,9 @@ mod tests {
             TcpBus::start("127.0.0.1:0".parse().unwrap(), NodeAddr(0), resolver).unwrap();
         bus.send_to(NodeAddr(99), encode_frame(&1u64));
         assert_eq!(bus.dropped_frames(), 1);
+        let stats = bus.drop_stats();
+        assert_eq!(stats.unresolvable, 1, "cause attributed: {stats:?}");
+        assert_eq!(stats.total(), 1);
         bus.shutdown();
     }
 

@@ -279,6 +279,171 @@ impl QueryGen {
     }
 }
 
+/// A Zipf(s) popularity distribution over ranks `0..n`, sampled by
+/// inverse CDF. Rank 0 is the most popular item; `s = 0` degenerates to
+/// uniform, `s ≈ 1` is the classic web-request skew.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf
+            .iter()
+            .position(|c| u <= *c)
+            .unwrap_or(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of `rank`.
+    pub fn weight(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - prev
+    }
+
+    /// Number of ranks.
+    pub fn population(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// One step of the closed-loop front-door workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// Issue this Zql query (popularity-ranked: hot queries repeat often
+    /// under Zipf skew, which is what makes a result cache pay off).
+    Query(String),
+    /// Update `attr` to `value` on some resource holder — the write path
+    /// that triggers invalidation multicasts.
+    Update {
+        /// Attribute to overwrite.
+        attr: String,
+        /// New value (monotone counter, so every write is a real change).
+        value: AttrValue,
+    },
+}
+
+/// Closed-loop, popularity-skewed read/write workload for the query
+/// front door (§tentpole of the front-door evaluation): reads draw a
+/// query from a fixed population by Zipf rank, writes touch attributes
+/// that cached queries depend on.
+#[derive(Debug)]
+pub struct ZipfWorkload {
+    rng: SmallRng,
+    zipf: Zipf,
+    queries: Vec<String>,
+    read_ratio: f64,
+    write_attrs: Vec<String>,
+    write_seq: u64,
+}
+
+impl ZipfWorkload {
+    /// Builds the workload over a popularity-ranked query population
+    /// (`queries[0]` is the hottest). `skew` is the Zipf exponent;
+    /// `read_ratio` in `[0, 1]` is the fraction of ops that are queries;
+    /// writes cycle over `write_attrs` (may be empty when
+    /// `read_ratio == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty, `read_ratio` is outside `[0, 1]`,
+    /// or writes are possible with no attributes to write.
+    pub fn new(
+        seed: u64,
+        queries: Vec<String>,
+        skew: f64,
+        read_ratio: f64,
+        write_attrs: Vec<String>,
+    ) -> Self {
+        assert!(!queries.is_empty(), "need at least one query");
+        assert!((0.0..=1.0).contains(&read_ratio));
+        assert!(
+            read_ratio >= 1.0 || !write_attrs.is_empty(),
+            "writes need target attributes"
+        );
+        let zipf = Zipf::new(queries.len(), skew);
+        ZipfWorkload {
+            rng: SmallRng::seed_from_u64(seed),
+            zipf,
+            queries,
+            read_ratio,
+            write_attrs,
+            write_seq: 0,
+        }
+    }
+
+    /// The next operation of the closed loop.
+    pub fn next_op(&mut self) -> WorkloadOp {
+        if self.rng.gen::<f64>() < self.read_ratio {
+            let rank = self.zipf.sample(&mut self.rng);
+            WorkloadOp::Query(self.queries[rank].clone())
+        } else {
+            let i = self.rng.gen_range(0..self.write_attrs.len());
+            self.write_seq += 1;
+            WorkloadOp::Update {
+                attr: self.write_attrs[i].clone(),
+                value: AttrValue::Num(self.write_seq as f64),
+            }
+        }
+    }
+
+    /// Size of the query population.
+    pub fn population(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The popularity distribution.
+    pub fn zipf(&self) -> &Zipf {
+        &self.zipf
+    }
+}
+
+/// A popularity-ranked query population over the EC2 workload: `n`
+/// distinct queries asking for the Gaussian-popular instance types first,
+/// varying `k` and the residual attribute so every rank is a distinct
+/// cache key.
+pub fn instance_query_population(n: usize, extra_attrs: usize) -> Vec<String> {
+    let mix = InstanceMix::gaussian();
+    // Instance types by descending popularity in the Gaussian mix.
+    let mut by_pop: Vec<usize> = (0..EC2_INSTANCE_TYPES.len()).collect();
+    by_pop.sort_by(|a, b| mix.weight(*b).total_cmp(&mix.weight(*a)));
+    (0..n)
+        .map(|rank| {
+            let itype = EC2_INSTANCE_TYPES[by_pop[rank % by_pop.len()]];
+            let k = 1 + (rank / by_pop.len()) as u32;
+            let extra = if extra_attrs > 0 {
+                format!(" AND attr{} >= 0", rank % extra_attrs)
+            } else {
+                String::new()
+            };
+            format!("SELECT {k} FROM * WHERE instance = \"{itype}\"{extra}")
+        })
+        .collect()
+}
+
 /// Convenience: the Table II site names (re-exported from simnet's preset).
 pub fn aws8_site_names() -> Vec<String> {
     simnet::topology::AWS8_SITE_NAMES
@@ -364,6 +529,68 @@ mod tests {
             rec.satisfied,
             "type {target} has {expected} holders: {rec:?}"
         );
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.weight(0) > z.weight(10) * 5.0);
+        let total: f64 = (0..100).map(|r| z.weight(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // s = 0 is uniform.
+        let u = Zipf::new(10, 0.0);
+        assert!((u.weight(0) - u.weight(9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_workload_respects_ratio_and_skew() {
+        let queries = instance_query_population(50, 10);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            rbay_query::parse_query(q).expect(q);
+        }
+        // Distinct cache keys per rank.
+        let distinct: std::collections::BTreeSet<&String> = queries.iter().collect();
+        assert_eq!(distinct.len(), 50);
+
+        let mut wl = ZipfWorkload::new(
+            9,
+            queries.clone(),
+            1.0,
+            0.9,
+            vec!["attr0".into(), "attr1".into()],
+        );
+        let mut reads = 0u32;
+        let mut writes = 0u32;
+        let mut top = 0u32;
+        for _ in 0..10_000 {
+            match wl.next_op() {
+                WorkloadOp::Query(q) => {
+                    reads += 1;
+                    if q == queries[0] {
+                        top += 1;
+                    }
+                }
+                WorkloadOp::Update { attr, .. } => {
+                    writes += 1;
+                    assert!(attr.starts_with("attr"));
+                }
+            }
+        }
+        let ratio = f64::from(reads) / f64::from(reads + writes);
+        assert!((0.85..=0.95).contains(&ratio), "read ratio {ratio}");
+        // Under Zipf(1) over 50 ranks, the hottest query is >15% of reads.
+        assert!(f64::from(top) / f64::from(reads) > 0.15, "top share");
+    }
+
+    #[test]
+    fn zipf_workload_is_deterministic_per_seed() {
+        let queries = instance_query_population(10, 4);
+        let mut a = ZipfWorkload::new(3, queries.clone(), 0.8, 0.7, vec!["attr0".into()]);
+        let mut b = ZipfWorkload::new(3, queries, 0.8, 0.7, vec!["attr0".into()]);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
     }
 
     #[test]
