@@ -17,6 +17,7 @@
 //! `#![forbid(unsafe_code)]`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 #[cfg(not(unix))]
 compile_error!("epoll-shim supports Unix targets only");
@@ -102,6 +103,11 @@ mod imp {
         data: u64,
     }
 
+    // SAFETY: declarations match the Linux syscall wrappers exported by
+    // every libc (glibc/musl) `std` links: epoll_create1(2), epoll_ctl(2)
+    // taking a pointer the kernel copies from, epoll_wait(2) writing at
+    // most `maxevents` entries, close(2). `EpollEvent` mirrors the
+    // kernel's `struct epoll_event` layout (packed on x86-64).
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
         fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -238,6 +244,10 @@ mod imp {
         scope_id: u32,
     }
 
+    // SAFETY: socket(2) and connect(2) as exported by libc; `connect`'s
+    // `addr` is only read for `len` bytes during the call, and the
+    // `SockAddrIn`/`SockAddrIn6` structs above mirror the kernel's
+    // `sockaddr_in`/`sockaddr_in6` layouts (fields in network order).
     extern "C" {
         fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
         fn connect(fd: c_int, addr: *const std::ffi::c_void, len: u32) -> c_int;
@@ -321,6 +331,9 @@ mod imp {
     const POLLERR: i16 = 0x008;
     const POLLHUP: i16 = 0x010;
 
+    // SAFETY: poll(2) as exported by libc; `PollFd` mirrors the kernel's
+    // `struct pollfd` and the call writes only the `revents` fields of
+    // the first `nfds` entries.
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
     }

@@ -11,7 +11,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
-use rbay_bench::{default_threads, emit_json, run_seeds, stats, HarnessOpts, JsonRecord};
+use rbay_bench::{
+    default_threads, emit_json, emit_schedule, run_seeds, stats, HarnessOpts, JsonRecord,
+};
+use rbay_check::{invariants, CheckSpec, ChurnParams, ChurnState, ScheduleFile, Violation};
 use rbay_core::{Federation, RbayConfig};
 use rbay_query::AttrValue;
 use rbay_workloads::WORKLOAD_PASSWORD;
@@ -37,30 +40,29 @@ struct Outcome {
     recall: f64,
     avg_latency: f64,
     obs: Option<ObsOutcome>,
+    /// Protocol-invariant violation found at the end of the run, if any
+    /// (checked by `rbay-check`'s quiescence oracles).
+    violation: Option<Violation>,
 }
 
 fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: bool) -> Outcome {
-    let cfg = RbayConfig {
-        failure_detection: true,
-        heartbeat_timeout: SimDuration::from_millis(400),
-        commit_results: false,
-        ..RbayConfig::default()
+    // The deterministic core (federation build, victim selection, recall
+    // origin) is shared with `rbay-check`'s bench:churn scenario, so a
+    // violating seed replays byte-identically via `rbay-check replay`.
+    let params = ChurnParams {
+        nodes: n_nodes,
+        frac: churn_frac,
+        epochs,
+        seed,
     };
-    let mut fed = Federation::with_config(Topology::single_site(n_nodes, 0.5), seed, cfg);
-    let rec = metrics.then(|| fed.enable_obs(1 << 18));
-    let topic = fed.node(NodeAddr(0)).host.tree_topic("GPU=true", SiteId(0));
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut rec = None;
+    let mut st = ChurnState::with_setup(&params, |fed| {
+        if metrics {
+            rec = Some(fed.enable_obs(1 << 18));
+        }
+    });
+    let topic = st.topic;
 
-    // A third of the fleet holds the resource.
-    let mut holders: Vec<NodeAddr> = (0..(n_nodes / 3) as u32).map(NodeAddr).collect();
-    for &h in &holders {
-        fed.post_resource(h, "GPU", AttrValue::Bool(true));
-    }
-    fed.settle();
-    fed.run_maintenance(3, SimDuration::from_millis(250));
-    fed.settle();
-
-    let mut alive: Vec<bool> = vec![true; n_nodes];
     let mut latencies = Vec::new();
     let mut successes = 0u32;
     let mut attempts = 0u32;
@@ -73,18 +75,10 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: b
     for _ in 0..epochs {
         // Crash `churn_frac` of the currently-alive nodes (sparing one
         // querier corner of the id space).
-        let victims: Vec<u32> = (4..n_nodes as u32)
-            .filter(|i| alive[*i as usize])
-            .collect::<Vec<_>>()
-            .choose_multiple(&mut rng, ((n_nodes as f64) * churn_frac) as usize)
-            .copied()
-            .collect();
-        for v in &victims {
-            alive[*v as usize] = false;
-            fail_at.insert(NodeAddr(*v), fed.sim().now());
-            fed.sim_mut().fail_node(NodeAddr(*v));
+        let crashed_at = st.fed.sim().now();
+        for v in st.crash_epoch(churn_frac) {
+            fail_at.insert(v, crashed_at);
         }
-        holders.retain(|h| alive[h.index()]);
         // Heartbeats detect and repair. With `--metrics`, run the same 8
         // rounds one at a time (byte-identical schedule) and record the
         // first round after which the root aggregate matches the live
@@ -92,9 +86,9 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: b
         if metrics {
             let mut converged_at = None;
             for r in 1..=8u32 {
-                fed.run_maintenance(1, SimDuration::from_millis(250));
+                st.fed.run_maintenance(1, SimDuration::from_millis(250));
                 if converged_at.is_none()
-                    && fed.tree_root_count(topic) == Some(holders.len() as u64)
+                    && st.fed.tree_root_count(topic) == Some(st.holders.len() as u64)
                 {
                     converged_at = Some(r);
                 }
@@ -102,50 +96,54 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: b
             converge_rounds_sum += converged_at.unwrap_or(9) as f64;
             converge_epochs += 1;
         } else {
-            fed.run_maintenance(8, SimDuration::from_millis(250));
+            st.fed.run_maintenance(8, SimDuration::from_millis(250));
         }
-        fed.settle();
+        st.fed.settle();
 
         // Measure: a few k=1 queries plus one full-inventory query.
-        let live_queriers: Vec<u32> = (0..4u32).filter(|i| alive[*i as usize]).collect();
-        if live_queriers.is_empty() || holders.is_empty() {
+        let live_queriers = st.live_queriers();
+        if live_queriers.is_empty() || st.holders.is_empty() {
             break;
         }
         for q in 0..3 {
             let origin = NodeAddr(live_queriers[q % live_queriers.len()]);
-            let id = fed
+            let id = st
+                .fed
                 .issue_query(
                     origin,
                     "SELECT 1 FROM * WHERE GPU = true",
                     Some(WORKLOAD_PASSWORD),
                 )
                 .unwrap();
-            fed.settle();
-            let rec = fed.query_record(origin, id).unwrap();
+            st.fed.settle();
+            let rec = st.fed.query_record(origin, id).unwrap();
             attempts += 1;
             if rec.satisfied {
                 successes += 1;
                 let done = rec.completed_at.unwrap();
                 latencies.push(done.saturating_since(rec.issued_at).as_millis_f64());
             }
-            let horizon = fed.sim().now() + SimDuration::from_millis(2_500);
-            fed.run_until(horizon);
+            let horizon = st.fed.sim().now() + SimDuration::from_millis(2_500);
+            st.fed.run_until(horizon);
         }
-        let origin = NodeAddr(live_queriers[rng.gen_range(0..live_queriers.len())]);
-        let id = fed
+        let origin = st.recall_origin().expect("checked non-empty");
+        let id = st
+            .fed
             .issue_query(
                 origin,
-                &format!("SELECT {} FROM * WHERE GPU = true", holders.len().max(1)),
+                &format!("SELECT {} FROM * WHERE GPU = true", st.holders.len().max(1)),
                 Some(WORKLOAD_PASSWORD),
             )
             .unwrap();
-        fed.settle();
-        let rec = fed.query_record(origin, id).unwrap();
-        recall_sum += rec.result.len() as f64 / holders.len().max(1) as f64;
+        st.fed.settle();
+        let rec = st.fed.query_record(origin, id).unwrap();
+        recall_sum += rec.result.len() as f64 / st.holders.len().max(1) as f64;
         recall_n += 1;
-        let horizon = fed.sim().now() + SimDuration::from_secs(4);
-        fed.run_until(horizon);
+        let horizon = st.fed.sim().now() + SimDuration::from_secs(4);
+        st.fed.run_until(horizon);
     }
+    st.fed.settle();
+    let violation = invariants::check_quiescent(&st.fed, &st.invariant_ctx());
 
     let obs = rec.map(|rec| {
         // Failure-detection latency: first HeartbeatExpire naming each
@@ -181,6 +179,7 @@ fn run_level(n_nodes: usize, churn_frac: f64, epochs: u32, seed: u64, metrics: b
         recall: recall_sum / recall_n.max(1) as f64,
         avg_latency: stats(&latencies).map(|s| s.mean).unwrap_or(f64::NAN),
         obs,
+        violation,
     }
 }
 
@@ -363,6 +362,24 @@ fn main() {
         let outcomes = run_seeds(&seeds, default_threads(), |seed| {
             run_level(n_nodes, frac, epochs, seed, opts.metrics)
         });
+        // Protocol-invariant oracles ran at the end of every seed's run;
+        // a violation is a regression, dumped as a replayable schedule.
+        for (&seed, o) in seeds.iter().zip(&outcomes) {
+            if let Some(v) = &o.violation {
+                eprintln!(
+                    "INVARIANT VIOLATION (churn {:.0}%, seed {seed}): {v}",
+                    frac * 100.0
+                );
+                emit_schedule(
+                    &opts,
+                    &ScheduleFile {
+                        spec: CheckSpec::bench_churn(n_nodes, frac, epochs, seed),
+                        violation: Some(v.kind().to_string()),
+                        directives: Vec::new(),
+                    },
+                );
+            }
+        }
         let n = outcomes.len() as f64;
         let success = outcomes.iter().map(|o| o.success_rate).sum::<f64>() / n;
         let recall = outcomes.iter().map(|o| o.recall).sum::<f64>() / n;

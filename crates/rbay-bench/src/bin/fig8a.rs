@@ -56,6 +56,8 @@ impl Actor for Agent {
 struct Cell {
     mean_hops: f64,
     max_hops: f64,
+    /// Probes delivered — the routing invariant is `delivered == queries`.
+    delivered: usize,
     events: u64,
     wall_secs: f64,
 }
@@ -98,6 +100,7 @@ fn avg_hops(n_nodes: usize, n_queries: usize, seed: u64) -> Cell {
     Cell {
         mean_hops: s.mean,
         max_hops: s.max,
+        delivered: hops.len(),
         events: sim.stats().events(),
         wall_secs: sim.wall_time().as_secs_f64(),
     }
@@ -123,6 +126,25 @@ fn main() {
         // One independent simulation per seed; merge deterministically in
         // seed order (mean of per-seed means, max of maxes).
         let cells = run_seeds(&seeds, default_threads(), |seed| avg_hops(n, queries, seed));
+        // Exactly-once delivery is the routing invariant; a miss dumps a
+        // schedule replayable through `rbay-check replay`.
+        for (&seed, c) in seeds.iter().zip(&cells) {
+            if c.delivered != queries {
+                let v = rbay_check::Violation::ProbeLoss {
+                    delivered: c.delivered,
+                    expected: queries,
+                };
+                eprintln!("INVARIANT VIOLATION ({n} nodes, seed {seed}): {v}");
+                rbay_bench::emit_schedule(
+                    &opts,
+                    &rbay_check::ScheduleFile {
+                        spec: rbay_check::CheckSpec::bench_fig8(n, queries, seed),
+                        violation: Some(v.kind().to_string()),
+                        directives: Vec::new(),
+                    },
+                );
+            }
+        }
         let mean = cells.iter().map(|c| c.mean_hops).sum::<f64>() / cells.len() as f64;
         let max = cells.iter().map(|c| c.max_hops).fold(0.0, f64::max);
         let events: u64 = cells.iter().map(|c| c.events).sum();

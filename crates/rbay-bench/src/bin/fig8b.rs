@@ -65,6 +65,9 @@ struct KeyCell {
 struct Cell {
     keys: Vec<KeyCell>,
     distinct_top_forwarders: usize,
+    /// Probes delivered — the routing invariant is
+    /// `delivered == queries_per_key * n_keys`.
+    delivered: u64,
     events: u64,
     wall_secs: f64,
 }
@@ -139,6 +142,7 @@ fn run_one(n_nodes: usize, queries_per_key: usize, n_keys: usize, seed: u64) -> 
     Cell {
         keys: out,
         distinct_top_forwarders: top_forwarders.len(),
+        delivered: sim.actors().map(|(_, a)| a.app.delivered).sum(),
         events: sim.stats().events(),
         wall_secs: sim.wall_time().as_secs_f64(),
     }
@@ -156,6 +160,26 @@ fn main() {
     let cells = run_seeds(&seeds, default_threads(), |seed| {
         run_one(n_nodes, queries_per_key, n_keys, seed)
     });
+    // Exactly-once delivery is the routing invariant; a miss dumps a
+    // schedule replayable through `rbay-check replay`.
+    let expected = (queries_per_key * n_keys) as u64;
+    for (&seed, c) in seeds.iter().zip(&cells) {
+        if c.delivered != expected {
+            let v = rbay_check::Violation::ProbeLoss {
+                delivered: c.delivered as usize,
+                expected: expected as usize,
+            };
+            eprintln!("INVARIANT VIOLATION ({n_nodes} nodes, seed {seed}): {v}");
+            rbay_bench::emit_schedule(
+                &opts,
+                &rbay_check::ScheduleFile {
+                    spec: rbay_check::CheckSpec::bench_fig8(n_nodes, expected as usize, seed),
+                    violation: Some(v.kind().to_string()),
+                    directives: Vec::new(),
+                },
+            );
+        }
+    }
 
     println!(
         "Fig. 8b: forwarding load per query key ({n_nodes} nodes, {queries_per_key} queries/key, {} seed(s))",

@@ -62,6 +62,10 @@ pub struct HarnessOpts {
     /// failure-detection latency, false-positive counts, convergence
     /// rounds, appended to text output and JSON records.
     pub metrics: bool,
+    /// Where to dump a `.schedule` counterexample if an invariant trips
+    /// (`--schedule-out FILE`): the violating seed plus decision trace,
+    /// replayable through `rbay-check replay FILE`.
+    pub schedule_out: Option<String>,
 }
 
 impl HarnessOpts {
@@ -76,6 +80,7 @@ impl HarnessOpts {
             json: false,
             trace: false,
             metrics: false,
+            schedule_out: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -123,6 +128,14 @@ impl HarnessOpts {
                     opts.metrics = true;
                     i += 1;
                 }
+                "--schedule-out" => {
+                    opts.schedule_out = Some(
+                        args.get(i + 1)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--schedule-out needs a file path")),
+                    );
+                    i += 2;
+                }
                 other => usage(&format!("unknown flag `{other}`")),
             }
         }
@@ -150,7 +163,7 @@ impl HarnessOpts {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\
-         usage: <bin> [--seed N] [--scale F] [--node-scale F] [--seeds N] [--json] [--trace] [--metrics]"
+         usage: <bin> [--seed N] [--scale F] [--node-scale F] [--seeds N] [--json] [--trace] [--metrics] [--schedule-out FILE]"
     );
     std::process::exit(2);
 }
@@ -299,6 +312,25 @@ pub fn append_json_record(path: &str, record: &JsonRecord) -> std::io::Result<()
         }
     };
     std::fs::write(path, updated)
+}
+
+/// Writes a `.schedule` counterexample to the `--schedule-out` path when
+/// one is set. The first violation of the process wins — later ones are
+/// reported but do not overwrite the file, so "the winning seed" is
+/// stable. No-op (beyond the caller's own report) without the flag.
+pub fn emit_schedule(opts: &HarnessOpts, file: &rbay_check::ScheduleFile) {
+    static WRITTEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let Some(path) = &opts.schedule_out else {
+        return;
+    };
+    if WRITTEN.swap(true, Ordering::Relaxed) {
+        eprintln!("note: {path} already holds this run's first violation; not overwriting");
+        return;
+    }
+    match std::fs::write(path, file.render()) {
+        Ok(()) => eprintln!("schedule written to {path}; replay with: rbay-check replay {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 /// Appends `record` to [`BENCH_JSON_PATH`] when `opts.json` is set,

@@ -1,0 +1,462 @@
+//! Protocol invariants evaluated while the checker explores.
+//!
+//! Two tiers, reflecting what is actually stable when:
+//!
+//! * **Step invariants** ([`StepTracker::check`]) run after every fired
+//!   event. Messages are in flight, so most structure is legitimately
+//!   inconsistent mid-step; only always-true sanity conditions and
+//!   *persistence* conditions (a transient state that refuses to resolve
+//!   within a grace window) are checked here.
+//! * **Quiescence invariants** ([`check_quiescent`]) run once the event
+//!   store drains: nothing is in flight, every scheduled maintenance
+//!   round has run, so the tree must be fully consistent — single live
+//!   root, attachment symmetry, exact aggregate, symmetric peer sets, and
+//!   every committed query completed.
+//!
+//! False-positive discipline: the scenarios bound fault injection to an
+//! early horizon (see [`crate::scenario`]) and schedule enough
+//! maintenance rounds afterwards that correct code provably converges
+//! before the quiescence check — a violation therefore indicts the
+//! protocol, not the harness.
+
+use rbay_core::Federation;
+use scribe::TopicId;
+use simnet::NodeAddr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What the oracles need to know about the scenario under check.
+pub struct InvariantCtx {
+    /// The topic tree under scrutiny.
+    pub topic: TopicId,
+    /// Nodes posted as resource holders (the expected subscribed set;
+    /// the live subset is computed per check).
+    pub holders: Vec<NodeAddr>,
+    /// Check root-aggregate exactness at quiescence. Requires the
+    /// scenario to leave enough post-fault rounds for stale-entry expiry
+    /// (all shipped scenarios do).
+    pub check_aggregate: bool,
+    /// Check leaf-set symmetry between live nodes at quiescence.
+    pub check_peer_symmetry: bool,
+    /// Treat an unsatisfied query as a violation when every holder is
+    /// still alive. OFF by default: this is the hunting mode for the
+    /// known ROADMAP-1 recall collapse, not a regression gate.
+    pub strict_recall: bool,
+    /// Steps a dual attachment (one child in two live parents' children
+    /// sets) may persist before it counts as a leak. In correct code the
+    /// detach `Leave` is in flight and fires within the exploration
+    /// window; only a mutant (or a dropped Leave, which the fault horizon
+    /// rules out) lets the state outlive the grace window.
+    pub dual_grace: usize,
+}
+
+impl InvariantCtx {
+    /// A context with the default gates (aggregate + peer symmetry on,
+    /// strict recall off).
+    pub fn new(topic: TopicId, holders: Vec<NodeAddr>) -> Self {
+        InvariantCtx {
+            topic,
+            holders,
+            check_aggregate: true,
+            check_peer_symmetry: true,
+            strict_recall: false,
+            dual_grace: 48,
+        }
+    }
+}
+
+/// A protocol-invariant violation found by the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A node lists itself as its own parent or child.
+    SelfLink {
+        /// The offending node.
+        node: NodeAddr,
+    },
+    /// More than one live node believes it is the tree root.
+    MultipleRoots {
+        /// Every live self-declared root.
+        roots: Vec<NodeAddr>,
+    },
+    /// Live members exist but no live node is root.
+    NoLiveRoot,
+    /// A live child sat in two live parents' children sets for longer
+    /// than the grace window (double-counted aggregate, duplicate
+    /// multicast).
+    DualAttachment {
+        /// The doubly-attached child.
+        child: NodeAddr,
+        /// The parents that both claim it.
+        parents: Vec<NodeAddr>,
+    },
+    /// At quiescence a node points at a live parent that does not list
+    /// it as a child (permanently orphaned subscriber: its aggregates
+    /// are NACKed forever).
+    DetachedAttachment {
+        /// The orphan.
+        child: NodeAddr,
+        /// The parent that disowned it.
+        parent: NodeAddr,
+    },
+    /// A live subscriber has no live parent chain ending at a live root.
+    OrphanedSubscriber {
+        /// The orphan.
+        node: NodeAddr,
+    },
+    /// A live node still lists a live peer as failed at quiescence
+    /// (permanently evicted peer: heartbeats to it never resume).
+    EvictedLivePeer {
+        /// The node holding the stale suspicion.
+        suspecter: NodeAddr,
+        /// The live peer it buried.
+        peer: NodeAddr,
+    },
+    /// Leaf-set membership is asymmetric between two live nodes after
+    /// gossip convergence.
+    AsymmetricPeers {
+        /// The node missing the entry.
+        a: NodeAddr,
+        /// The peer that still lists `a`.
+        b: NodeAddr,
+    },
+    /// The root's aggregate count disagrees with the live subscribed
+    /// membership at quiescence.
+    AggregateMismatch {
+        /// What the root reports.
+        reported: Option<u64>,
+        /// The live subscribed member count.
+        expected: u64,
+    },
+    /// An issued query whose origin is alive never completed (the
+    /// ROADMAP-1 reflex: queries silently lost mid-repair).
+    LostQuery {
+        /// The issuing node.
+        origin: NodeAddr,
+        /// Position in the origin's issue order.
+        seq: u32,
+    },
+    /// Strict-recall mode: every holder is alive yet the query finished
+    /// unsatisfied.
+    UnsatisfiedQuery {
+        /// The issuing node.
+        origin: NodeAddr,
+        /// Position in the origin's issue order.
+        seq: u32,
+    },
+    /// The run failed to drain its event store within the step budget.
+    NonQuiescent {
+        /// Steps executed before giving up.
+        steps: usize,
+    },
+    /// bench:fig8 — routed probes were lost or duplicated.
+    ProbeLoss {
+        /// Probes delivered.
+        delivered: usize,
+        /// Probes routed.
+        expected: usize,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable kind, used in `.schedule` files and by
+    /// the shrinker to decide whether a reduced schedule still fails
+    /// "the same way".
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::SelfLink { .. } => "self-link",
+            Violation::MultipleRoots { .. } => "multiple-roots",
+            Violation::NoLiveRoot => "no-live-root",
+            Violation::DualAttachment { .. } => "dual-attachment",
+            Violation::DetachedAttachment { .. } => "detached-attachment",
+            Violation::OrphanedSubscriber { .. } => "orphaned-subscriber",
+            Violation::EvictedLivePeer { .. } => "evicted-live-peer",
+            Violation::AsymmetricPeers { .. } => "asymmetric-peers",
+            Violation::AggregateMismatch { .. } => "aggregate-mismatch",
+            Violation::LostQuery { .. } => "lost-query",
+            Violation::UnsatisfiedQuery { .. } => "unsatisfied-query",
+            Violation::NonQuiescent { .. } => "non-quiescent",
+            Violation::ProbeLoss { .. } => "probe-loss",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SelfLink { node } => write!(f, "{node:?} is its own tree neighbour"),
+            Violation::MultipleRoots { roots } => {
+                write!(f, "multiple live roots: {roots:?}")
+            }
+            Violation::NoLiveRoot => write!(f, "live members but no live root"),
+            Violation::DualAttachment { child, parents } => {
+                write!(f, "{child:?} attached under {parents:?} simultaneously")
+            }
+            Violation::DetachedAttachment { child, parent } => {
+                write!(f, "{child:?} points at {parent:?}, which disowned it")
+            }
+            Violation::OrphanedSubscriber { node } => {
+                write!(f, "{node:?} subscribed but unreachable from the root")
+            }
+            Violation::EvictedLivePeer { suspecter, peer } => {
+                write!(f, "{suspecter:?} still declares live {peer:?} failed")
+            }
+            Violation::AsymmetricPeers { a, b } => {
+                write!(f, "{b:?} lists {a:?} but not vice versa")
+            }
+            Violation::AggregateMismatch { reported, expected } => {
+                write!(f, "root aggregate {reported:?}, live membership {expected}")
+            }
+            Violation::LostQuery { origin, seq } => {
+                write!(f, "query #{seq} from live {origin:?} never completed")
+            }
+            Violation::UnsatisfiedQuery { origin, seq } => {
+                write!(
+                    f,
+                    "query #{seq} from {origin:?} unsatisfied with all holders live"
+                )
+            }
+            Violation::NonQuiescent { steps } => {
+                write!(f, "not quiescent after {steps} steps")
+            }
+            Violation::ProbeLoss {
+                delivered,
+                expected,
+            } => {
+                write!(f, "{delivered} of {expected} routed probes delivered")
+            }
+        }
+    }
+}
+
+fn live(fed: &Federation, addr: NodeAddr) -> bool {
+    !fed.sim().is_failed(addr)
+}
+
+fn live_nodes(fed: &Federation) -> impl Iterator<Item = NodeAddr> + '_ {
+    (0..fed.sim().topology().node_count() as u32)
+        .map(NodeAddr)
+        .filter(|a| live(fed, *a))
+}
+
+/// `child -> live parents listing it` for the topic.
+fn attachment_map(fed: &Federation, topic: TopicId) -> BTreeMap<NodeAddr, Vec<NodeAddr>> {
+    let mut map: BTreeMap<NodeAddr, Vec<NodeAddr>> = BTreeMap::new();
+    for p in live_nodes(fed) {
+        if let Some(st) = fed.node(p).scribe.topic(topic) {
+            for &c in &st.children {
+                if live(fed, c) {
+                    map.entry(c).or_default().push(p);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Per-run step-invariant state: sanity conditions plus the
+/// dual-attachment persistence counter.
+pub struct StepTracker {
+    grace: usize,
+    /// Consecutive steps each live child has spent attached under more
+    /// than one live parent.
+    dual_streak: BTreeMap<NodeAddr, usize>,
+}
+
+impl StepTracker {
+    /// A fresh tracker using the context's grace window.
+    pub fn new(ctx: &InvariantCtx) -> Self {
+        StepTracker {
+            grace: ctx.dual_grace,
+            dual_streak: BTreeMap::new(),
+        }
+    }
+
+    /// Cheap after-every-step check: self-links and over-grace dual
+    /// attachments.
+    pub fn check(&mut self, fed: &Federation, ctx: &InvariantCtx) -> Option<Violation> {
+        for n in live_nodes(fed) {
+            if let Some(st) = fed.node(n).scribe.topic(ctx.topic) {
+                if st.parent == Some(n) || st.children.contains(&n) {
+                    return Some(Violation::SelfLink { node: n });
+                }
+            }
+        }
+        let attached = attachment_map(fed, ctx.topic);
+        self.dual_streak
+            .retain(|c, _| attached.get(c).map(|ps| ps.len()).unwrap_or(0) > 1);
+        for (c, parents) in &attached {
+            if parents.len() > 1 {
+                let streak = self.dual_streak.entry(*c).or_insert(0);
+                *streak += 1;
+                if *streak > self.grace {
+                    return Some(Violation::DualAttachment {
+                        child: *c,
+                        parents: parents.clone(),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The full oracle suite, valid only once the event store has drained.
+/// Returns the first violation found.
+pub fn check_quiescent(fed: &Federation, ctx: &InvariantCtx) -> Option<Violation> {
+    let topic = ctx.topic;
+    let members: Vec<NodeAddr> = live_nodes(fed)
+        .filter(|n| {
+            fed.node(*n)
+                .scribe
+                .topic(topic)
+                .is_some_and(|st| st.is_member())
+        })
+        .collect();
+
+    // Single live root per topic tree.
+    let roots: Vec<NodeAddr> = live_nodes(fed)
+        .filter(|n| {
+            fed.node(*n)
+                .scribe
+                .topic(topic)
+                .is_some_and(|st| st.is_root)
+        })
+        .collect();
+    if roots.len() > 1 {
+        return Some(Violation::MultipleRoots { roots });
+    }
+    if roots.is_empty() && !members.is_empty() {
+        return Some(Violation::NoLiveRoot);
+    }
+
+    // Attachment consistency: no dual attachment survives quiescence,
+    // and a child's parent pointer is honoured by the parent.
+    let attached = attachment_map(fed, topic);
+    for (c, parents) in &attached {
+        if parents.len() > 1 {
+            return Some(Violation::DualAttachment {
+                child: *c,
+                parents: parents.clone(),
+            });
+        }
+    }
+    for n in &members {
+        let st = fed.node(*n).scribe.topic(topic).expect("member state");
+        if let Some(p) = st.parent {
+            if live(fed, p) {
+                let listed = fed
+                    .node(p)
+                    .scribe
+                    .topic(topic)
+                    .is_some_and(|ps| ps.children.contains(n));
+                if !listed {
+                    return Some(Violation::DetachedAttachment {
+                        child: *n,
+                        parent: p,
+                    });
+                }
+            }
+        }
+    }
+
+    // No orphaned subscriber: every live subscriber reaches a live root
+    // by parent pointers over live nodes (cycle ⇒ orphaned).
+    let n_nodes = fed.sim().topology().node_count();
+    for n in &members {
+        let st = fed.node(*n).scribe.topic(topic).expect("member state");
+        if !st.subscribed {
+            continue;
+        }
+        let mut cur = *n;
+        let mut hops = 0usize;
+        let reached = loop {
+            let Some(cst) = fed.node(cur).scribe.topic(topic) else {
+                break false;
+            };
+            if cst.is_root {
+                break true;
+            }
+            match cst.parent {
+                Some(p) if live(fed, p) && hops <= n_nodes => {
+                    cur = p;
+                    hops += 1;
+                }
+                _ => break false,
+            }
+        };
+        if !reached {
+            return Some(Violation::OrphanedSubscriber { node: *n });
+        }
+    }
+
+    // No permanently evicted live peer.
+    for n in live_nodes(fed) {
+        for &p in &fed.node(n).host.suspected {
+            if live(fed, p) {
+                return Some(Violation::EvictedLivePeer {
+                    suspecter: n,
+                    peer: p,
+                });
+            }
+        }
+    }
+
+    // Peer-set symmetry after gossip convergence.
+    if ctx.check_peer_symmetry {
+        let all: Vec<NodeAddr> = live_nodes(fed).collect();
+        for &a in &all {
+            for &b in &all {
+                if a == b {
+                    continue;
+                }
+                let a_has_b = fed.node(a).pastry.leaf_set().members().any(|i| i.addr == b);
+                let b_has_a = fed.node(b).pastry.leaf_set().members().any(|i| i.addr == a);
+                if b_has_a && !a_has_b {
+                    return Some(Violation::AsymmetricPeers { a, b });
+                }
+            }
+        }
+    }
+
+    // No double-counted aggregate: root count equals the live
+    // subscribed membership.
+    if ctx.check_aggregate {
+        let expected = live_nodes(fed)
+            .filter(|n| {
+                fed.node(*n)
+                    .scribe
+                    .topic(topic)
+                    .is_some_and(|st| st.subscribed)
+            })
+            .count() as u64;
+        if expected > 0 {
+            let reported = fed.tree_root_count(topic);
+            if reported != Some(expected) {
+                return Some(Violation::AggregateMismatch { reported, expected });
+            }
+        }
+    }
+
+    // No committed query lost: a query whose origin is still alive must
+    // have completed (retries are bounded, so quiescence ⇒ completion).
+    for (origin, id) in fed.issued_queries() {
+        if !live(fed, origin) {
+            continue;
+        }
+        let seq = (id.0 & 0xFFFF_FFFF) as u32;
+        match fed.query_record(origin, id) {
+            None => return Some(Violation::LostQuery { origin, seq }),
+            Some(rec) => {
+                if rec.completed_at.is_none() {
+                    return Some(Violation::LostQuery { origin, seq });
+                }
+                if ctx.strict_recall && !rec.satisfied && ctx.holders.iter().all(|h| live(fed, *h))
+                {
+                    return Some(Violation::UnsatisfiedQuery { origin, seq });
+                }
+            }
+        }
+    }
+
+    None
+}

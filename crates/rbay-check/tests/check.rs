@@ -1,0 +1,119 @@
+//! Checker soundness on correct code: bounded exploration finds no
+//! violations, replays are deterministic, and the acceptance-scale
+//! exploration (>= 10k distinct interleavings, < 60 s) holds.
+
+use rbay_check::runner::{self, ExploreOpts};
+use rbay_check::{explore, explore_random, replay, CheckSpec, ScheduleFile};
+use simnet::{EarliestFirst, ReplayScheduler};
+use std::time::Duration;
+
+#[test]
+fn correct_code_has_no_violations_in_bounded_exploration() {
+    let spec = CheckSpec::subscribe_fail_repair(3, 7);
+    let report = explore(
+        &spec,
+        &ExploreOpts {
+            budget: Duration::from_secs(10),
+            target_distinct: 1_500,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.violations.is_empty(),
+        "false positive on correct code: {:?}",
+        report.violations[0].violation
+    );
+    assert!(report.distinct > 100, "explorer barely moved: {report:?}");
+}
+
+#[test]
+fn correct_code_survives_random_walks() {
+    let spec = CheckSpec::subscribe_fail_repair(4, 11);
+    let report = explore_random(&spec, 40, 0.02);
+    assert!(
+        report.violations.is_empty(),
+        "false positive on correct code: {:?}",
+        report.violations[0].violation
+    );
+}
+
+#[test]
+fn default_schedule_replays_deterministically() {
+    let spec = CheckSpec::subscribe_fail_repair(3, 7);
+    let run = |spec: &CheckSpec| {
+        let mut sched = EarliestFirst;
+        runner::run_one(spec, &mut sched)
+    };
+    let a = run(&spec);
+    let b = run(&spec);
+    assert!(a.violation.is_none(), "{:?}", a.violation);
+    assert!(a.quiescent);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.decisions, b.decisions);
+}
+
+#[test]
+fn divergent_schedule_replays_deterministically() {
+    // Record a real divergent run (skew the first explored step), then
+    // replay its schedule twice and demand identical outcomes.
+    let spec = CheckSpec::subscribe_fail_repair(3, 7);
+    let ready = {
+        let mut p = spec.prepare();
+        p.fed.sim_mut().explore_ready(runner::WINDOW)
+    };
+    assert!(ready.len() > 1, "scenario must open with co-enabled events");
+    let directives = vec![(0usize, simnet::Choice::Fire(ready[1].seq))];
+
+    let run = |d: &[(usize, simnet::Choice)]| {
+        let mut sched = ReplayScheduler::new(d.iter().copied());
+        runner::run_one(&spec, &mut sched)
+    };
+    let a = run(&directives);
+    let b = run(&directives);
+    assert_eq!(a.decisions, directives);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.violation.is_none(), b.violation.is_none());
+}
+
+#[test]
+fn schedule_file_replay_matches_direct_run() {
+    let spec = CheckSpec::subscribe_fail_repair(3, 7);
+    let file = ScheduleFile {
+        spec: spec.clone(),
+        violation: None,
+        directives: Vec::new(),
+    };
+    let parsed = ScheduleFile::parse(&file.render()).expect("round trip");
+    assert!(replay(&parsed).is_none());
+}
+
+/// The ISSUE acceptance run: >= 10_000 distinct interleavings of the
+/// 3-node subscribe-fail-repair scenario in under 60 s. Wall-clock
+/// sensitive, so it is `#[ignore]`d from the default suite and executed
+/// explicitly by the CI `check` job.
+#[test]
+#[ignore = "wall-clock acceptance run; executed by the CI check job"]
+fn ten_thousand_distinct_interleavings_within_60s() {
+    let spec = CheckSpec::subscribe_fail_repair(3, 7);
+    let report = explore(
+        &spec,
+        &ExploreOpts {
+            budget: Duration::from_secs(58),
+            target_distinct: 10_000,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.violations.is_empty(),
+        "false positive on correct code: {:?}",
+        report.violations[0].violation
+    );
+    assert!(
+        report.distinct >= 10_000,
+        "only {} distinct interleavings in {:?}",
+        report.distinct,
+        report.elapsed
+    );
+    assert!(report.elapsed < Duration::from_secs(60));
+}

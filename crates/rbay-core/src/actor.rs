@@ -201,7 +201,9 @@ impl RbayNode {
         // Any message from a peer proves it alive: clear a false-positive
         // failure declaration so the peer is re-pinged and re-grafted
         // instead of staying buried forever.
-        self.host.unsuspect(from);
+        if !scribe::seeded_bug_active(3) {
+            self.host.unsuspect(from);
+        }
         {
             let RbayNode {
                 pastry,

@@ -42,6 +42,10 @@ pub struct Federation {
     /// Shared observability recorder; disabled until
     /// [`Federation::enable_obs`].
     obs: Recorder,
+    /// Linearized log of admin installs (`post_resource` /
+    /// `update_attr`), in issue order — the ground-truth oracle
+    /// `rbay-check` linearizes query results against.
+    installs: Vec<(NodeAddr, String, AttrValue)>,
 }
 
 impl Federation {
@@ -111,6 +115,7 @@ impl Federation {
             issued: BTreeMap::new(),
             next_cmd: 0,
             obs: Recorder::default(),
+            installs: Vec::new(),
         }
     }
 
@@ -210,6 +215,7 @@ impl Federation {
     /// joins the site-scoped `attr=value` tree.
     pub fn post_resource(&mut self, node: NodeAddr, attr: &str, value: AttrValue) {
         let attr = attr.to_owned();
+        self.installs.push((node, attr.clone(), value.clone()));
         let now = self.sim.now();
         self.sim.schedule_call(now, node, move |a, ctx| {
             a.host.now = ctx.now();
@@ -224,6 +230,7 @@ impl Federation {
     /// cache invalidation.
     pub fn update_attr(&mut self, node: NodeAddr, attr: &str, value: AttrValue) {
         let attr = attr.to_owned();
+        self.installs.push((node, attr.clone(), value.clone()));
         let now = self.sim.now();
         self.sim.schedule_call(now, node, move |a, ctx| {
             a.host.now = ctx.now();
@@ -471,6 +478,23 @@ impl Federation {
         }
     }
 
+    /// Schedules `rounds` maintenance rounds on every node, `interval`
+    /// apart, WITHOUT running the simulation. Under exploration mode the
+    /// scheduled calls land in the exploration store, so the checker —
+    /// not virtual time — decides how round work interleaves with
+    /// queries, repairs, and faults.
+    pub fn schedule_maintenance(&mut self, rounds: u32, interval: SimDuration) {
+        let mut at = self.sim.now();
+        for _ in 0..rounds {
+            for i in 0..self.sim.topology().node_count() as u32 {
+                self.sim.schedule_call(at, NodeAddr(i), |a, ctx| {
+                    a.maintenance_round(ctx);
+                });
+            }
+            at += interval;
+        }
+    }
+
     /// Lets all in-flight work drain (tree joins, queries, echoes).
     pub fn settle(&mut self) {
         self.sim.run_until_idle();
@@ -484,6 +508,23 @@ impl Federation {
     /// The query record kept by the issuing node.
     pub fn query_record(&self, node: NodeAddr, id: QueryId) -> Option<&QueryRecord> {
         self.sim.actor(node).host.queries.get(&id)
+    }
+
+    /// Every query id issued through the federation API, in issue order
+    /// per node. The committed-query oracle walks this list: a query
+    /// whose origin is still alive must eventually complete.
+    pub fn issued_queries(&self) -> Vec<(NodeAddr, QueryId)> {
+        self.issued
+            .iter()
+            .flat_map(|(&node, &count)| (0..count).map(move |seq| (node, QueryId::new(node, seq))))
+            .collect()
+    }
+
+    /// The linearized admin install log (`post_resource` /
+    /// `update_attr` calls in issue order): the ground truth the
+    /// committed-query oracle checks recall against.
+    pub fn install_log(&self) -> &[(NodeAddr, String, AttrValue)] {
+        &self.installs
     }
 
     /// All measurement events recorded by `node`.

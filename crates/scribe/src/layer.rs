@@ -264,8 +264,10 @@ impl ScribeLayer {
             // true rendezvous root so the fragments merge back.
             if st.is_root {
                 if let Some(next) = pastry.next_hop(topic.key(), st.scope) {
-                    st.is_root = false;
-                    demoted.push((*topic, st.scope, next.addr));
+                    if !crate::seeded_bug_active(4) {
+                        st.is_root = false;
+                        demoted.push((*topic, st.scope, next.addr));
+                    }
                 }
             } else if st.parent.is_none() && (st.subscribed || !st.children.is_empty()) {
                 // Detached member (subscriber or forwarder with a live
@@ -549,13 +551,15 @@ impl ScribeLayer {
                 // otherwise keep this node as a stale child, counting its
                 // subtree twice once it re-attaches elsewhere. A really
                 // dead parent simply never receives this.
-                net.send(
-                    addr,
-                    pastry::PastryMsg::Direct(ScribeMsg::Leave {
-                        topic,
-                        child: pastry.info().addr,
-                    }),
-                );
+                if !crate::seeded_bug_active(1) {
+                    net.send(
+                        addr,
+                        pastry::PastryMsg::Direct(ScribeMsg::Leave {
+                            topic,
+                            child: pastry.info().addr,
+                        }),
+                    );
+                }
                 if rejoin {
                     // Re-route a join for this subtree.
                     let was_subscribed = st.subscribed;
@@ -869,7 +873,7 @@ where
                 if let Some(st) = self.layer.topics.get_mut(&topic) {
                     let old = st.parent.replace(from);
                     if let Some(old) = old {
-                        if old != from {
+                        if old != from && !crate::seeded_bug_active(1) {
                             // Duplicate/stale ack re-parented us: detach
                             // from the previous parent, or we would sit in
                             // two children sets at once (multicast
@@ -971,6 +975,9 @@ where
                 }
             }
             ScribeMsg::NotChild { topic } => {
+                if crate::seeded_bug_active(2) {
+                    return;
+                }
                 let Some(st) = self.layer.topics.get_mut(&topic) else {
                     return;
                 };

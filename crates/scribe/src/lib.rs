@@ -25,7 +25,11 @@
 #![warn(missing_docs)]
 
 mod layer;
+mod seeded;
 mod types;
 
 pub use layer::{ScribeApp, ScribeHost, ScribeLayer, TopicState};
+pub use seeded::seeded_bug_active;
+#[cfg(feature = "seeded-bugs")]
+pub use seeded::set_seeded_bug;
 pub use types::{AggValue, ScribeMsg, TopicId, Visit};

@@ -55,6 +55,116 @@ pub enum TraceEvent {
     },
 }
 
+/// What a pending event is, as exposed to [`Scheduler`]s in exploration
+/// mode. Payloads stay opaque; the kind carries exactly the node footprint
+/// a partial-order reduction needs to decide commutativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A message in flight from `from` to `to`.
+    Deliver {
+        /// Sender.
+        from: NodeAddr,
+        /// Receiver.
+        to: NodeAddr,
+    },
+    /// A timer armed on `node`.
+    Timer {
+        /// The timer's owner.
+        node: NodeAddr,
+        /// The token it was armed with.
+        token: TimerToken,
+    },
+    /// An external [`Simulation::schedule_call`] against `node`.
+    Call {
+        /// The call's target.
+        node: NodeAddr,
+    },
+}
+
+impl EventKind {
+    /// The (at most two) nodes this event reads or writes.
+    pub fn footprint(&self) -> (NodeAddr, NodeAddr) {
+        match *self {
+            EventKind::Deliver { from, to } => (from, to),
+            EventKind::Timer { node, .. } | EventKind::Call { node } => (node, node),
+        }
+    }
+
+    /// Whether this event touches `node`.
+    pub fn touches(&self, node: NodeAddr) -> bool {
+        let (a, b) = self.footprint();
+        a == node || b == node
+    }
+
+    /// Whether two events operate on disjoint nodes — in which case firing
+    /// them in either order reaches the same state, and an explorer only
+    /// needs one of the two orders.
+    pub fn commutes_with(&self, other: &EventKind) -> bool {
+        let (a, b) = other.footprint();
+        !self.touches(a) && !self.touches(b)
+    }
+
+    /// Whether the event is a message delivery (the only kind a fault
+    /// injector may drop).
+    pub fn is_deliver(&self) -> bool {
+        matches!(self, EventKind::Deliver { .. })
+    }
+}
+
+/// Descriptor of one pending event in exploration mode. The `seq` is the
+/// event's identity: deterministic replay of the same decision prefix
+/// reproduces the same sequence numbers, so a recorded schedule can name
+/// events by `seq` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDesc {
+    /// Nominal (earliest) execution time.
+    pub at: SimTime,
+    /// Globally unique, deterministic sequence number.
+    pub seq: u64,
+    /// What the event is and which nodes it touches.
+    pub kind: EventKind,
+}
+
+/// One decision a [`Scheduler`] can make about the ready set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Choice {
+    /// Execute the pending event with this `seq`.
+    Fire(u64),
+    /// Drop the pending *delivery* with this `seq` (fault injection:
+    /// message lost in flight).
+    Drop(u64),
+    /// Crash this node (fault injection; all its pending and future
+    /// traffic is discarded).
+    Crash(NodeAddr),
+}
+
+/// The "which ready event fires next" policy, abstracted.
+///
+/// In normal operation the calendar queue plays the role of a fixed
+/// earliest-`(at, seq)` scheduler; in exploration mode
+/// ([`Simulation::enable_exploration`]) the engine instead presents the
+/// co-enabled ready set to a `Scheduler` and lets it pick — which is what
+/// lets `rbay-check` enumerate interleavings instead of sampling one per
+/// seed. Returning `None` abandons the run (used by explorers to prune
+/// redundant branches).
+pub trait Scheduler {
+    /// Picks the next action, given the ready set sorted by `(at, seq)`
+    /// (never empty). `step` counts decisions made so far this run.
+    fn choose(&mut self, step: usize, ready: &[EventDesc]) -> Option<Choice>;
+}
+
+/// The default scheduling policy: always fire the earliest `(at, seq)`
+/// event — exactly the total order the calendar queue produces, so a run
+/// explored under `EarliestFirst` is byte-identical to a normal run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestFirst;
+
+impl Scheduler for EarliestFirst {
+    fn choose(&mut self, _step: usize, ready: &[EventDesc]) -> Option<Choice> {
+        ready.first().map(|e| Choice::Fire(e.seq))
+    }
+}
+
 /// Wire-size accounting for simulated messages.
 ///
 /// The default implementation charges the in-memory size, which is a fair
@@ -140,6 +250,40 @@ impl<A: Actor> Ord for ScheduledCall<A> {
 enum PendingEvent<M> {
     Deliver { to: NodeAddr, msg: M },
     Timer { token: TimerToken, generation: u64 },
+}
+
+/// One pending event in the exploration store (calendar queue and call
+/// heap merged into a flat, removable-by-`seq` vector).
+struct StoredEvent<A: Actor> {
+    at: SimTime,
+    seq: u64,
+    entry: StoredEntry<A>,
+}
+
+enum StoredEntry<A: Actor> {
+    Payload(EventPayload<A::Msg>),
+    Call { node: NodeAddr, f: CallFn<A> },
+}
+
+impl<A: Actor> StoredEvent<A> {
+    fn desc(&self) -> EventDesc {
+        let kind = match &self.entry {
+            StoredEntry::Payload(EventPayload::Deliver { from, to, .. }) => EventKind::Deliver {
+                from: *from,
+                to: *to,
+            },
+            StoredEntry::Payload(EventPayload::Timer { node, token, .. }) => EventKind::Timer {
+                node: *node,
+                token: *token,
+            },
+            StoredEntry::Call { node, .. } => EventKind::Call { node: *node },
+        };
+        EventDesc {
+            at: self.at,
+            seq: self.seq,
+            kind,
+        }
+    }
 }
 
 /// Lazy timer cancellation: each `(node, token)` pair has a generation
@@ -299,6 +443,11 @@ pub struct Simulation<A: Actor> {
     /// Recycled `Context::pending` buffer: swapped into each callback's
     /// context and back, so steady-state dispatch does not allocate.
     pending_pool: Vec<(SimTime, PendingEvent<A::Msg>)>,
+    /// Exploration store ([`Simulation::enable_exploration`]): when
+    /// `Some`, newly scheduled events land here instead of the calendar
+    /// queue so a [`Scheduler`] can fire them in any order. `None` (the
+    /// default) leaves the calendar-queue hot path untouched.
+    explore: Option<Vec<StoredEvent<A>>>,
     /// Wall-clock nanoseconds spent inside `run_*` loops. Kept out of
     /// [`NetStats`] so stats snapshots stay comparable across runs.
     wall_nanos: u64,
@@ -326,8 +475,51 @@ impl<A: Actor> Simulation<A> {
             trace_cap: 0,
             obs: Recorder::default(),
             pending_pool: Vec::new(),
+            explore: None,
             wall_nanos: 0,
         }
+    }
+
+    /// Switches the engine into exploration mode: every event already
+    /// queued (and every event scheduled from now on) moves into a flat
+    /// store from which a [`Scheduler`] may fire events in any order
+    /// within a co-enabled window, drop deliveries, or crash nodes —
+    /// the substrate of systematic interleaving checking.
+    ///
+    /// May be called at any point, so a scenario can run its setup phase
+    /// on the fast calendar-queue path and only explore the interesting
+    /// window. In exploration mode `run_until*`/`run_for` still work and
+    /// follow the default earliest-`(at, seq)` order, and firing an event
+    /// advances the clock to `max(now, at)` — an event deliberately held
+    /// back past later events models a delayed delivery.
+    pub fn enable_exploration(&mut self) {
+        if self.explore.is_some() {
+            return;
+        }
+        let mut store = Vec::new();
+        while let Some((at, seq, payload)) = self.events.pop() {
+            store.push(StoredEvent {
+                at,
+                seq,
+                entry: StoredEntry::Payload(payload),
+            });
+        }
+        while let Some(call) = self.calls.pop() {
+            store.push(StoredEvent {
+                at: call.at,
+                seq: call.seq,
+                entry: StoredEntry::Call {
+                    node: call.node,
+                    f: call.f,
+                },
+            });
+        }
+        self.explore = Some(store);
+    }
+
+    /// Whether exploration mode is on.
+    pub fn exploration_enabled(&self) -> bool {
+        self.explore.is_some()
     }
 
     /// Starts recording delivered messages and fired timers, keeping at
@@ -461,12 +653,23 @@ impl<A: Actor> Simulation<A> {
     ) {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.calls.push(ScheduledCall {
-            at,
-            seq,
-            node,
-            f: Box::new(f),
-        });
+        if let Some(store) = &mut self.explore {
+            store.push(StoredEvent {
+                at,
+                seq,
+                entry: StoredEntry::Call {
+                    node,
+                    f: Box::new(f),
+                },
+            });
+        } else {
+            self.calls.push(ScheduledCall {
+                at,
+                seq,
+                node,
+                f: Box::new(f),
+            });
+        }
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -522,9 +725,195 @@ impl<A: Actor> Simulation<A> {
                     generation,
                 },
             };
-            self.events.push(at, seq, payload);
+            if let Some(store) = &mut self.explore {
+                store.push(StoredEvent {
+                    at,
+                    seq,
+                    entry: StoredEntry::Payload(payload),
+                });
+            } else {
+                self.events.push(at, seq, payload);
+            }
         }
         self.pending_pool = pending;
+    }
+
+    /// Discards exploration-store events that would be no-ops anyway
+    /// (cancelled timers; anything touching a crashed node), so the ready
+    /// set presented to schedulers contains only events whose order can
+    /// matter. Note this is eager relative to the normal path (which
+    /// discards at pop time): a node revived *before* a pending delivery's
+    /// timestamp would receive it on the normal path but not here, so
+    /// exploration treats crashes as permanent.
+    fn explore_prune(&mut self) {
+        let Simulation {
+            explore,
+            failed,
+            timers,
+            stats,
+            ..
+        } = self;
+        let Some(store) = explore else { return };
+        store.retain(|e| match &e.entry {
+            StoredEntry::Payload(EventPayload::Deliver { from, to, .. }) => {
+                if failed[from.index()] || failed[to.index()] {
+                    stats.record_drop();
+                    false
+                } else {
+                    true
+                }
+            }
+            StoredEntry::Payload(EventPayload::Timer {
+                node,
+                token,
+                generation,
+            }) => {
+                if failed[node.index()] {
+                    false
+                } else if timers.current(*node, *token) != *generation {
+                    stats.record_cancelled_timer();
+                    false
+                } else {
+                    true
+                }
+            }
+            StoredEntry::Call { node, .. } => !failed[node.index()],
+        });
+    }
+
+    /// The co-enabled ready set: every pending event whose timestamp lies
+    /// within `window` of the earliest pending timestamp, sorted by
+    /// `(at, seq)`. Events separated by more than the window are treated
+    /// as causally ordered by time (a heartbeat due in 300ms cannot race
+    /// a delivery due now), which keeps the branching factor at the scale
+    /// of genuinely concurrent events.
+    ///
+    /// Returns an empty set when the simulation has quiesced. Only
+    /// meaningful in exploration mode.
+    pub fn explore_ready(&mut self, window: SimDuration) -> Vec<EventDesc> {
+        self.start_if_needed();
+        self.explore_prune();
+        let Some(store) = &self.explore else {
+            return Vec::new();
+        };
+        let Some(min_at) = store.iter().map(|e| e.at).min() else {
+            return Vec::new();
+        };
+        let horizon = min_at + window;
+        let mut ready: Vec<EventDesc> = store
+            .iter()
+            .filter(|e| e.at <= horizon)
+            .map(|e| e.desc())
+            .collect();
+        ready.sort_by_key(|d| (d.at, d.seq));
+        ready
+    }
+
+    /// Executes the stored event with sequence number `seq`, advancing the
+    /// clock to `max(now, at)`. Returns false if no such event is pending
+    /// (replayed schedules tolerate vanished events that way).
+    pub fn explore_fire(&mut self, seq: u64) -> bool {
+        self.start_if_needed();
+        let Some(store) = &mut self.explore else {
+            return false;
+        };
+        let Some(i) = store.iter().position(|e| e.seq == seq) else {
+            return false;
+        };
+        let ev = store.swap_remove(i);
+        self.now = self.now.max(ev.at);
+        match ev.entry {
+            StoredEntry::Payload(p) => self.execute(Next::Event(p)),
+            StoredEntry::Call { node, f } => self.execute(Next::Call { node, f }),
+        }
+        true
+    }
+
+    /// Drops the stored *delivery* with sequence number `seq` (fault
+    /// injection: the message is lost in flight). Refuses (returns false)
+    /// for timers and calls, which a network cannot lose.
+    pub fn explore_drop(&mut self, seq: u64) -> bool {
+        let Some(store) = &mut self.explore else {
+            return false;
+        };
+        let Some(i) = store.iter().position(|e| e.seq == seq) else {
+            return false;
+        };
+        if !matches!(
+            store[i].entry,
+            StoredEntry::Payload(EventPayload::Deliver { .. })
+        ) {
+            return false;
+        }
+        store.swap_remove(i);
+        self.stats.record_drop();
+        true
+    }
+
+    /// Applies one scheduler [`Choice`].
+    pub fn explore_apply(&mut self, choice: Choice) -> bool {
+        match choice {
+            Choice::Fire(seq) => self.explore_fire(seq),
+            Choice::Drop(seq) => self.explore_drop(seq),
+            Choice::Crash(node) => {
+                self.fail_node(node);
+                true
+            }
+        }
+    }
+
+    /// Number of pending events in the exploration store (after pruning
+    /// no-ops). Zero means the simulation has quiesced.
+    pub fn explore_pending(&mut self) -> usize {
+        self.explore_prune();
+        self.explore.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Drives the simulation with `sched` until quiescence, the scheduler
+    /// prunes the run, or `max_steps` decisions have been applied.
+    /// Returns the number of steps taken. Requires exploration mode.
+    pub fn run_explored(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        window: SimDuration,
+        max_steps: u64,
+    ) -> u64 {
+        let mut n = 0;
+        while n < max_steps {
+            let ready = self.explore_ready(window);
+            if ready.is_empty() {
+                break;
+            }
+            let Some(choice) = sched.choose(n as usize, &ready) else {
+                break;
+            };
+            if !self.explore_apply(choice) {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Fires stored events in default `(at, seq)` order — the exploration-
+    /// mode equivalent of the normal run loop, used so `run_until*` keep
+    /// working after [`Simulation::enable_exploration`].
+    fn run_explored_default(&mut self, deadline: Option<SimTime>, limit: u64) -> u64 {
+        self.start_if_needed();
+        let mut n = 0;
+        while n < limit {
+            self.explore_prune();
+            let Some(store) = &self.explore else { break };
+            let Some((at, seq)) = store.iter().map(|e| (e.at, e.seq)).min() else {
+                break;
+            };
+            if deadline.is_some_and(|d| at > d) {
+                break;
+            }
+            self.explore_fire(seq);
+            n += 1;
+        }
+        n
     }
 
     /// The `(at)` of the earliest queued event across both queues.
@@ -567,6 +956,9 @@ impl<A: Actor> Simulation<A> {
     /// Executes events until the queue is empty or `limit` events have run.
     /// Returns the number of events executed.
     pub fn run_until_idle_with_limit(&mut self, limit: u64) -> u64 {
+        if self.explore.is_some() {
+            return self.run_explored_default(None, limit);
+        }
         self.start_if_needed();
         let wall = Instant::now();
         let mut n = 0;
@@ -601,6 +993,11 @@ impl<A: Actor> Simulation<A> {
     /// Executes events with timestamps `<= deadline`; the clock ends at
     /// `deadline` even if the queue drained earlier.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        if self.explore.is_some() {
+            let n = self.run_explored_default(Some(deadline), u64::MAX);
+            self.now = self.now.max(deadline);
+            return n;
+        }
         self.start_if_needed();
         let wall = Instant::now();
         let mut n = 0;

@@ -49,13 +49,18 @@
 mod engine;
 pub mod obs;
 pub mod queue;
+pub mod sched;
 mod stats;
 mod time;
 pub mod topology;
 
-pub use engine::{Actor, Context, MessageSize, Simulation, TimerToken, TraceEvent};
+pub use engine::{
+    Actor, Choice, Context, EarliestFirst, EventDesc, EventKind, MessageSize, Scheduler,
+    Simulation, TimerToken, TraceEvent,
+};
 pub use obs::{MetricsSnapshot, ObsEvent, Recorder};
 pub use queue::CalendarQueue;
+pub use sched::{ExploreScheduler, FaultOpts, Footprint, RandomScheduler, ReplayScheduler};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeAddr, SiteId, SiteSpec, Topology};
