@@ -11,7 +11,7 @@ use crate::id::{NodeId, ID_DIGITS};
 use crate::state::{LeafSet, NodeInfo, RoutingTable};
 use simnet::obs::{ObsEvent, Recorder};
 use simnet::{MessageSize, NodeAddr, SiteId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Transport abstraction used by the protocol to emit messages.
 pub trait Net<A> {
@@ -186,6 +186,14 @@ pub struct PastryNode {
     obs: Recorder,
     /// Round-robin position for [`PastryNode::gossip_round`].
     gossip_cursor: usize,
+    /// Peers declared failed by [`PastryNode::handle_failure`]. Gossip and
+    /// repair replies from slower peers would otherwise re-insert a buried
+    /// corpse into the leaf set, where it is never re-probed (the failure
+    /// detector pings each suspect once) and so silently blackholes every
+    /// route through it. A buried peer is refused by
+    /// [`PastryNode::insert_peer`] until proof of life arrives
+    /// ([`PastryNode::revive`]).
+    buried: BTreeSet<NodeAddr>,
 }
 
 impl PastryNode {
@@ -202,6 +210,7 @@ impl PastryNode {
             forward_log: None,
             obs: Recorder::default(),
             gossip_cursor: 0,
+            buried: BTreeSet::new(),
         }
     }
 
@@ -231,6 +240,12 @@ impl PastryNode {
         &self.rt
     }
 
+    /// The site-scoped leaf set (read-only) — peers in this node's own
+    /// site, ordered around the site sub-ring.
+    pub fn site_leaf_set(&self) -> &LeafSet {
+        &self.site_leaf
+    }
+
     /// Starts per-key forward counting (Fig. 8b instrumentation).
     pub fn enable_forward_log(&mut self) {
         self.forward_log = Some(HashMap::new());
@@ -258,7 +273,7 @@ impl PastryNode {
     /// site-local), preferring lower-latency candidates for contested
     /// routing-table slots.
     pub fn insert_peer<A, N: Net<A>>(&mut self, net: &N, info: NodeInfo) {
-        if info.id == self.info.id {
+        if info.id == self.info.id || self.buried.contains(&info.addr) {
             return;
         }
         let my_site = self.info.site;
@@ -461,6 +476,9 @@ impl PastryNode {
         from: NodeAddr,
         msg: PastryMsg<A>,
     ) {
+        // Any message from a peer proves it alive: lift a false-positive
+        // burial so the peer can re-enter routing state.
+        self.revive(from);
         match msg {
             PastryMsg::Route {
                 key,
@@ -592,11 +610,18 @@ impl PastryNode {
         }
     }
 
+    /// Lifts a burial: the peer produced proof of life (a message reached
+    /// us), so gossip and repair may re-insert it.
+    pub fn revive(&mut self, addr: NodeAddr) {
+        self.buried.remove(&addr);
+    }
+
     /// Reacts to the discovery that `addr` has failed: removes it from all
     /// routing state, asks the surviving leaf-set extremes for their
     /// members, and asks a surviving same-row entry for each vacated
     /// routing-table row (the Pastry repair protocol).
     pub fn handle_failure<A, N: Net<A>>(&mut self, net: &mut N, addr: NodeAddr) {
+        self.buried.insert(addr);
         let vacated = self.rt.remove(addr);
         self.site_rt.remove(addr);
         self.leaf.remove(addr);

@@ -402,7 +402,7 @@ fn main() {
             .int("seeds", seeds.len() as u64)
             .num("success_rate", success)
             .num("recall", recall)
-            .num("avg_latency_ms", avg_latency);
+            .num_opt("avg_latency_ms", avg_latency);
         if opts.metrics {
             let m: Vec<&ObsOutcome> = outcomes.iter().filter_map(|o| o.obs.as_ref()).collect();
             let det: Vec<f64> = m
@@ -420,7 +420,7 @@ fn main() {
                 "", fd_latency, false_positives, converge, events
             );
             record = record
-                .num("fd_latency_ms", fd_latency)
+                .num_opt("fd_latency_ms", fd_latency)
                 .int("false_positives", false_positives)
                 .num("agg_converge_rounds", converge)
                 .int("obs_events", events);

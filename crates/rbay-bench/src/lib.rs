@@ -259,6 +259,18 @@ impl JsonRecord {
         self
     }
 
+    /// Adds a float field only when the value is finite. Metrics with no
+    /// observations in a run (e.g. failure-detection latency under zero
+    /// churn) divide 0/0 to NaN; omitting the key keeps downstream tooling
+    /// free of `null` special-casing while `num` stays available for
+    /// fields that must always be present.
+    pub fn num_opt(mut self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            self.push_raw(key, &format!("{value}"));
+        }
+        self
+    }
+
     /// Renders the record as a single-line JSON object.
     pub fn render(&self) -> String {
         let body: Vec<String> = self
@@ -605,6 +617,15 @@ mod tests {
         assert_eq!(one, vec![14]);
         let more_threads_than_seeds = run_seeds(&[1, 2], 16, |s| s + 1);
         assert_eq!(more_threads_than_seeds, vec![2, 3]);
+    }
+
+    #[test]
+    fn num_opt_omits_non_finite_fields() {
+        let rec = JsonRecord::new("churn")
+            .num_opt("present", 1.5)
+            .num_opt("absent", f64::NAN)
+            .num_opt("also_absent", f64::INFINITY);
+        assert_eq!(rec.render(), r#"{"bench": "churn", "present": 1.5}"#);
     }
 
     #[test]

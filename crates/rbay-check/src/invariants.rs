@@ -155,6 +155,15 @@ pub enum Violation {
         /// Probes routed.
         expected: usize,
     },
+    /// A mirrored rendezvous replica broke its consistency discipline:
+    /// either a node mirrors itself, or a replica outlived its TTL
+    /// without being refreshed or expired.
+    ReplicaDivergence {
+        /// The node holding the replica.
+        holder: NodeAddr,
+        /// The root the replica claims to mirror.
+        root: NodeAddr,
+    },
 }
 
 impl Violation {
@@ -176,6 +185,7 @@ impl Violation {
             Violation::UnsatisfiedQuery { .. } => "unsatisfied-query",
             Violation::NonQuiescent { .. } => "non-quiescent",
             Violation::ProbeLoss { .. } => "probe-loss",
+            Violation::ReplicaDivergence { .. } => "replica-divergence",
         }
     }
 }
@@ -223,6 +233,12 @@ impl fmt::Display for Violation {
                 expected,
             } => {
                 write!(f, "{delivered} of {expected} routed probes delivered")
+            }
+            Violation::ReplicaDivergence { holder, root } => {
+                write!(
+                    f,
+                    "replica at {holder:?} mirroring {root:?} broke the refresh/expiry discipline"
+                )
             }
         }
     }
@@ -386,6 +402,24 @@ pub fn check_quiescent(fed: &Federation, ctx: &InvariantCtx) -> Option<Violation
         };
         if !reached {
             return Some(Violation::OrphanedSubscriber { node: *n });
+        }
+    }
+
+    // Replica consistency: a mirrored rendezvous snapshot must follow the
+    // refresh/expiry discipline — never a self-mirror (a promoted root
+    // consumes its replica), and never older than its TTL (the aging
+    // sweep in `aggregate_tick` must have refreshed or dropped it).
+    for n in live_nodes(fed) {
+        for (t, rep) in fed.node(n).scribe.replicas() {
+            if *t != topic {
+                continue;
+            }
+            if rep.root == n || rep.age > scribe::REPLICA_TTL_ROUNDS {
+                return Some(Violation::ReplicaDivergence {
+                    holder: n,
+                    root: rep.root,
+                });
+            }
         }
     }
 

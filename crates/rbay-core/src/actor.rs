@@ -157,10 +157,14 @@ impl RbayNode {
             self.pastry.gossip_round(&mut net);
         }
         if self.host.cfg.failure_detection {
-            // Probe the leaf set plus tree parents/children — the peers
-            // whose failure this node must react to.
+            // Probe every peer in routing state plus tree parents/children
+            // — the peers whose failure this node must react to. The
+            // routing tables are included because a dead entry there
+            // silently blackholes every Join/anycast routed through it:
+            // unlike a leaf-set neighbour it is never consulted for
+            // repair, so nothing else would ever notice the corpse.
             let mut peers: Vec<simnet::NodeAddr> =
-                self.pastry.leaf_set().members().map(|e| e.addr).collect();
+                self.pastry.known_peers().iter().map(|e| e.addr).collect();
             for (_, st) in self.scribe.topics() {
                 peers.extend(st.children.iter().copied());
                 peers.extend(st.parent);

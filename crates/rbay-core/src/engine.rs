@@ -277,8 +277,34 @@ impl RbayHost {
             }
             return;
         }
+        // Re-anycast idempotence: a retried query can be answered by both
+        // the old root's in-flight search and the promoted replica root.
+        // Only one reply per site per attempt counts; surplus reservations
+        // are freed so they neither leak slots nor double-count in recall.
+        if !rec.pending.searches.contains(&site) {
+            for c in &slots {
+                self.ops.push_back(Op::Direct {
+                    to: c.addr,
+                    payload: RbayPayload::Release { query_id },
+                });
+            }
+            return;
+        }
         rec.pending.searches.retain(|s| *s != site);
-        rec.pending.found.extend(slots);
+        let mut dup = Vec::new();
+        for c in slots {
+            if rec.pending.found.iter().any(|f| f.addr == c.addr) {
+                dup.push(c.addr);
+            } else {
+                rec.pending.found.push(c);
+            }
+        }
+        for addr in dup {
+            self.ops.push_back(Op::Direct {
+                to: addr,
+                payload: RbayPayload::Release { query_id },
+            });
+        }
         self.maybe_finalize(query_id);
     }
 
@@ -432,9 +458,12 @@ impl RbayHost {
             TIMER_KIND_RETRY => self.start_attempt(id),
             TIMER_KIND_TIMEOUT => {
                 // Release whatever arrived. If attempts remain and the
-                // attempt produced nothing, retry — a silent site (e.g. a
-                // failed border router) should not end the query; retries
-                // rotate to the site's next gateway.
+                // attempt fell short of k, retry — a silent or mid-repair
+                // site (e.g. a dead rendezvous root whose successor is
+                // still promoting) should not end the query; retries
+                // rotate to the site's next gateway and re-anycast along
+                // the healed route.
+                let k = rec.query.k as usize;
                 let found = rec.pending.found.clone();
                 for c in &found {
                     self.ops.push_back(Op::Direct {
@@ -444,7 +473,7 @@ impl RbayHost {
                 }
                 let rec = self.queries.get_mut(&id).expect("record exists");
                 rec.attempts += 1;
-                if found.is_empty() && rec.attempts < self.cfg.max_attempts {
+                if found.len() < k && rec.attempts < self.cfg.max_attempts {
                     self.start_attempt(id);
                 } else {
                     self.complete_query(id, found);
@@ -753,6 +782,86 @@ mod tests {
         assert!(rec.completed_at.is_some());
         assert_eq!(rec.result.len(), 1);
         assert!(rec.satisfied, "k=1 was reached despite the missing site");
+    }
+
+    #[test]
+    fn timeout_with_unsatisfied_partial_retries() {
+        let mut h = host_with_sites(2);
+        h.now = SimTime::from_millis(100);
+        let q = parse_query("SELECT 2 FROM * WHERE a = 1").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), Some(3), true);
+        drain_ops(&mut h);
+        let c = Candidate {
+            id: NodeId(3),
+            addr: NodeAddr(3),
+            site: SiteId(0),
+            sort_key: None,
+        };
+        // One slot arrives, but k=2 and the other site is silent — e.g.
+        // its rendezvous root died mid-repair. The timeout must release
+        // the partial and re-issue along the healed route, not complete
+        // unsatisfied on the first attempt.
+        h.record_site_result(id, SiteId(0), vec![c], true);
+        h.now = SimTime::from_millis(5_200);
+        let att = h.queries[&id].attempts;
+        h.on_query_timer((id.0 & 0xFFFF_FFFF) as u32, att, TIMER_KIND_TIMEOUT);
+        let rec = &h.queries[&id];
+        assert!(rec.completed_at.is_none(), "shortfall must retry");
+        assert_eq!(rec.attempts, 1);
+        let ops = drain_ops(&mut h);
+        assert!(
+            ops.iter().any(|o| matches!(
+                o,
+                Op::Direct {
+                    to: NodeAddr(3),
+                    payload: RbayPayload::Release { .. }
+                }
+            )),
+            "partial reservation released before the retry"
+        );
+        assert!(
+            ops.iter().any(|o| matches!(o, Op::Probe { .. })),
+            "retry re-probes"
+        );
+    }
+
+    #[test]
+    fn duplicate_site_result_is_released_not_double_counted() {
+        let mut h = host_with_sites(2);
+        let q = parse_query("SELECT 2 FROM * WHERE a = 1").unwrap();
+        let id = h.issue_query(q, None);
+        drain_ops(&mut h);
+        h.record_probe(id, 0, SiteId(0), Some(3), true);
+        drain_ops(&mut h);
+        let c = |n: u32| Candidate {
+            id: NodeId(n as u128),
+            addr: NodeAddr(n),
+            site: SiteId(0),
+            sort_key: None,
+        };
+        h.record_site_result(id, SiteId(0), vec![c(1)], false);
+        assert_eq!(h.queries[&id].pending.found.len(), 1);
+        drain_ops(&mut h);
+        // The same site answers again — the old root's in-flight reply
+        // plus the promoted replica's. The echo must not double-count.
+        h.record_site_result(id, SiteId(0), vec![c(1), c(2)], false);
+        let rec = &h.queries[&id];
+        assert!(rec.completed_at.is_none());
+        assert_eq!(rec.pending.found.len(), 1, "echo not double-counted");
+        let ops = drain_ops(&mut h);
+        let released: Vec<u32> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Direct {
+                    to,
+                    payload: RbayPayload::Release { .. },
+                } => Some(to.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(released, vec![1, 2], "echoed reservations freed");
     }
 
     #[test]

@@ -239,6 +239,12 @@ pub enum Op {
     },
 }
 
+/// Every this many heartbeat rounds, suspected peers are re-pinged once.
+/// A corpse never answers, so the cost is bounded by the suspected-list
+/// size; a recovered peer's Pong is the only liveness proof that can
+/// reach a suspecter the peer itself does not know about.
+pub const SUSPECT_PROBE_PERIOD: u64 = 4;
+
 /// Timer token kinds (low two bits of the token).
 pub const TIMER_KIND_TIMEOUT: u64 = 1;
 /// Retry (backoff) timer kind.
@@ -317,6 +323,8 @@ pub struct RbayHost {
     pub newly_failed: Vec<NodeAddr>,
     /// Heartbeat nonce counter.
     next_nonce: u64,
+    /// Heartbeat round counter, used to pace suspected-peer probes.
+    hb_round: u64,
     /// Deferred operations for the actor to execute.
     pub ops: VecDeque<Op>,
     /// Count of `onGet` denials (diagnostics).
@@ -372,6 +380,7 @@ impl RbayHost {
             suspected: Vec::new(),
             newly_failed: Vec::new(),
             next_nonce: 0,
+            hb_round: 0,
             ops: VecDeque::new(),
             aa_denials: 0,
             aa_errors: 0,
@@ -541,7 +550,15 @@ impl RbayHost {
                 }
             }
             FrontdoorDecision::Shed { retry_after } => {
+                // A shed is advisory back-pressure, never a query outcome:
+                // the cache is untouched and recall accounting never sees
+                // it. Distinguish sheds issued while the local overlay is
+                // repairing (suspected peers outstanding) so operators can
+                // tell overload from churn-induced retry-after.
                 self.obs.count(node, "fd_shed");
+                if !self.suspected.is_empty() {
+                    self.obs.count(node, "fd_shed_repair");
+                }
                 FrontdoorResponse::Shed { retry_after }
             }
             FrontdoorDecision::Admit => {
@@ -840,8 +857,11 @@ impl RbayHost {
     }
 
     /// Heartbeat bookkeeping for one maintenance round: expires overdue
-    /// pings (declaring those peers failed) and records fresh pings for
-    /// `peers`. Returns the ping ops for the actor to send.
+    /// pings (declaring those peers failed), records fresh pings for
+    /// `peers`, and probes suspected peers every
+    /// [`SUSPECT_PROBE_PERIOD`]th round so a recovered node can prove
+    /// itself alive to suspecters it does not know about. Returns the
+    /// ping ops for the actor to send.
     pub fn heartbeat_round(&mut self, peers: &[NodeAddr]) {
         if !self.cfg.failure_detection {
             return;
@@ -885,6 +905,33 @@ impl RbayHost {
                 to: peer,
                 payload: RbayPayload::Ping { nonce, info },
             });
+        }
+        // Probe the suspected list at a slow cadence. Repair evicts a
+        // declared peer from every table, so its suspecters stop pinging
+        // it — but routing-table knowledge is asymmetric, and a recovered
+        // peer that never knew its suspecter would otherwise stay buried
+        // forever (gossip cannot re-insert it through the quarantine). A
+        // corpse stays silent; a revived peer's Pong proves it alive.
+        self.hb_round = self.hb_round.wrapping_add(1);
+        if self.hb_round.is_multiple_of(SUSPECT_PROBE_PERIOD) {
+            let targets: Vec<NodeAddr> = self
+                .suspected
+                .iter()
+                .copied()
+                .filter(|p| !self.pending_pings.contains_key(p))
+                .collect();
+            for peer in targets {
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                self.pending_pings.insert(peer, self.now);
+                let from = self.addr;
+                self.obs.count(from, "suspect_probe");
+                let info = self.self_info();
+                self.ops.push_back(Op::Direct {
+                    to: peer,
+                    payload: RbayPayload::Ping { nonce, info },
+                });
+            }
         }
     }
 
@@ -1478,7 +1525,8 @@ mod heartbeat_tests {
         assert_eq!(h.newly_failed, vec![NodeAddr(5)]);
         h.newly_failed.clear();
         h.ops.clear();
-        // Buried peers are never pinged or re-declared.
+        // A suspected peer is not re-declared and is dropped from the
+        // regular ping set (it only gets the slow-cadence probe).
         h.heartbeat_round(&[NodeAddr(5)]);
         assert!(h.newly_failed.is_empty());
         assert!(h.ops.iter().all(|op| !matches!(
@@ -1519,6 +1567,45 @@ mod heartbeat_tests {
         // Un-suspecting a never-suspected peer is a no-op.
         h.unsuspect(NodeAddr(9));
         assert!(h.suspected.is_empty());
+    }
+
+    #[test]
+    fn suspected_peers_are_probed_at_the_slow_cadence() {
+        use crate::host::SUSPECT_PROBE_PERIOD;
+        let mut h = host();
+        h.now = SimTime::from_millis(0);
+        h.heartbeat_round(&[NodeAddr(5)]);
+        h.now = SimTime::from_millis(1_000);
+        h.heartbeat_round(&[]);
+        assert_eq!(h.suspected, vec![NodeAddr(5)]);
+        h.ops.clear();
+        h.newly_failed.clear();
+        // Rounds up to the probe period send nothing to the corpse; the
+        // period-th round re-pings it so a revived peer can answer and
+        // clear the quarantine even on suspecters it never knew about.
+        let mut probed_at = None;
+        for round in 1..=SUSPECT_PROBE_PERIOD {
+            h.now = SimTime::from_millis(1_000 + round * 1_000);
+            h.heartbeat_round(&[]);
+            if h.ops.iter().any(|op| {
+                matches!(
+                    op,
+                    Op::Direct {
+                        to: NodeAddr(5),
+                        payload: RbayPayload::Ping { .. },
+                    }
+                )
+            }) {
+                probed_at = Some(round);
+                break;
+            }
+        }
+        assert!(
+            probed_at.is_some_and(|r| r <= SUSPECT_PROBE_PERIOD),
+            "suspected peer was never probed within a full period"
+        );
+        // The probe never re-declares the peer.
+        assert!(h.newly_failed.is_empty());
     }
 
     #[test]

@@ -445,6 +445,7 @@ mod scribe_tag {
     pub const AGG_UPDATE: u8 = 10;
     pub const NOT_CHILD: u8 = 11;
     pub const APP_DIRECT: u8 = 12;
+    pub const REPLICA_SYNC: u8 = 13;
 }
 
 impl<P: Wire> Wire for ScribeMsg<P> {
@@ -558,6 +559,20 @@ impl<P: Wire> Wire for ScribeMsg<P> {
                 out.push(scribe_tag::APP_DIRECT);
                 p.encode_into(out);
             }
+            ScribeMsg::ReplicaSync {
+                topic,
+                scope,
+                children,
+                agg,
+                subscribers,
+            } => {
+                out.push(scribe_tag::REPLICA_SYNC);
+                topic.encode_into(out);
+                scope.encode_into(out);
+                children.encode_into(out);
+                agg.encode_into(out);
+                subscribers.encode_into(out);
+            }
         }
     }
 
@@ -624,6 +639,13 @@ impl<P: Wire> Wire for ScribeMsg<P> {
                 topic: TopicId::decode(r)?,
             },
             scribe_tag::APP_DIRECT => ScribeMsg::AppDirect(P::decode(r)?),
+            scribe_tag::REPLICA_SYNC => ScribeMsg::ReplicaSync {
+                topic: TopicId::decode(r)?,
+                scope: Option::<SiteId>::decode(r)?,
+                children: Vec::<NodeAddr>::decode(r)?,
+                agg: Option::<AggValue>::decode(r)?,
+                subscribers: u64::decode(r)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "ScribeMsg",

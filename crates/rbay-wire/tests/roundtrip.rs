@@ -153,6 +153,22 @@ fn s_scribe_msg() -> BoxedStrategy<ScribeMsg<AggValue>> {
         (s_topic(), s_agg_value()).prop_map(|(topic, value)| ScribeMsg::AggUpdate { topic, value }),
         s_topic().prop_map(|topic| ScribeMsg::NotChild { topic }),
         s_agg_value().prop_map(ScribeMsg::AppDirect),
+        (
+            s_topic(),
+            s_scope(),
+            vec(s_addr(), 0..5),
+            option::of(s_agg_value()),
+            any::<u64>(),
+        )
+            .prop_map(|(topic, scope, children, agg, subscribers)| {
+                ScribeMsg::ReplicaSync {
+                    topic,
+                    scope,
+                    children,
+                    agg,
+                    subscribers,
+                }
+            }),
     ]
     .boxed()
 }

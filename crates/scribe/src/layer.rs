@@ -76,12 +76,50 @@ pub struct TopicState {
     /// silent past [`STALE_AGG_ROUNDS`] are expired (see
     /// [`ScribeLayer::aggregate_tick`]).
     pub child_seen: BTreeMap<NodeAddr, u64>,
+    /// Aggregate inherited from a [`ReplicaCache`] at promotion: the
+    /// pre-crash whole-tree view, answered to probes while the promoted
+    /// root's own child reports converge. Cleared once a child reports or
+    /// after [`STALE_AGG_ROUNDS`] ticks.
+    pub warm_agg: Option<AggValue>,
+    /// The tick [`TopicState::warm_agg`] was installed at.
+    pub warm_agg_round: u64,
 }
 
 /// Ticks a child may stay silent before its edge and cached aggregate are
 /// expired. Attached children push every tick, so silence this long means
 /// the child crashed or re-parented elsewhere while its `Leave` was lost.
 pub const STALE_AGG_ROUNDS: u64 = 4;
+
+/// Leaf-set members (nearest the topic key) the root mirrors its
+/// rendezvous state to every aggregate tick. The successor rendezvous is
+/// by definition the next-closest id to the key, so it is (almost always)
+/// one of the k replicas and promotes warm.
+pub const REPLICA_K: usize = 3;
+
+/// Ticks a replica may go unrefreshed before it is dropped. The root
+/// pushes every tick, so a replica this stale means the root died (and
+/// someone else promoted) or this node fell out of the root's leaf set.
+pub const REPLICA_TTL_ROUNDS: u64 = 8;
+
+/// A warm mirror of a remote root's rendezvous state, held at one of the
+/// k leaf-set members nearest the topic key (pushed via
+/// [`ScribeMsg::ReplicaSync`], consumed by root promotion).
+#[derive(Debug, Clone)]
+pub struct ReplicaCache {
+    /// The root that pushed this replica.
+    pub root: NodeAddr,
+    /// Scope of the mirrored tree.
+    pub scope: Option<SiteId>,
+    /// The root's children at push time.
+    pub children: Vec<NodeAddr>,
+    /// The root's merged aggregate at push time.
+    pub agg: Option<AggValue>,
+    /// Subscriber summary (the aggregate's count reading).
+    pub subscribers: u64,
+    /// Ticks since the last refresh; expired past
+    /// [`REPLICA_TTL_ROUNDS`].
+    pub age: u64,
+}
 
 impl TopicState {
     /// Whether the node participates in the tree at all.
@@ -105,6 +143,10 @@ impl TopicState {
 #[derive(Debug, Default)]
 pub struct ScribeLayer {
     topics: BTreeMap<TopicId, TopicState>,
+    /// Warm mirrors of remote roots' rendezvous state (see
+    /// [`ReplicaCache`]); consumed on promotion, expired past
+    /// [`REPLICA_TTL_ROUNDS`] unrefreshed ticks.
+    replicas: BTreeMap<TopicId, ReplicaCache>,
     /// Observability-plane handle; disabled (a no-op) by default.
     obs: Recorder,
 }
@@ -136,6 +178,58 @@ impl ScribeLayer {
         self.topics.get(&topic).is_some_and(|s| s.is_member())
     }
 
+    /// The warm replica held for `topic`, if any.
+    pub fn replica(&self, topic: TopicId) -> Option<&ReplicaCache> {
+        self.replicas.get(&topic)
+    }
+
+    /// Iterates over the warm replicas of remote roots held at this node.
+    pub fn replicas(&self) -> impl Iterator<Item = (&TopicId, &ReplicaCache)> {
+        self.replicas.iter()
+    }
+
+    /// Promotes this node to root of `topic` from its warm replica, if one
+    /// is cached: adopts the mirrored child set and re-points every child
+    /// here with an immediate `JoinAck` (the child's handler detaches it
+    /// from the dead root), and installs the mirrored aggregate as the
+    /// probe answer until the children re-report. A node with no cache
+    /// falls back to the cold rebuild path unchanged.
+    fn promote_from_replica<P, N>(&mut self, me: NodeInfo, net: &mut N, topic: TopicId)
+    where
+        P: MessageSize,
+        N: Net<ScribeMsg<P>>,
+    {
+        let Some(rep) = self.replicas.remove(&topic) else {
+            return;
+        };
+        let root = rep.root;
+        let st = self.topics.entry(topic).or_default();
+        if st.scope.is_none() {
+            st.scope = rep.scope;
+        }
+        st.is_root = true;
+        let round = st.agg_round;
+        for c in rep.children {
+            if c == me.addr || c == root {
+                continue;
+            }
+            st.child_seen.insert(c, round);
+            if st.children.insert(c) {
+                self.obs.record_with(|at| ObsEvent::TreeGraft {
+                    at,
+                    parent: me.addr,
+                    child: c,
+                    topic: topic.key().as_u128(),
+                });
+            }
+            net.send(c, pastry::PastryMsg::Direct(ScribeMsg::JoinAck { topic }));
+        }
+        let st = self.topics.get_mut(&topic).expect("just inserted");
+        st.warm_agg = rep.agg;
+        st.warm_agg_round = round;
+        self.obs.count(me.addr, "replica_promote");
+    }
+
     /// Subscribes this node to `topic`. If the node is the rendezvous root
     /// it attaches immediately; otherwise a JOIN is routed toward the
     /// topic key and the tree grows by the union of join paths.
@@ -165,6 +259,7 @@ impl ScribeLayer {
         match pastry.next_hop(topic.key(), scope) {
             None => {
                 st.is_root = true;
+                self.promote_from_replica::<P, N>(pastry.info(), net, topic);
                 host.on_subscribed(topic);
             }
             Some(next) => {
@@ -254,9 +349,19 @@ impl ScribeLayer {
         let mut emptied = Vec::new();
         let mut demoted = Vec::new();
         let mut rejoining = Vec::new();
+        let mut promoted = Vec::new();
         for (topic, st) in &mut self.topics {
             st.agg_round += 1;
             let round = st.agg_round;
+            // A warm aggregate inherited at promotion decays: once a child
+            // reports (the live view is converging) or the staleness bound
+            // passes, the root answers from its own subtree again.
+            if st.warm_agg.is_some()
+                && (!st.child_agg.is_empty()
+                    || round.saturating_sub(st.warm_agg_round) > STALE_AGG_ROUNDS)
+            {
+                st.warm_agg = None;
+            }
             // Stale-root demotion: in a healed overlay exactly one node has
             // no next hop toward the key (it is numerically closest), so a
             // root that *does* see a next hop is a fragment left over from a
@@ -276,7 +381,10 @@ impl ScribeLayer {
                 // every tick until a parent is acquired; duplicate grafts
                 // are idempotent.
                 match pastry.next_hop(topic.key(), st.scope) {
-                    None => st.is_root = true,
+                    None => {
+                        st.is_root = true;
+                        promoted.push(*topic);
+                    }
                     Some(next) => rejoining.push((*topic, st.scope, next.addr)),
                 }
             }
@@ -304,6 +412,9 @@ impl ScribeLayer {
         }
         for topic in emptied {
             self.maybe_prune::<P, N>(pastry, net, topic);
+        }
+        for topic in promoted {
+            self.promote_from_replica::<P, N>(pastry.info(), net, topic);
         }
         for _ in &demoted {
             self.obs.count(me, "root_demote");
@@ -348,11 +459,84 @@ impl ScribeLayer {
                 }),
             );
         }
+        // Replica aging: a mirror unrefreshed past its TTL means the root
+        // died (and a fresher copy was consumed elsewhere) or this node
+        // left the root's neighbourhood; drop it rather than promote from
+        // an arbitrarily stale view.
+        let mut expired = 0u32;
+        self.replicas.retain(|_, rep| {
+            rep.age += 1;
+            let keep = rep.age <= REPLICA_TTL_ROUNDS;
+            if !keep {
+                expired += 1;
+            }
+            keep
+        });
+        for _ in 0..expired {
+            self.obs.count(me, "replica_expire");
+        }
+        // k-replicated rendezvous state: every root mirrors its child set,
+        // aggregate, and subscriber summary to the k leaf-set members
+        // nearest the topic key. The successor rendezvous is by definition
+        // the next-closest id, so when this root dies the node the repair
+        // converges on holds a warm replica.
+        let mut pushes = Vec::new();
+        for (topic, st) in &self.topics {
+            if !st.is_root {
+                continue;
+            }
+            let agg = st.merged_agg();
+            let subscribers = agg
+                .as_ref()
+                .and_then(|a| a.as_count())
+                .unwrap_or(u64::from(st.subscribed));
+            let mut targets: Vec<NodeInfo> = match st.scope {
+                Some(site) if site == pastry.info().site => {
+                    pastry.site_leaf_set().members().copied().collect()
+                }
+                Some(site) => pastry
+                    .leaf_set()
+                    .members()
+                    .filter(|i| i.site == site)
+                    .copied()
+                    .collect(),
+                None => pastry.leaf_set().members().copied().collect(),
+            };
+            targets.retain(|i| i.addr != me);
+            targets.sort_by(|a, b| {
+                a.id.ring_distance(topic.key())
+                    .cmp(&b.id.ring_distance(topic.key()))
+                    .then(a.id.cmp(&b.id))
+            });
+            targets.truncate(REPLICA_K);
+            let children: Vec<NodeAddr> = st.children.iter().copied().collect();
+            for target in targets {
+                pushes.push((
+                    target.addr,
+                    ScribeMsg::ReplicaSync {
+                        topic: *topic,
+                        scope: st.scope,
+                        children: children.clone(),
+                        agg: agg.clone(),
+                        subscribers,
+                    },
+                ));
+            }
+        }
+        for (to, msg) in pushes {
+            self.obs.count(me, "replica_sync_send");
+            net.send(to, pastry::PastryMsg::Direct(msg));
+        }
     }
 
     /// The root's current view of the tree aggregate (valid at the root).
+    /// A freshly promoted root answers from its inherited warm aggregate
+    /// (the pre-crash whole-tree view) until its own child reports
+    /// converge.
     pub fn root_aggregate(&self, topic: TopicId) -> Option<AggValue> {
-        self.topics.get(&topic).and_then(|st| st.merged_agg())
+        self.topics
+            .get(&topic)
+            .and_then(|st| st.warm_agg.clone().or_else(|| st.merged_agg()))
     }
 
     /// Multicasts `payload` to every subscriber of `topic` (dissemination
@@ -483,8 +667,14 @@ impl ScribeLayer {
         let origin = pastry.info().addr;
         match pastry.next_hop(topic.key(), scope) {
             None => {
-                let exists = self.is_member(topic);
-                let agg = self.root_aggregate(topic);
+                // A rendezvous that holds only a warm replica (the root
+                // died; its tree state has not re-formed here yet) still
+                // answers: the tree exists, with the mirrored aggregate.
+                let replica = self.replicas.get(&topic);
+                let exists = self.is_member(topic) || replica.is_some();
+                let agg = self
+                    .root_aggregate(topic)
+                    .or_else(|| replica.and_then(|r| r.agg.clone()));
                 host.on_root_probe(topic, &mut payload);
                 host.on_probe_reply(topic, payload, agg, exists);
             }
@@ -527,6 +717,25 @@ impl ScribeLayer {
         N: Net<ScribeMsg<P>>,
         H: ScribeHost<P>,
     {
+        // Root failover: if the failed node is the root of a tree this
+        // node mirrors, and the repair now converges here (no next hop
+        // toward the key), promote from the warm replica immediately —
+        // the tree answers again within the same maintenance round.
+        let mirrored: Vec<(TopicId, Option<SiteId>)> = self
+            .replicas
+            .iter()
+            .filter(|(_, rep)| rep.root == addr)
+            .map(|(t, rep)| (*t, rep.scope))
+            .collect();
+        for (topic, scope) in mirrored {
+            if pastry.next_hop(topic.key(), scope).is_none() {
+                self.promote_from_replica::<P, N>(pastry.info(), net, topic);
+                let st = self.topics.get_mut(&topic).expect("promoted");
+                st.children.remove(&addr);
+                st.child_agg.remove(&addr);
+                st.child_seen.remove(&addr);
+            }
+        }
         let affected: Vec<TopicId> = self.topics.keys().copied().collect();
         for topic in affected {
             let st = self.topics.get_mut(&topic).expect("listed topic exists");
@@ -588,6 +797,7 @@ impl ScribeLayer {
                 let st = self.topics.get_mut(&topic).expect("topic exists");
                 st.is_root = true;
                 st.subscribed = was_subscribed;
+                self.promote_from_replica::<P, N>(pastry.info(), net, topic);
                 host.on_subscribed(topic);
             }
             Some(next) => {
@@ -749,6 +959,11 @@ where
                 let st = self.layer.topics.get_mut(&topic).expect("grafted");
                 if !st.is_root {
                     st.is_root = true;
+                    // A successor rendezvous promotes warm: adopt the dead
+                    // root's mirrored children instead of waiting for each
+                    // to rediscover the tree.
+                    self.layer
+                        .promote_from_replica::<P, N>(node.info(), net, topic);
                 }
             }
             ScribeMsg::MulticastReq { topic, payload, .. } => {
@@ -788,8 +1003,15 @@ where
                 origin,
                 ..
             } => {
-                let exists = self.layer.is_member(topic);
-                let agg = self.layer.root_aggregate(topic);
+                // Answer from the warm replica when the root's state has
+                // not re-formed here yet (root dead or mid-repair): the
+                // tree exists, with the mirrored aggregate.
+                let replica = self.layer.replicas.get(&topic);
+                let exists = self.layer.is_member(topic) || replica.is_some();
+                let agg = self
+                    .layer
+                    .root_aggregate(topic)
+                    .or_else(|| replica.and_then(|r| r.agg.clone()));
                 self.host.on_root_probe(topic, &mut payload);
                 net.send(
                     origin,
@@ -1005,6 +1227,32 @@ where
                 } else {
                     self.layer.maybe_prune::<P, N>(node, net, topic);
                 }
+            }
+            ScribeMsg::ReplicaSync {
+                topic,
+                scope,
+                children,
+                agg,
+                subscribers,
+            } => {
+                let me = node.info().addr;
+                // A node that is itself the root must not cache a stale
+                // mirror of its own tree (the push raced a promotion).
+                if from == me || self.layer.topics.get(&topic).is_some_and(|st| st.is_root) {
+                    return;
+                }
+                self.layer.replicas.insert(
+                    topic,
+                    ReplicaCache {
+                        root: from,
+                        scope,
+                        children,
+                        agg,
+                        subscribers,
+                        age: 0,
+                    },
+                );
+                self.layer.obs.count(me, "replica_sync_recv");
             }
             ScribeMsg::AppDirect(p) => {
                 self.host.on_direct(from, p);
@@ -1654,6 +1902,214 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// Delivers a `ReplicaSync` from `root` to the node behind `layer`.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_replica_sync(
+        pastry: &mut PastryNode,
+        layer: &mut ScribeLayer,
+        net: &mut RecNet,
+        host: &mut RecHost,
+        root: NodeAddr,
+        t: TopicId,
+        children: Vec<NodeAddr>,
+        agg: Option<AggValue>,
+    ) {
+        let subscribers = agg.as_ref().and_then(|a| a.as_count()).unwrap_or(0);
+        let mut app = ScribeApp { layer, host };
+        pastry.on_message(
+            net,
+            &mut app,
+            root,
+            PastryMsg::Direct(ScribeMsg::ReplicaSync {
+                topic: t,
+                scope: None,
+                children,
+                agg,
+                subscribers,
+            }),
+        );
+    }
+
+    #[test]
+    fn root_crash_promotes_replica_with_warm_state() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        deliver_replica_sync(
+            &mut pastry,
+            &mut layer,
+            &mut net,
+            &mut host,
+            NodeAddr(9),
+            t,
+            vec![NodeAddr(1), NodeAddr(2)],
+            Some(AggValue::Count(3)),
+        );
+        let rep = layer.replica(t).expect("replica cached");
+        assert_eq!(rep.root, NodeAddr(9));
+        // The root dies; this node (no peers, so it is the rendezvous for
+        // every key) must promote from the warm mirror within the same
+        // failure-handling step.
+        layer.handle_failure(&mut pastry, &mut net, &mut host, NodeAddr(9));
+        let st = layer.topic(t).expect("promoted state");
+        assert!(st.is_root, "successor must become root");
+        assert_eq!(
+            st.children.iter().copied().collect::<Vec<_>>(),
+            vec![NodeAddr(1), NodeAddr(2)],
+            "mirrored child set adopted"
+        );
+        assert!(layer.replica(t).is_none(), "replica consumed by promotion");
+        // The inherited aggregate answers probes while the live roll-up
+        // converges.
+        assert_eq!(
+            layer.root_aggregate(t).and_then(|a| a.as_count()),
+            Some(3),
+            "warm aggregate served"
+        );
+        // Both adopted children were re-acked so their parent pointers
+        // flip to the new root.
+        let acked: Vec<NodeAddr> = net
+            .sent
+            .iter()
+            .filter_map(|(to, m)| {
+                matches!(m, PastryMsg::Direct(ScribeMsg::JoinAck { .. })).then_some(*to)
+            })
+            .collect();
+        assert_eq!(acked, vec![NodeAddr(1), NodeAddr(2)]);
+    }
+
+    #[test]
+    fn expired_replica_falls_back_to_cold_rebuild() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        deliver_replica_sync(
+            &mut pastry,
+            &mut layer,
+            &mut net,
+            &mut host,
+            NodeAddr(9),
+            t,
+            vec![NodeAddr(1)],
+            Some(AggValue::Count(2)),
+        );
+        // k failures in a row: the root never refreshes the mirror, so it
+        // ages past its TTL and is dropped rather than promoted stale.
+        for _ in 0..=REPLICA_TTL_ROUNDS {
+            layer.aggregate_tick::<P, _>(&mut pastry, &mut net);
+        }
+        assert!(layer.replica(t).is_none(), "stale replica expired");
+        // A late Join still rebuilds the tree from scratch at the
+        // rendezvous — cold, with no inherited aggregate.
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(1),
+            PastryMsg::Route {
+                key: t.key(),
+                payload: ScribeMsg::Join {
+                    topic: t,
+                    scope: None,
+                    child: NodeInfo {
+                        id: NodeId::hash_of(b"n1"),
+                        addr: NodeAddr(1),
+                        site: SiteId(0),
+                    },
+                },
+                hops: 1,
+                scope: None,
+            },
+        );
+        let st = layer.topic(t).expect("rebuilt state");
+        assert!(st.is_root);
+        assert!(st.children.contains(&NodeAddr(1)));
+        assert!(st.warm_agg.is_none(), "cold rebuild has no warm aggregate");
+    }
+
+    #[test]
+    fn replica_sync_is_refused_by_a_current_root() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        layer.subscribe(&mut pastry, &mut net, &mut host, t, None);
+        assert!(layer.topic(t).unwrap().is_root);
+        deliver_replica_sync(
+            &mut pastry,
+            &mut layer,
+            &mut net,
+            &mut host,
+            NodeAddr(9),
+            t,
+            vec![NodeAddr(1)],
+            Some(AggValue::Count(1)),
+        );
+        assert!(
+            layer.replica(t).is_none(),
+            "a root must not mirror a stale view of its own tree"
+        );
+    }
+
+    #[test]
+    fn probe_at_unpromoted_replica_holder_answers_from_mirror() {
+        let mut pastry = mk_pastry(0);
+        let mut layer = ScribeLayer::new();
+        let (mut net, mut host) = (RecNet::default(), RecHost::default());
+        let t = TopicId::new("GPU", "test");
+        deliver_replica_sync(
+            &mut pastry,
+            &mut layer,
+            &mut net,
+            &mut host,
+            NodeAddr(9),
+            t,
+            vec![NodeAddr(1), NodeAddr(2)],
+            Some(AggValue::Count(3)),
+        );
+        // A tree-size probe routed here mid-repair (the old root is dead,
+        // this node has not promoted yet) must still report the tree as
+        // existing, with the mirrored aggregate.
+        let mut app = ScribeApp {
+            layer: &mut layer,
+            host: &mut host,
+        };
+        pastry.on_message(
+            &mut net,
+            &mut app,
+            NodeAddr(5),
+            PastryMsg::Route {
+                key: t.key(),
+                payload: ScribeMsg::ProbeRoot {
+                    topic: t,
+                    scope: None,
+                    payload: P(0),
+                    origin: NodeAddr(5),
+                },
+                hops: 1,
+                scope: None,
+            },
+        );
+        let reply = net
+            .sent
+            .iter()
+            .find_map(|(to, m)| match m {
+                PastryMsg::Direct(ScribeMsg::ProbeReply { agg, exists, .. }) => {
+                    Some((*to, agg.clone(), *exists))
+                }
+                _ => None,
+            })
+            .expect("probe reply sent");
+        assert_eq!(reply.0, NodeAddr(5));
+        assert!(reply.2, "tree exists while mid-repair");
+        assert_eq!(reply.1.and_then(|a| a.as_count()), Some(3));
     }
 }
 

@@ -28,7 +28,9 @@ mod layer;
 mod seeded;
 mod types;
 
-pub use layer::{ScribeApp, ScribeHost, ScribeLayer, TopicState};
+pub use layer::{
+    ReplicaCache, ScribeApp, ScribeHost, ScribeLayer, TopicState, REPLICA_K, REPLICA_TTL_ROUNDS,
+};
 pub use seeded::seeded_bug_active;
 #[cfg(feature = "seeded-bugs")]
 pub use seeded::set_seeded_bug;

@@ -294,6 +294,23 @@ pub enum ScribeMsg<P> {
     },
     /// An application message between hosts, outside any tree.
     AppDirect(P),
+    /// Root → leaf-set neighbour: a warm mirror of the root's rendezvous
+    /// state (child set, merged aggregate, subscriber summary). Pushed
+    /// every aggregate tick to the k leaf-set members nearest the topic
+    /// key, so a successor root promotes from the cache instead of
+    /// rebuilding the tree from scratch when the root dies.
+    ReplicaSync {
+        /// The mirrored tree.
+        topic: TopicId,
+        /// Scope of the tree.
+        scope: Option<SiteId>,
+        /// The root's children at push time.
+        children: Vec<NodeAddr>,
+        /// The root's merged aggregate at push time.
+        agg: Option<AggValue>,
+        /// Subscriber summary (the aggregate's count reading).
+        subscribers: u64,
+    },
 }
 
 impl<P: MessageSize> MessageSize for ScribeMsg<P> {
@@ -320,6 +337,7 @@ impl<P: MessageSize> MessageSize for ScribeMsg<P> {
             ScribeMsg::AggUpdate { .. } => ID + 24,
             ScribeMsg::NotChild { .. } => ID,
             ScribeMsg::AppDirect(p) => p.wire_size(),
+            ScribeMsg::ReplicaSync { children, .. } => ID + 3 + 24 + 8 + children.len() * ADDR,
         }
     }
 }
