@@ -5,8 +5,9 @@
 //! `--agents-per-proc` to an `rbay-node` daemon (so
 //! `--agents 16000 --agents-per-proc 100` is 160 OS processes on
 //! loopback TCP), waits for the Pastry overlay to converge, posts
-//! `GPU = true` on `k+1` evenly spaced members (with the password
-//! `onGet` guard installed, so AAScript runs in-process too), waits for
+//! `GPU = true` on evenly spaced members (~1% of the fleet, floor `k+1`,
+//! with the password `onGet` guard installed, so AAScript runs
+//! in-process too), waits for
 //! the aggregation trees to attach, then issues
 //! `SELECT k FROM * WHERE GPU = true` from the last member and verifies
 //! that `k` candidates were found **and committed** on the holders. A
@@ -18,14 +19,25 @@
 //! run appends a `{agents, agents_per_proc, converge_ms,
 //! queries_per_sec, dropped_frames}` record to `BENCH_wire.json`.
 //!
+//! With `--rolling-restart` the harness then restarts every daemon once,
+//! one process at a time, while closed-loop queries keep running: the
+//! daemons journal to `--data-dir` (a fresh temp directory by default)
+//! and the run fails if any committed query is lost across a restart or
+//! the restart-window success rate drops below 0.95. With `--json` the
+//! restart phase appends a `{committed_query_loss, success_rate,
+//! restart_window_p99_ms, replay_records, ...}` record to
+//! `BENCH_restart.json`.
+//!
 //! ```text
 //! cluster [--agents 5] [--agents-per-proc 1] [--k 3] [--base-port 21100]
-//!         [--num-sites 1] [--tick-ms <ms>] [--qps-queries 10] [--json]
+//!         [--num-sites 1] [--tick-ms <ms>] [--qps-queries 10]
+//!         [--rolling-restart] [--restart-queries 3] [--data-dir <dir>] [--json]
 //! ```
 
 use rbay_bench::cluster::{proc_of, proc_sock, site_of, CtrlMsg, DEFAULT_BASE_PORT};
 use rbay_bench::{append_json_record, JsonRecord};
 use rbay_core::{Candidate, FrontdoorStats};
+use rbay_store::StoreStats;
 use rbay_wire::DropStats;
 use rbay_wire::{decode_frame, encode_frame, read_frame, write_frame, Hello, MAX_FRAME_LEN};
 use rbay_workloads::{password_aa_script, WORKLOAD_PASSWORD};
@@ -38,6 +50,8 @@ use std::time::{Duration, Instant};
 
 /// Where cluster benchmark rows land (repo root, next to the codec rows).
 const WIRE_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+/// Where rolling-restart rows land.
+const RESTART_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_restart.json");
 
 struct Args {
     agents: u32,
@@ -50,6 +64,9 @@ struct Args {
     json: bool,
     frontdoor: bool,
     fd_max_pending: u32,
+    rolling_restart: bool,
+    restart_queries: u32,
+    data_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +81,9 @@ fn parse_args() -> Args {
         json: false,
         frontdoor: false,
         fd_max_pending: 2,
+        rolling_restart: false,
+        restart_queries: 3,
+        data_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -78,6 +98,10 @@ fn parse_args() -> Args {
             "--tick-ms" => args.tick_ms = flag_value(&argv, i),
             "--qps-queries" => args.qps_queries = flag_value(&argv, i),
             "--fd-max-pending" => args.fd_max_pending = flag_value(&argv, i),
+            "--restart-queries" => args.restart_queries = flag_value(&argv, i),
+            "--data-dir" => {
+                args.data_dir = Some(std::path::PathBuf::from(flag_value::<String>(&argv, i)))
+            }
             "--json" => {
                 args.json = true;
                 i += 1;
@@ -88,11 +112,17 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
+            "--rolling-restart" => {
+                args.rolling_restart = true;
+                i += 1;
+                continue;
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: cluster [--agents <n>] [--agents-per-proc <m>] \
                      [--k <k>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>] \
-                     [--qps-queries <q>] [--frontdoor] [--fd-max-pending <n>] [--json]"
+                     [--qps-queries <q>] [--frontdoor] [--fd-max-pending <n>] \
+                     [--rolling-restart] [--restart-queries <q>] [--data-dir <dir>] [--json]"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +141,25 @@ fn parse_args() -> Args {
         // Big fleets tick slower: maintenance is O(members) per tick and
         // convergence is gated on join retries, not tick frequency.
         args.tick_ms = if args.agents >= 2000 { 500 } else { 150 };
+    }
+    if args.rolling_restart {
+        if args.agents.div_ceil(args.per) < 2 {
+            eprintln!("--rolling-restart needs at least 2 daemon processes");
+            std::process::exit(2);
+        }
+        // Zero-loss restarts require durable members; default to a fresh
+        // per-run directory when the operator did not name one.
+        if args.data_dir.is_none() {
+            args.data_dir =
+                Some(std::env::temp_dir().join(format!("rbay-cluster-{}", std::process::id())));
+        }
+    }
+    if let Some(dir) = &args.data_dir {
+        let _ = std::fs::remove_dir_all(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --data-dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
     }
     args
 }
@@ -205,6 +254,31 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Launches daemon process `i` with the run's flags. Used for the
+/// initial fleet and again by the rolling-restart phase, so a respawned
+/// daemon comes back with exactly the configuration (and `--data-dir`)
+/// it died with.
+fn spawn_daemon(daemon: &std::path::Path, args: &Args, i: u32) -> Child {
+    let mut cmd = Command::new(daemon);
+    cmd.args(["--index", &i.to_string()])
+        .args(["--agents", &args.agents.to_string()])
+        .args(["--agents-per-proc", &args.per.to_string()])
+        .args(["--base-port", &args.base_port.to_string()])
+        .args(["--num-sites", &args.num_sites.to_string()])
+        .args(["--tick-ms", &args.tick_ms.to_string()]);
+    if args.frontdoor {
+        cmd.arg("--frontdoor");
+    }
+    if let Some(dir) = &args.data_dir {
+        cmd.arg("--data-dir").arg(dir);
+        // Benchmark runs journal without per-append fsync: process kills
+        // (the durability model here) never lose page-cache writes.
+        cmd.args(["--fsync", "never"]);
+    }
+    cmd.spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn daemon {i}: {e}")))
+}
+
 fn main() {
     let args = parse_args();
     let procs = args.agents.div_ceil(args.per);
@@ -222,19 +296,7 @@ fn main() {
     );
     let spawn_start = Instant::now();
     for i in 0..procs {
-        let mut cmd = Command::new(&daemon);
-        cmd.args(["--index", &i.to_string()])
-            .args(["--agents", &args.agents.to_string()])
-            .args(["--agents-per-proc", &args.per.to_string()])
-            .args(["--base-port", &args.base_port.to_string()])
-            .args(["--num-sites", &args.num_sites.to_string()])
-            .args(["--tick-ms", &args.tick_ms.to_string()]);
-        if args.frontdoor {
-            cmd.arg("--frontdoor");
-        }
-        let child = cmd
-            .spawn()
-            .unwrap_or_else(|e| fail(&format!("spawn daemon {i}: {e}")));
+        let child = spawn_daemon(&daemon, &args, i);
         FLEET.lock().unwrap().push(child);
     }
 
@@ -319,10 +381,14 @@ fn main() {
         );
     }
 
-    // Phase 2: k+1 evenly spaced holders post the resource behind the
-    // password guard.
-    let holders: Vec<NodeAddr> = (0..args.k as u32 + 1)
-        .map(|i| NodeAddr(i * args.agents / (args.k as u32 + 1)))
+    // Phase 2: evenly spaced holders post the resource behind the
+    // password guard. Inventory scales with the fleet (~1% of members,
+    // floor k+1) so queries never hinge on a handful of tree paths — at
+    // rolling-restart scale a single downed process must not take every
+    // holder's subtree with it.
+    let holder_count = (args.k as u32 + 1).max(args.agents / 100);
+    let holders: Vec<NodeAddr> = (0..holder_count)
+        .map(|i| NodeAddr(i * args.agents / holder_count))
         .collect();
     for &h in &holders {
         let ctrl = &mut ctrls[proc_of(h, args.per) as usize];
@@ -451,7 +517,7 @@ fn main() {
                 .unwrap_or_else(|| fail("repeat query through the front door"));
             release_results(&mut ctrls, &args, &cached);
         }
-        let (fd, _) = fleet_stats(&mut ctrls);
+        let (fd, _, _) = fleet_stats(&mut ctrls);
         println!(
             "cluster: front door warm: {} hit(s), {} miss(es), {} coalesced",
             fd.hits, fd.misses, fd.coalesced
@@ -479,7 +545,7 @@ fn main() {
             other => fail(&format!("flip GPU on {flipped:?}: {other:?}")),
         }
         wait_until(Duration::from_secs(60), "invalidation multicast", || {
-            let (fd, _) = fleet_stats(&mut ctrls);
+            let (fd, _, _) = fleet_stats(&mut ctrls);
             println!("cluster: {} invalidation(s) observed", fd.invalidations);
             fd.invalidations > 0
         });
@@ -488,7 +554,7 @@ fn main() {
         if fresh.iter().any(|c| c.addr == flipped) {
             stale_reads += 1;
         }
-        let (fd, _) = fleet_stats(&mut ctrls);
+        let (fd, _, _) = fleet_stats(&mut ctrls);
         if fd.misses <= misses_before {
             stale_reads += 1; // served from cache instead of re-walking
         }
@@ -533,9 +599,130 @@ fn main() {
         }
     }
 
+    // Phase 8 (with --rolling-restart): restart every daemon once, one at
+    // a time, under closed-loop query load. Two gates: no query commit
+    // observed durable before a restart may vanish after it
+    // (committed_query_loss == 0), and the query plane must keep
+    // answering through the restart windows (success rate >= 0.95).
+    let mut restart_window_p99_ms = 0.0;
+    let mut restart_success_rate = 1.0;
+    let mut committed_query_loss = 0u64;
+    let mut restart_issued = 0u32;
+    let mut restart_satisfied = 0u32;
+    if args.rolling_restart {
+        let base = proc_committed(&mut ctrls);
+        let mut add = vec![0u64; procs as usize];
+        let mut lat_ms: Vec<f64> = Vec::new();
+        for p in 0..procs {
+            println!("cluster: rolling restart: daemon {p}");
+            match ctrls[p as usize].request(&CtrlMsg::Shutdown, Duration::from_secs(10)) {
+                Ok(CtrlMsg::Ok) => {}
+                other => println!("cluster: graceful shutdown of daemon {p}: {other:?}"),
+            }
+            // Reap the old process (bounded: a daemon that ignores the
+            // graceful path gets killed — the WAL must cover that too).
+            let reap_deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let mut fleet = FLEET.lock().unwrap();
+                match fleet[p as usize].try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < reap_deadline => {
+                        drop(fleet);
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    _ => {
+                        let _ = fleet[p as usize].kill();
+                        let _ = fleet[p as usize].wait();
+                        break;
+                    }
+                }
+            }
+            FLEET.lock().unwrap()[p as usize] = spawn_daemon(&daemon, &args, p);
+            ctrls[p as usize] = Ctrl::connect(
+                proc_sock(args.base_port, p),
+                Instant::now() + Duration::from_secs(30),
+            )
+            .unwrap_or_else(|e| fail(&format!("reconnect daemon {p}: {e}")));
+
+            // Closed-loop load through the restart window, issued from a
+            // member hosted elsewhere so the querier itself is up.
+            let window_querier = if proc_of(querier, args.per) == p {
+                NodeAddr(0)
+            } else {
+                querier
+            };
+            // Closed-loop clients keep retrying through the repair; the
+            // attempt budget (~30 s) covers failure detection plus tree
+            // re-convergence after 1/procs of the fleet departs at once,
+            // and the recorded latency charges the full wait to p99.
+            for _ in 0..args.restart_queries {
+                restart_issued += 1;
+                let t0 = Instant::now();
+                match run_query(&mut ctrls, &args, window_querier, 10) {
+                    Some(rs) => {
+                        restart_satisfied += 1;
+                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        for c in &rs {
+                            add[proc_of(c.addr, args.per) as usize] += 1;
+                        }
+                        // The QueryDone ack races the commit messages
+                        // still in flight; wait for the ledger to land
+                        // before holding the fleet to it.
+                        wait_until(Duration::from_secs(30), "restart-phase commits", || {
+                            let actual = proc_committed(&mut ctrls);
+                            (0..procs as usize).all(|i| actual[i] >= base[i] + add[i])
+                        });
+                        release_results(&mut ctrls, &args, &rs);
+                    }
+                    None => {
+                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        println!("cluster: restart-window query unsatisfied after retries");
+                    }
+                }
+            }
+            // Full strength before taking the next daemon down.
+            wait_until(converge_budget, "post-restart re-convergence", || {
+                let mut joined = 0;
+                for (i, ctrl) in ctrls.iter_mut().enumerate() {
+                    match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
+                        Ok(CtrlMsg::ProcStatusReply { joined: j, .. }) => joined += j,
+                        other => fail(&format!("proc status from daemon {i}: {other:?}")),
+                    }
+                }
+                println!("cluster: {} of {} members re-joined", joined, args.agents);
+                joined == args.agents
+            });
+        }
+        let actual = proc_committed(&mut ctrls);
+        committed_query_loss = (0..procs as usize)
+            .map(|i| (base[i] + add[i]).saturating_sub(actual[i]))
+            .sum();
+        restart_success_rate = f64::from(restart_satisfied) / f64::from(restart_issued.max(1));
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if !lat_ms.is_empty() {
+            let idx = ((lat_ms.len() as f64 * 0.99).ceil() as usize).clamp(1, lat_ms.len()) - 1;
+            restart_window_p99_ms = lat_ms[idx];
+        }
+        println!(
+            "cluster: rolling restart: {} restart(s), {} of {} window queries satisfied, \
+             committed-query loss {}, window p99 {:.0} ms",
+            procs, restart_satisfied, restart_issued, committed_query_loss, restart_window_p99_ms
+        );
+        if committed_query_loss > 0 {
+            fail(&format!(
+                "{committed_query_loss} committed quer(ies) lost across rolling restarts"
+            ));
+        }
+        if restart_success_rate < 0.95 {
+            fail(&format!(
+                "restart-window success rate {restart_success_rate:.2} below 0.95"
+            ));
+        }
+    }
+
     // Final sweep: frames dropped anywhere in the fleet, by cause, plus
-    // fleet-wide front-door counters.
-    let (fd, drops) = fleet_stats(&mut ctrls);
+    // fleet-wide front-door and durable-store counters.
+    let (fd, drops, store) = fleet_stats(&mut ctrls);
     let dropped_frames = drops.total();
     println!(
         "cluster: {dropped_frames} frame(s) dropped fleet-wide \
@@ -551,6 +738,18 @@ fn main() {
             "cluster: front door totals: {} hit(s), {} miss(es), {} coalesced, {} shed, \
              {} invalidation(s), {} stale read(s)",
             fd.hits, fd.misses, fd.coalesced, fd.shed, fd.invalidations, stale_reads
+        );
+    }
+    if args.data_dir.is_some() {
+        println!(
+            "cluster: durable store totals: {} append(s), {} dedup skip(s), {} snapshot(s), \
+             {} record(s) replayed in {} us, {} re-lint reject(s)",
+            store.appends,
+            store.dedup_skips,
+            store.snapshots,
+            store.replay_records,
+            store.replay_micros,
+            store.relint_rejects
         );
     }
     let run_s = spawn_start.elapsed().as_secs_f64();
@@ -594,6 +793,27 @@ fn main() {
         match append_json_record(WIRE_JSON, &rec) {
             Ok(()) => println!("cluster: appended record to {WIRE_JSON}"),
             Err(e) => eprintln!("cluster: cannot write {WIRE_JSON}: {e}"),
+        }
+    }
+    if args.json && args.rolling_restart {
+        let rec = JsonRecord::new("rolling_restart")
+            .int("agents", args.agents as u64)
+            .int("agents_per_proc", args.per as u64)
+            .int("procs", procs as u64)
+            .int("restarts", procs as u64)
+            .int("window_queries", restart_issued as u64)
+            .int("window_satisfied", restart_satisfied as u64)
+            .num("success_rate", restart_success_rate)
+            .int("committed_query_loss", committed_query_loss)
+            .num("restart_window_p99_ms", restart_window_p99_ms)
+            .int("replay_records", store.replay_records)
+            .int("replay_micros", store.replay_micros)
+            .int("wal_appends", store.appends)
+            .int("snapshots", store.snapshots)
+            .int("relint_rejects", store.relint_rejects);
+        match append_json_record(RESTART_JSON, &rec) {
+            Ok(()) => println!("cluster: appended record to {RESTART_JSON}"),
+            Err(e) => eprintln!("cluster: cannot write {RESTART_JSON}: {e}"),
         }
     }
     println!("cluster: PASS");
@@ -653,25 +873,41 @@ fn run_query(
     None
 }
 
-/// One `ProcStatus` sweep over every daemon, aggregating front-door and
-/// per-cause drop counters fleet-wide.
-fn fleet_stats(ctrls: &mut [Ctrl]) -> (FrontdoorStats, DropStats) {
+/// One `ProcStatus` sweep over every daemon, aggregating front-door,
+/// per-cause drop, and durable-store counters fleet-wide.
+fn fleet_stats(ctrls: &mut [Ctrl]) -> (FrontdoorStats, DropStats, StoreStats) {
     let mut fd = FrontdoorStats::default();
     let mut drops = DropStats::default();
+    let mut store = StoreStats::default();
     for (i, ctrl) in ctrls.iter_mut().enumerate() {
         match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
             Ok(CtrlMsg::ProcStatusReply {
                 drops: d,
                 frontdoor: f,
+                store: s,
                 ..
             }) => {
                 drops.merge(&d);
                 fd.merge(&f);
+                store.merge(&s);
             }
             other => fail(&format!("proc status from daemon {i}: {other:?}")),
         }
     }
-    (fd, drops)
+    (fd, drops, store)
+}
+
+/// Reads every daemon's process-level committed-query counter (the
+/// rolling-restart phase's durability ledger).
+fn proc_committed(ctrls: &mut [Ctrl]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(ctrls.len());
+    for (i, ctrl) in ctrls.iter_mut().enumerate() {
+        match ctrl.request(&CtrlMsg::ProcStatus, Duration::from_secs(10)) {
+            Ok(CtrlMsg::ProcStatusReply { committed, .. }) => out.push(committed as u64),
+            other => fail(&format!("proc status from daemon {i}: {other:?}")),
+        }
+    }
+    out
 }
 
 /// Clears the reservation each committed candidate holds, so the next

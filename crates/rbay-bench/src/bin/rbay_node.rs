@@ -15,18 +15,28 @@
 //! connections speaking [`rbay_bench::cluster::CtrlMsg`]; requests for a
 //! specific member arrive wrapped in [`CtrlMsg::To`].
 //!
+//! With `--data-dir`, every hosted member journals its durable state
+//! (attributes, handler sources, subscriptions, commits) to a
+//! write-ahead log under `<dir>/member-<addr>` and restores it on boot —
+//! re-linting recovered handler sources under the current policy and
+//! re-joining its trees through the overlay.
+//!
 //! ```text
 //! rbay-node --index 0 --agents 1000 [--agents-per-proc 100] \
-//!     [--base-port 21100] [--num-sites 1] [--tick-ms 150]
+//!     [--base-port 21100] [--num-sites 1] [--tick-ms 150] \
+//!     [--data-dir /var/lib/rbay] [--fsync always|batch|never]
 //! ```
 
 use rbay_bench::cluster::{self, CtrlMsg};
 use rbay_core::{
-    FrontdoorConfig, FrontdoorResponse, FrontdoorStats, Pack, QueryId, RbayConfig, RbayMsg,
+    FrontdoorConfig, FrontdoorResponse, FrontdoorStats, Op, Pack, QueryId, RbayConfig, RbayMsg,
 };
 use rbay_query::parse_query;
+use rbay_store::{FsyncPolicy, Store, StoreStats};
 use rbay_wire::{decode_frame, encode_frame, Inbound, TcpBus, Transport};
+use scribe::TopicId;
 use simnet::{NodeAddr, SimDuration};
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::time::{Duration, Instant};
 
@@ -50,6 +60,8 @@ struct Args {
     num_sites: u16,
     tick: Duration,
     frontdoor: bool,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +73,8 @@ fn parse_args() -> Args {
         num_sites: 1,
         tick: Duration::from_millis(150),
         frontdoor: false,
+        data_dir: None,
+        fsync: FsyncPolicy::Batch,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +87,14 @@ fn parse_args() -> Args {
             "--base-port" => args.base_port = flag_value(&argv, i),
             "--num-sites" => args.num_sites = flag_value(&argv, i),
             "--tick-ms" => args.tick = Duration::from_millis(flag_value(&argv, i)),
+            "--data-dir" => args.data_dir = Some(PathBuf::from(flag_value::<String>(&argv, i))),
+            "--fsync" => {
+                let v: String = flag_value(&argv, i);
+                args.fsync = FsyncPolicy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bad value for --fsync: {v} (want always|batch|never)");
+                    std::process::exit(2);
+                });
+            }
             "--frontdoor" => {
                 args.frontdoor = true;
                 i += 1;
@@ -82,7 +104,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown flag {other}\nusage: rbay-node --index <i> --agents <n> \
                      [--agents-per-proc <m>] [--base-port <p>] [--num-sites <s>] [--tick-ms <ms>] \
-                     [--frontdoor]"
+                     [--data-dir <dir>] [--fsync always|batch|never] [--frontdoor]"
                 );
                 std::process::exit(2);
             }
@@ -141,12 +163,68 @@ fn main() {
     if start == 0 {
         pack.member_mut(0).seed_as_bootstrap();
     }
+    if let Some(dir) = &args.data_dir {
+        restore_members(&mut pack, dir, args.fsync, args.index);
+    }
     eprintln!(
         "rbay-node[{}]: hosting members {start}..{end} on {}",
         args.index,
         bus.local_addr(),
     );
     run(&mut pack, bus, &rx, &args);
+}
+
+/// Opens (or creates) each member's durable store under
+/// `<data-dir>/member-<addr>` and replays it into the member: attributes
+/// land back in the key-value map, handler sources are re-linted under
+/// the *current* policy before re-installation, and tree subscriptions
+/// are queued for re-join through the normal retry machinery.
+fn restore_members(pack: &mut Pack, dir: &std::path::Path, fsync: FsyncPolicy, index: u32) {
+    let mut attrs = 0usize;
+    let mut handlers = 0usize;
+    let mut quarantined = 0usize;
+    let mut subs = 0usize;
+    let mut records = 0u64;
+    let mut micros = 0u64;
+    for slot in 0..pack.len() {
+        let member_dir = dir.join(format!("member-{}", pack.addr_of(slot).0));
+        if let Err(e) = std::fs::create_dir_all(&member_dir) {
+            eprintln!(
+                "rbay-node[{index}]: cannot create {}: {e}; member runs in-memory",
+                member_dir.display()
+            );
+            continue;
+        }
+        match Store::open(&member_dir, fsync) {
+            Ok((store, report)) => {
+                if report.snapshot_corrupt {
+                    eprintln!(
+                        "rbay-node[{index}]: corrupt snapshot in {} discarded; \
+                         recovered from WAL alone",
+                        member_dir.display()
+                    );
+                }
+                let summary = pack.member_mut(slot).host.attach_store(Box::new(store));
+                attrs += summary.attrs;
+                handlers += summary.handlers;
+                quarantined += summary.quarantined;
+                subs += summary.subs;
+                records += summary.replay_records;
+                micros += summary.replay_micros;
+            }
+            Err(e) => eprintln!(
+                "rbay-node[{index}]: cannot open store in {}: {e}; member runs in-memory",
+                member_dir.display()
+            ),
+        }
+    }
+    if records > 0 || attrs > 0 {
+        eprintln!(
+            "rbay-node[{index}]: restored {attrs} attr(s), {handlers} handler(s) \
+             ({quarantined} quarantined), {subs} sub(s) from {records} WAL record(s) \
+             in {micros} us"
+        );
+    }
 }
 
 /// The daemon's main loop: fire due timers, run the per-tick join and
@@ -168,6 +246,9 @@ fn run(pack: &mut Pack, bus: TcpBus, rx: &Receiver<Inbound>, args: &Args) {
                 pack.maintenance_round(&mut sink, maint_cursor);
                 maint_cursor = (maint_cursor + 1) % pack.len();
             }
+            // Under `--fsync batch` one sync_data per dirty member per
+            // tick bounds the window a power failure can lose to a tick.
+            flush_stores(pack, args.index);
             next_tick = Instant::now() + args.tick;
         }
         while pack.has_loopback() {
@@ -383,6 +464,7 @@ fn on_ctrl(
             let mut committed = 0;
             let mut min_known_peers = u32::MAX;
             let mut frontdoor = FrontdoorStats::default();
+            let mut store = StoreStats::default();
             for slot in 0..pack.len() {
                 let node = pack.member(slot);
                 if node.pastry.is_joined() {
@@ -401,6 +483,9 @@ fn on_ctrl(
                 if let Some(fd) = &node.host.frontdoor {
                     frontdoor.merge(&fd.stats);
                 }
+                if let Some(s) = &node.host.store {
+                    store.merge(&s.stats());
+                }
             }
             reply(&CtrlMsg::ProcStatusReply {
                 members: pack.len(),
@@ -412,15 +497,20 @@ fn on_ctrl(
                 min_known_peers: if pack.is_empty() { 0 } else { min_known_peers },
                 drops: bus.drop_stats(),
                 frontdoor,
+                store,
             });
         }
         CtrlMsg::Release => {
-            pack.member_mut(slot).host.reservation = None;
+            pack.member_mut(slot).host.release_reservation();
             reply(&CtrlMsg::Ok);
         }
         CtrlMsg::Shutdown => {
-            reply(&CtrlMsg::Ok);
             eprintln!("rbay-node[{}]: shutdown requested", args.index);
+            graceful_leave(pack, sink, bus, args.index);
+            reply(&CtrlMsg::Ok);
+            // The ack itself must clear the event loop before shutdown
+            // tears it down, or the harness reads a dead socket.
+            bus.flush(Duration::from_millis(500));
             return true;
         }
         other => reply(&CtrlMsg::Err {
@@ -428,6 +518,53 @@ fn on_ctrl(
         }),
     }
     false
+}
+
+/// Flushes every member's WAL (one `sync_data` per dirty store under the
+/// batch fsync policy; a no-op otherwise).
+fn flush_stores(pack: &mut Pack, index: u32) {
+    for slot in 0..pack.len() {
+        if let Some(store) = pack.member_mut(slot).host.store.as_mut() {
+            if let Err(e) = store.flush() {
+                eprintln!("rbay-node[{index}]: WAL flush failed: {e}");
+            }
+        }
+    }
+}
+
+/// Graceful-exit ordering: every member leaves its trees (so peers prune
+/// it immediately instead of waiting out failure detection), the Leave
+/// traffic is pumped out of loopback, the WAL is flushed, and the bus
+/// drains its staged outbound frames — all *before* the shutdown ack.
+///
+/// Leaves deliberately bypass the WAL: the departure is an artifact of
+/// the restart, not a durable intent, so the store keeps the `SubAdd`
+/// records and the next boot re-joins every tree.
+fn graceful_leave(pack: &mut Pack, sink: &mut TcpBus, bus: &TcpBus, index: u32) {
+    for slot in 0..pack.len() {
+        let topics: Vec<TopicId> = pack
+            .member(slot)
+            .scribe
+            .topics()
+            .filter(|(_, st)| st.subscribed)
+            .map(|(t, _)| *t)
+            .collect();
+        if topics.is_empty() {
+            continue;
+        }
+        pack.with_member(sink, slot, |node, _| {
+            for topic in topics {
+                node.host.ops.push_back(Op::Unsubscribe { topic });
+            }
+        });
+    }
+    while pack.has_loopback() {
+        pack.pump(sink);
+    }
+    flush_stores(pack, index);
+    if !bus.flush(Duration::from_secs(2)) {
+        eprintln!("rbay-node[{index}]: outbound frames still staged at shutdown deadline");
+    }
 }
 
 /// Sends [`CtrlMsg::QueryDone`] for every pending query whose record has

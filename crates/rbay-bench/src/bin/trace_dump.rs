@@ -8,10 +8,12 @@
 
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
-use rbay_bench::HarnessOpts;
-use rbay_core::{Federation, RbayConfig};
+use rbay_bench::{cluster, HarnessOpts};
+use rbay_core::{Federation, LintPolicy, RbayConfig};
 use rbay_query::AttrValue;
+use rbay_store::{FsyncPolicy, Store};
 use rbay_workloads::WORKLOAD_PASSWORD;
+use simnet::obs::Recorder;
 use simnet::{NodeAddr, ObsEvent, SimDuration, SimTime, SiteId, Topology};
 
 fn main() {
@@ -191,6 +193,84 @@ fn main() {
         fed.tree_edge_count(topic),
         fed.tree_max_depth(topic)
     );
+
+    // ---- Part 3: a member's durable-store timeline -------------------
+    // A standalone member journals to a WAL, compacts, dies, and a fresh
+    // process restores from disk under a *stricter* lint policy — per
+    // member, this is exactly what `rbay-node --data-dir` does.
+    let dir = std::env::temp_dir().join(format!("rbay-trace-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("store dir");
+    let store_rec = Recorder::enabled(1 << 12);
+
+    println!("\nDurable store timeline ({}):", dir.display());
+    {
+        // Default policy: Warn — the unknown-handler script installs.
+        let mut node = cluster::build_node(0, 2, 1, RbayConfig::default());
+        node.host.obs = store_rec.clone();
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).expect("open store");
+        node.host.attach_store(Box::new(store));
+        node.host
+            .install_node_aa("AA = { onGte = function(q) return true end }")
+            .expect("installs under Warn");
+        node.host.post_resource("GPU", AttrValue::Bool(true));
+        node.host
+            .update_attr("CPU_utilization", AttrValue::Num(35.0));
+        if let Some(s) = node.host.store.as_mut() {
+            s.set_snapshot_thresholds(4, u64::MAX);
+        }
+        // Crosses the (lowered) compaction threshold.
+        node.host
+            .update_attr("CPU_utilization", AttrValue::Num(20.0));
+    }
+    {
+        // "Restart" under Deny: the journaled handler source re-lints
+        // dirty and is quarantined; everything else restores.
+        let deny = RbayConfig {
+            lint_policy: LintPolicy::Deny,
+            ..RbayConfig::default()
+        };
+        let mut revived = cluster::build_node(0, 2, 1, deny);
+        revived.host.obs = store_rec.clone();
+        let (store, _) = Store::open(&dir, FsyncPolicy::Never).expect("reopen store");
+        let summary = revived.host.attach_store(Box::new(store));
+        for ev in store_rec.events() {
+            match ev {
+                ObsEvent::StoreAppend {
+                    node,
+                    kind,
+                    wal_records,
+                    ..
+                } => println!("  {node:?} append {kind} (wal record #{wal_records})"),
+                ObsEvent::StoreSnapshot {
+                    node, snapshots, ..
+                } => println!("  {node:?} snapshot compaction #{snapshots}"),
+                ObsEvent::StoreReplay {
+                    node,
+                    records,
+                    micros,
+                    ..
+                } => println!("  {node:?} replayed {records} record(s) in {micros} us"),
+                ObsEvent::RestoreRelintReject { node, .. } => {
+                    println!("  {node:?} quarantined a journaled handler on re-lint")
+                }
+                _ => {}
+            }
+        }
+        println!(
+            "  => restored {} attr(s), {} handler(s), {} quarantined: {:?}",
+            summary.attrs,
+            summary.handlers,
+            summary.quarantined,
+            revived
+                .host
+                .quarantined
+                .iter()
+                .map(|(label, _)| label.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 
     let snap = rec.snapshot();
     println!(

@@ -219,6 +219,9 @@ pub enum CtrlMsg {
         drops: rbay_wire::DropStats,
         /// Front-door counters summed over this process's members.
         frontdoor: rbay_core::FrontdoorStats,
+        /// Durable-store counters summed over this process's members
+        /// (all-zero when the daemon runs without `--data-dir`).
+        store: rbay_store::StoreStats,
     },
     /// Release the member's current reservation (commits hold inventory
     /// for an hour otherwise — benchmark loops release between queries).
@@ -311,6 +314,7 @@ impl Wire for CtrlMsg {
                 min_known_peers,
                 drops,
                 frontdoor,
+                store,
             } => {
                 out.push(ctrl_tag::PROC_STATUS_REPLY);
                 members.encode_into(out);
@@ -322,6 +326,7 @@ impl Wire for CtrlMsg {
                 min_known_peers.encode_into(out);
                 drops.encode_into(out);
                 frontdoor.encode_into(out);
+                store.encode_into(out);
             }
             CtrlMsg::Release => out.push(ctrl_tag::RELEASE),
             CtrlMsg::QueryShed { retry_after_ms } => {
@@ -393,6 +398,7 @@ impl Wire for CtrlMsg {
                 min_known_peers: u32::decode(r)?,
                 drops: rbay_wire::DropStats::decode(r)?,
                 frontdoor: rbay_core::FrontdoorStats::decode(r)?,
+                store: rbay_store::StoreStats::decode(r)?,
             },
             ctrl_tag::RELEASE => CtrlMsg::Release,
             ctrl_tag::QUERY_SHED => CtrlMsg::QueryShed {
@@ -472,6 +478,16 @@ mod tests {
                     shed: 1,
                     invalidations: 3,
                     evictions: 0,
+                },
+                store: rbay_store::StoreStats {
+                    appends: 40,
+                    dedup_skips: 3,
+                    snapshots: 1,
+                    replay_records: 17,
+                    replay_micros: 250,
+                    relint_rejects: 1,
+                    wal_bytes: 4096,
+                    wal_records: 23,
                 },
             },
             CtrlMsg::Release,

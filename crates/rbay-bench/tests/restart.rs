@@ -1,0 +1,206 @@
+//! Kill-and-recover integration test for the durable daemon: a packed
+//! `rbay-node` is SIGKILLed mid-load and restarted on the same
+//! `--data-dir`; the recovered process must answer queries from its
+//! journaled state — attributes back in place, the password `onGet`
+//! guard re-installed without any operator re-installation, and the
+//! pre-kill commit still on the ledger.
+
+use rbay_bench::cluster::{proc_sock, CtrlMsg};
+use rbay_wire::{decode_frame, encode_frame, read_frame, write_frame, Hello, MAX_FRAME_LEN};
+use rbay_workloads::{password_aa_script, WORKLOAD_PASSWORD};
+use std::io;
+use std::net::TcpStream;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// Test-local port block, away from the cluster harness default.
+const BASE_PORT: u16 = 24_917;
+
+struct Daemon {
+    child: Child,
+}
+
+impl Daemon {
+    fn spawn(data_dir: &std::path::Path) -> Daemon {
+        let child = Command::new(env!("CARGO_BIN_EXE_rbay-node"))
+            .args(["--index", "0", "--agents", "2", "--agents-per-proc", "2"])
+            .args(["--base-port", &BASE_PORT.to_string()])
+            .args(["--tick-ms", "50"])
+            .arg("--data-dir")
+            .arg(data_dir)
+            .args(["--fsync", "never"])
+            .spawn()
+            .expect("spawn rbay-node");
+        Daemon { child }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Ctrl {
+    stream: TcpStream,
+}
+
+impl Ctrl {
+    fn connect() -> Ctrl {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match TcpStream::connect_timeout(&proc_sock(BASE_PORT, 0), Duration::from_millis(500)) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    write_frame(&mut stream, &encode_frame(&Hello::Ctrl)).expect("hello");
+                    return Ctrl { stream };
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "ctrl connect: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, msg: &CtrlMsg) -> io::Result<CtrlMsg> {
+        write_frame(&mut self.stream, &encode_frame(msg))?;
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(30)))?;
+        let frame = read_frame(&mut self.stream, MAX_FRAME_LEN)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed ctrl"))?;
+        decode_frame::<CtrlMsg>(&frame).map_err(io::Error::other)
+    }
+
+    fn send(&mut self, msg: &CtrlMsg) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_frame(msg))
+    }
+}
+
+fn to(member: u32, msg: CtrlMsg) -> CtrlMsg {
+    CtrlMsg::To {
+        member: simnet::NodeAddr(member),
+        msg: Box::new(msg),
+    }
+}
+
+/// Polls `check` until it returns true or the deadline hits.
+fn wait_for(what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn wait_joined(ctrl: &mut Ctrl) {
+    wait_for("both members joined", || {
+        matches!(
+            ctrl.request(&CtrlMsg::ProcStatus),
+            Ok(CtrlMsg::ProcStatusReply { joined: 2, .. })
+        )
+    });
+}
+
+/// Issues a query from member 1 and returns `(satisfied, result count)`.
+fn query(ctrl: &mut Ctrl, password: Option<&str>) -> (bool, usize) {
+    let reply = ctrl
+        .request(&to(
+            1,
+            CtrlMsg::IssueQuery {
+                zql: "SELECT 1 FROM * WHERE GPU = true".into(),
+                password: password.map(str::to_owned),
+            },
+        ))
+        .expect("query reply");
+    match reply {
+        CtrlMsg::QueryDone {
+            satisfied, results, ..
+        } => (satisfied, results.len()),
+        other => panic!("unexpected query reply: {other:?}"),
+    }
+}
+
+#[test]
+fn killed_daemon_recovers_state_and_answers_queries() {
+    let data_dir = std::env::temp_dir().join(format!("rbay-restart-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).expect("create data dir");
+
+    // Boot, provision member 0 (the pack's first member: bare requests
+    // target it), and commit one query's reservation on it.
+    let mut daemon = Daemon::spawn(&data_dir);
+    let mut ctrl = Ctrl::connect();
+    wait_joined(&mut ctrl);
+    assert!(matches!(
+        ctrl.request(&CtrlMsg::InstallNodeAa {
+            src: password_aa_script(),
+        }),
+        Ok(CtrlMsg::Ok)
+    ));
+    assert!(matches!(
+        ctrl.request(&CtrlMsg::Post {
+            attr: "GPU".into(),
+            value: rbay_query::AttrValue::Bool(true),
+        }),
+        Ok(CtrlMsg::Ok)
+    ));
+    // One satisfied query; its commit (raced by the QueryDone ack) must
+    // land on member 0 before the kill. A satisfied query holds the
+    // reservation, so poll the commit separately instead of re-querying.
+    wait_for("query satisfied", || {
+        query(&mut ctrl, Some(WORKLOAD_PASSWORD)) == (true, 1)
+    });
+    wait_for("commit landed", || {
+        matches!(
+            ctrl.request(&CtrlMsg::Status),
+            Ok(CtrlMsg::StatusReply { committed: 1, .. })
+        )
+    });
+
+    // SIGKILL mid-load: a query is in flight when the process dies.
+    ctrl.send(&to(
+        1,
+        CtrlMsg::IssueQuery {
+            zql: "SELECT 1 FROM * WHERE GPU = true".into(),
+            password: Some(WORKLOAD_PASSWORD.into()),
+        },
+    ))
+    .expect("in-flight query");
+    daemon.child.kill().expect("kill daemon");
+    let _ = daemon.child.wait();
+    drop(ctrl);
+
+    // Restart on the same data dir. No re-post, no re-install.
+    daemon = Daemon::spawn(&data_dir);
+    let mut ctrl = Ctrl::connect();
+    wait_joined(&mut ctrl);
+
+    // The WAL replayed: the pre-kill commit survives the kill.
+    wait_for("replay visible in proc status", || {
+        matches!(
+            ctrl.request(&CtrlMsg::ProcStatus),
+            Ok(CtrlMsg::ProcStatusReply { committed: 1, store, .. })
+                if store.replay_records > 0
+        )
+    });
+
+    // The restored attribute answers queries again — but only with the
+    // password, proving the `onGet` guard was re-installed from its
+    // journaled source, not just the attribute map.
+    assert_eq!(
+        query(&mut ctrl, None),
+        (false, 0),
+        "restored guard must still refuse passwordless queries"
+    );
+    // The committed reservation is re-held after restart, so release it
+    // before expecting fresh inventory.
+    assert!(matches!(ctrl.request(&CtrlMsg::Release), Ok(CtrlMsg::Ok)));
+    wait_for("post-restart query satisfied", || {
+        query(&mut ctrl, Some(WORKLOAD_PASSWORD)) == (true, 1)
+    });
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

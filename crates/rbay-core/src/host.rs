@@ -13,6 +13,7 @@ use aascript::analysis::{has_errors, Diagnostic, LintOptions};
 use aascript::{AaInstance, Script, SharedSandbox, Value};
 use pastry::NodeId;
 use rbay_query::{AttrValue, Query};
+use rbay_store::{Store, WalRecord};
 use scribe::{AggValue, ScribeHost, TopicId, Visit};
 use simnet::obs::{ObsEvent, Recorder};
 use simnet::{NodeAddr, SimDuration, SimTime, SiteId, TimerToken};
@@ -135,6 +136,27 @@ impl std::fmt::Display for InstallError {
 }
 
 impl std::error::Error for InstallError {}
+
+/// What [`RbayHost::attach_store`] recovered from a durable store (and
+/// what it refused to re-install).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RestoreSummary {
+    /// Attributes restored into the key-value map.
+    pub attrs: usize,
+    /// Handler sources re-compiled, re-linted, and re-installed.
+    pub handlers: usize,
+    /// Handler sources rejected on restore and quarantined (see
+    /// [`RbayHost::quarantined`]).
+    pub quarantined: usize,
+    /// Tree subscriptions queued for re-join.
+    pub subs: usize,
+    /// Committed reservations re-held.
+    pub committed: usize,
+    /// WAL records the store replayed at open.
+    pub replay_records: u64,
+    /// Wall-clock microseconds the open spent replaying.
+    pub replay_micros: u64,
+}
 
 impl From<aascript::CompileError> for InstallError {
     fn from(e: aascript::CompileError) -> Self {
@@ -342,6 +364,16 @@ pub struct RbayHost {
     /// control); `None` unless [`RbayHost::enable_frontdoor`] ran — only
     /// gateway nodes carry one.
     pub frontdoor: Option<Box<Frontdoor>>,
+    /// Durable state engine (DESIGN.md §18); `None` for in-memory nodes
+    /// (the default — simulator federations never persist). When present,
+    /// every mutating path appends a WAL record before acknowledging.
+    pub store: Option<Box<Store>>,
+    /// Handler sources recovered from the store but rejected on restore
+    /// (re-lint under the current policy, or compile/instantiation
+    /// failure): `(label, diagnostic)`. The source stays durable so a
+    /// policy fix plus a restart can still install it; the running node
+    /// simply operates without the handler.
+    pub quarantined: Vec<(String, String)>,
 }
 
 impl RbayHost {
@@ -387,6 +419,8 @@ impl RbayHost {
             lint_reports: Vec::new(),
             obs: Recorder::default(),
             frontdoor: None,
+            store: None,
+            quarantined: Vec::new(),
         }
     }
 
@@ -450,13 +484,144 @@ impl RbayHost {
         }
     }
 
+    /// Appends one durable record — *before* the enclosing mutation is
+    /// acknowledged to anyone. A no-op for in-memory hosts, and for
+    /// records that would not change the durable image (the store dedupes,
+    /// so per-round dynamic-tree re-joins and idempotent updates cost
+    /// nothing). Store I/O errors are counted but never crash the host:
+    /// the node degrades to in-memory behaviour instead of dropping live
+    /// traffic.
+    fn persist(&mut self, rec: WalRecord) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let snaps_before = store.stats().snapshots;
+        match store.append(&rec) {
+            Ok(false) => {}
+            Ok(true) => {
+                let stats = store.stats();
+                let node = self.addr;
+                self.obs.count(node, "store_append");
+                self.obs.record_with(|at| ObsEvent::StoreAppend {
+                    at,
+                    node,
+                    kind: rec.kind(),
+                    wal_records: stats.wal_records,
+                });
+                if stats.snapshots > snaps_before {
+                    self.obs.count(node, "store_snapshot");
+                    self.obs.record_with(|at| ObsEvent::StoreSnapshot {
+                        at,
+                        node,
+                        snapshots: stats.snapshots,
+                    });
+                }
+            }
+            Err(_) => {
+                let node = self.addr;
+                self.obs.count(node, "store_append_err");
+            }
+        }
+    }
+
+    /// Adopts a durable store and restores its recovered image into this
+    /// host: attributes land directly, recovered handler sources are
+    /// re-compiled and **re-linted under the current policy** (a source
+    /// that was admitted under `Warn` but fails under `Deny` is
+    /// quarantined, not installed), subscriptions are queued as joins
+    /// (the per-round retry machinery handles pre-join timing), and
+    /// committed reservations are re-held. Call before the node joins the
+    /// overlay.
+    pub fn attach_store(&mut self, store: Box<Store>) -> RestoreSummary {
+        let state = store.state().clone();
+        let stats = store.stats();
+        self.store = Some(store);
+        let node = self.addr;
+        self.obs
+            .count_n(node, "store_replay_records", stats.replay_records);
+        self.obs.record_with(|at| ObsEvent::StoreReplay {
+            at,
+            node,
+            records: stats.replay_records,
+            micros: stats.replay_micros,
+        });
+        let mut summary = RestoreSummary {
+            attrs: state.attrs.len(),
+            replay_records: stats.replay_records,
+            replay_micros: stats.replay_micros,
+            ..RestoreSummary::default()
+        };
+        // No invalidation multicast for restored attributes: the values
+        // are not new, so any front-door entry caching them is still
+        // coherent.
+        self.attrs.extend(state.attrs);
+        if let Some(src) = &state.node_aa {
+            match self.build_aa("node", src) {
+                Ok(inst) => {
+                    self.node_aa = Some(inst);
+                    summary.handlers += 1;
+                }
+                Err(e) => self.quarantine_on_restore("node", &e, &mut summary),
+            }
+        }
+        for (attr, src) in &state.attr_aas {
+            match self.build_aa(attr, src) {
+                Ok(inst) => {
+                    self.attr_aas.insert(attr.clone(), inst);
+                    summary.handlers += 1;
+                }
+                Err(e) => self.quarantine_on_restore(attr, &e, &mut summary),
+            }
+        }
+        for (topic, scope) in &state.subs {
+            self.sub_requested.insert(*topic, self.now);
+            self.ops.push_back(Op::Subscribe {
+                topic: *topic,
+                scope: *scope,
+            });
+            summary.subs += 1;
+        }
+        summary.committed = state.committed.len();
+        self.committed = state.committed.iter().map(|&q| QueryId(q)).collect();
+        if let Some(q) = state.reserved {
+            // Commits hold their reservation far beyond the protocol
+            // horizon (release is explicit); re-hold it the same way.
+            self.reservation = Some((QueryId(q), self.now + SimDuration::from_secs(3_600)));
+        }
+        summary
+    }
+
+    /// Records one restore-time handler rejection: diagnostic kept on the
+    /// host, counter surfaced through the store stats, node keeps booting.
+    fn quarantine_on_restore(
+        &mut self,
+        label: &str,
+        err: &InstallError,
+        summary: &mut RestoreSummary,
+    ) {
+        self.quarantined.push((label.to_owned(), err.to_string()));
+        if let Some(store) = self.store.as_mut() {
+            store.note_relint_reject();
+        }
+        let node = self.addr;
+        self.obs.count(node, "restore_relint_rejects");
+        self.obs
+            .record_with(|at| ObsEvent::RestoreRelintReject { at, node });
+        summary.quarantined += 1;
+    }
+
     /// Sets an attribute locally and queues the subscription to its
     /// site-scoped `attr=value` tree.
     pub fn post_resource(&mut self, attr: &str, value: AttrValue) {
         let tree = self.naming.tree_for_post(attr, &value);
-        self.attrs.insert(attr.to_owned(), value);
         let topic = self.tree_topic(&tree, self.site);
         let scope = self.routing_scope(self.site);
+        self.persist(WalRecord::AttrPut {
+            attr: attr.to_owned(),
+            value: value.clone(),
+        });
+        self.persist(WalRecord::SubAdd { topic, scope });
+        self.attrs.insert(attr.to_owned(), value);
         self.sub_requested.insert(topic, self.now);
         self.ops.push_back(Op::Subscribe { topic, scope });
         self.emit_invalidation(attr);
@@ -465,6 +630,10 @@ impl RbayHost {
     /// Updates an attribute value without touching tree membership (used
     /// by monitoring updates like utilization readings).
     pub fn update_attr(&mut self, attr: &str, value: AttrValue) {
+        self.persist(WalRecord::AttrPut {
+            attr: attr.to_owned(),
+            value: value.clone(),
+        });
         self.attrs.insert(attr.to_owned(), value);
         self.emit_invalidation(attr);
     }
@@ -648,6 +817,9 @@ impl RbayHost {
     /// instantiation-time runtime errors.
     pub fn install_node_aa(&mut self, src: &str) -> Result<(), InstallError> {
         let inst = self.build_aa("node", src)?;
+        self.persist(WalRecord::NodeAaInstall {
+            source: src.to_owned(),
+        });
         self.node_aa = Some(inst);
         Ok(())
     }
@@ -661,6 +833,10 @@ impl RbayHost {
     /// instantiation-time runtime errors.
     pub fn install_attr_aa(&mut self, attr: &str, src: &str) -> Result<(), InstallError> {
         let inst = self.build_aa(attr, src)?;
+        self.persist(WalRecord::AttrAaInstall {
+            attr: attr.to_owned(),
+            source: src.to_owned(),
+        });
         self.attr_aas.insert(attr.to_owned(), inst);
         Ok(())
     }
@@ -753,6 +929,16 @@ impl RbayHost {
         }
     }
 
+    /// Releases whatever reservation this node holds, persisting the
+    /// release first so a restart does not resurrect it. Operator control
+    /// path; the query protocol releases via [`RbayPayload::Release`].
+    pub fn release_reservation(&mut self) {
+        if let Some((by, _)) = self.reservation {
+            self.persist(WalRecord::Release { query: by.0 });
+            self.reservation = None;
+        }
+    }
+
     /// One step of the search walk visiting this node (protocol step 4):
     /// check the full predicate, check the reservation, consult `onGet`,
     /// then reserve and fill a slot.
@@ -831,9 +1017,12 @@ impl RbayHost {
             }
             if join && !leave {
                 let scope = self.routing_scope(self.site);
+                // Deduped by the store after the first round.
+                self.persist(WalRecord::SubAdd { topic, scope });
                 self.sub_requested.entry(topic).or_insert(self.now);
                 self.ops.push_back(Op::Subscribe { topic, scope });
             } else if leave {
+                self.persist(WalRecord::SubRemove { topic });
                 self.ops.push_back(Op::Unsubscribe { topic });
             }
         }
@@ -1005,6 +1194,10 @@ impl ScribeHost<RbayPayload> for RbayHost {
             _ => Some(cmd.payload.clone()),
         };
         if let Some(v) = new_value {
+            self.persist(WalRecord::AttrPut {
+                attr: cmd.attr.clone(),
+                value: v.clone(),
+            });
             self.attrs.insert(cmd.attr.clone(), v);
         }
     }
@@ -1132,6 +1325,7 @@ impl ScribeHost<RbayPayload> for RbayHost {
             RbayPayload::Commit { query_id } => {
                 if let Some((by, _)) = self.reservation {
                     if by == query_id {
+                        self.persist(WalRecord::Commit { query: query_id.0 });
                         self.committed.push(query_id);
                         // Hold far beyond the protocol horizon; release is
                         // explicit from here on.
@@ -1143,6 +1337,7 @@ impl ScribeHost<RbayPayload> for RbayHost {
             RbayPayload::Release { query_id } => {
                 if let Some((by, _)) = self.reservation {
                     if by == query_id {
+                        self.persist(WalRecord::Release { query: query_id.0 });
                         self.reservation = None;
                     }
                 }
@@ -1812,5 +2007,145 @@ mod lint_tests {
         let mut h = host_with_policy(LintPolicy::Warn);
         let err = h.install_node_aa("AA = {").unwrap_err();
         assert!(matches!(err, InstallError::Compile(_)));
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+    use rbay_store::FsyncPolicy;
+    use std::path::{Path, PathBuf};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rbay-host-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fresh_host(policy: LintPolicy) -> RbayHost {
+        let cfg = RbayConfig {
+            lint_policy: policy,
+            ..RbayConfig::default()
+        };
+        RbayHost::new(
+            Rc::new(cfg),
+            NodeId(1),
+            NodeAddr(0),
+            SiteId(0),
+            SharedSandbox::new(),
+            vec![vec![NodeAddr(0)]],
+            vec!["local".into()],
+        )
+    }
+
+    /// Boots a host against `dir`: the same `attach_store` call serves
+    /// both first boot (empty store, no-op restore) and recovery.
+    fn durable_host(dir: &Path, policy: LintPolicy) -> (RbayHost, RestoreSummary) {
+        let mut h = fresh_host(policy);
+        let (store, _) = rbay_store::Store::open(dir, FsyncPolicy::Never).unwrap();
+        let summary = h.attach_store(Box::new(store));
+        (h, summary)
+    }
+
+    #[test]
+    fn restore_recovers_attrs_handlers_subs_and_commits() {
+        let dir = tmp_dir("roundtrip");
+        let committed_query = QueryId::new(NodeAddr(7), 3);
+        {
+            let (mut h, summary) = durable_host(&dir, LintPolicy::Warn);
+            assert_eq!(
+                (summary.attrs, summary.subs, summary.replay_records),
+                (0, 0, 0)
+            );
+            h.post_resource("GPU", AttrValue::str("A100"));
+            h.update_attr("CPU_utilization", AttrValue::Num(40.0));
+            h.install_node_aa("AA = { onGet = function(q) return true end }")
+                .unwrap();
+            h.install_attr_aa("GPU", "AA = { onGet = function(q) return true end }")
+                .unwrap();
+            // A committed reservation, as the query protocol would leave it.
+            h.reservation = Some((committed_query, SimTime::ZERO));
+            h.on_direct(
+                NodeAddr(7),
+                RbayPayload::Commit {
+                    query_id: committed_query,
+                },
+            );
+        }
+        let (mut h, summary) = durable_host(&dir, LintPolicy::Warn);
+        assert_eq!(summary.attrs, 2);
+        assert_eq!(summary.handlers, 2);
+        assert_eq!(summary.quarantined, 0);
+        assert_eq!(summary.subs, 1, "GPU=A100 tree re-joined");
+        assert_eq!(summary.committed, 1);
+        assert!(summary.replay_records >= 5);
+        assert_eq!(h.attrs.get("GPU"), Some(&AttrValue::str("A100")));
+        assert!(h.node_aa.is_some());
+        assert!(h.attr_aas.contains_key("GPU"));
+        assert_eq!(h.committed, vec![committed_query]);
+        assert!(
+            matches!(h.reservation, Some((q, _)) if q == committed_query),
+            "committed reservation re-held"
+        );
+        // The restored subscription is queued as a join and tracked for
+        // retry until attached.
+        assert!(matches!(h.ops.pop_front(), Some(Op::Subscribe { .. })));
+        assert_eq!(h.sub_requested.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: a handler admitted under `Warn` must be quarantined —
+    /// not re-installed — when the node restarts under `Deny`, with the
+    /// diagnostic recorded and boot completing normally.
+    #[test]
+    fn restore_relints_under_current_policy_and_quarantines() {
+        let dir = tmp_dir("quarantine");
+        // `onGte` is a typo'd handler name: UnknownHandler, a warning
+        // under Warn but an error under Deny.
+        let src = "AA = { onGte = function(q) return true end }";
+        {
+            let (mut h, _) = durable_host(&dir, LintPolicy::Warn);
+            h.install_node_aa(src).unwrap();
+            assert!(h.node_aa.is_some(), "Warn admits the handler");
+        }
+        let (mut h, summary) = durable_host(&dir, LintPolicy::Deny);
+        assert!(h.node_aa.is_none(), "Deny restore must not re-install");
+        assert_eq!(summary.quarantined, 1);
+        assert_eq!(summary.handlers, 0);
+        assert_eq!(h.quarantined.len(), 1);
+        let (label, diag) = &h.quarantined[0];
+        assert_eq!(label, "node");
+        assert!(
+            diag.contains("lint"),
+            "diagnostic names the lint rejection: {diag}"
+        );
+        assert_eq!(h.store.as_ref().unwrap().stats().relint_rejects, 1);
+        // The node still boots and serves: queries fall through to the
+        // default-grant path with no handler installed.
+        assert!(h.check_on_get(None, "caller", None));
+        // The source stays durable: rebooting back under Warn re-installs.
+        drop(h);
+        let (h, summary) = durable_host(&dir, LintPolicy::Warn);
+        assert!(h.node_aa.is_some(), "policy rollback restores the handler");
+        assert_eq!(summary.quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn per_round_dynamic_joins_do_not_bloat_the_wal() {
+        let dir = tmp_dir("dedupe");
+        let (mut h, _) = durable_host(&dir, LintPolicy::Off);
+        h.install_node_aa("AA = { onSubscribe = function(q, tree) return true end }")
+            .unwrap();
+        h.dynamic_trees.push("spot=idle".into());
+        let before = h.store.as_ref().unwrap().stats().appends;
+        for _ in 0..5 {
+            h.maintenance();
+        }
+        let appends = h.store.as_ref().unwrap().stats().appends - before;
+        assert_eq!(appends, 1, "five identical joins, one WAL record");
+        assert!(h.store.as_ref().unwrap().stats().dedup_skips >= 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

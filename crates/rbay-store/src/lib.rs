@@ -1,0 +1,41 @@
+//! Durable node state for the RBAY federation (DESIGN.md §18).
+//!
+//! Every `rbay-node` was amnesiac before this crate existed: a restart
+//! lost the attribute map, the installed AA handlers, and every tree
+//! subscription, so the only recovery path was full re-installation. This
+//! crate gives `RbayHost` a self-contained durability engine:
+//!
+//! * **WAL** — every state mutation (attribute upsert/delete, handler
+//!   install/uninstall with its source text, subscription add/remove,
+//!   reservation commit/release) is appended to an append-only log before
+//!   the mutation is acknowledged. Records are encoded with the
+//!   hostile-input-hardened `rbay-wire` varint codec and framed with a
+//!   `[len u32][crc32 u32][body]` header, so a torn tail, a truncated
+//!   file, or a flipped bit is detected and cleanly discarded — replay
+//!   always recovers the longest valid prefix and never panics (pinned by
+//!   the crash-recovery proptests in `tests/recovery.rs`).
+//! * **Snapshots** — when the WAL crosses a record-count or byte
+//!   threshold, the full [`DurableState`] image is written to a new
+//!   snapshot file (write + fsync + atomic rename), the WAL starts a new
+//!   generation, and a `MANIFEST` — itself replaced atomically — points
+//!   at the live `(snapshot, wal)` pair. Old generations are deleted
+//!   after the manifest commits, so a crash at any instant leaves either
+//!   the old pair or the new pair fully intact.
+//! * **Fsync policy** — [`FsyncPolicy::Always`] syncs every append (the
+//!   paranoid default for single-record durability), [`FsyncPolicy::Batch`]
+//!   syncs on explicit [`Store::flush`] calls (the daemon flushes once
+//!   per tick and on shutdown), [`FsyncPolicy::Never`] is for tests.
+//!
+//! The crate is deliberately ignorant of `rbay-core`: it persists raw
+//! query ids (`u64`) and AA source text (`String`), and the host replays
+//! them through its own install paths — so recovered handler sources are
+//! re-linted under the *current* `LintPolicy` on restore, not the policy
+//! that admitted them originally.
+
+mod record;
+mod store;
+mod wal;
+
+pub use record::{DurableState, StoreStats, WalRecord};
+pub use store::{FsyncPolicy, ReplayReport, Store};
+pub use wal::{crc32, frame_record, replay, TornReason, WalScan, RECORD_HEADER_LEN};

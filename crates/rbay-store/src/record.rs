@@ -1,0 +1,435 @@
+//! The WAL record vocabulary and the in-memory state image it rebuilds.
+
+use rbay_query::AttrValue;
+use rbay_wire::codec::emit;
+use rbay_wire::{Reader, Wire, WireError};
+use scribe::TopicId;
+use simnet::SiteId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One durable mutation of `RbayHost` state. Every variant is appended to
+/// the WAL *before* the corresponding in-memory mutation is acknowledged,
+/// so a crash immediately after the ack can always be replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An attribute upsert (`post_resource`, `update_attr`, or an admin
+    /// multicast delivery after `onDeliver` transformation).
+    AttrPut {
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: AttrValue,
+    },
+    /// An attribute delete.
+    AttrDel {
+        /// Attribute name.
+        attr: String,
+    },
+    /// Node-level policy AA installed; the source text is persisted so
+    /// restore can re-lint it under the current policy.
+    NodeAaInstall {
+        /// Full AAScript source.
+        source: String,
+    },
+    /// Node-level policy AA removed.
+    NodeAaUninstall,
+    /// Per-attribute AA installed.
+    AttrAaInstall {
+        /// Anchor attribute.
+        attr: String,
+        /// Full AAScript source.
+        source: String,
+    },
+    /// Per-attribute AA removed.
+    AttrAaUninstall {
+        /// Anchor attribute.
+        attr: String,
+    },
+    /// A tree subscription this node must hold across restarts.
+    SubAdd {
+        /// Scoped topic of the tree.
+        topic: TopicId,
+        /// Routing scope (the site under administrative isolation).
+        scope: Option<SiteId>,
+    },
+    /// A tree subscription dropped (dynamic-tree `onUnsubscribe`).
+    SubRemove {
+        /// Scoped topic of the tree.
+        topic: TopicId,
+    },
+    /// A reservation on this node was committed by the given query
+    /// (raw `QueryId` bits; this crate does not see `rbay-core` types).
+    Commit {
+        /// `QueryId.0`.
+        query: u64,
+    },
+    /// The committed reservation was explicitly released.
+    Release {
+        /// `QueryId.0`.
+        query: u64,
+    },
+}
+
+mod tag {
+    pub const ATTR_PUT: u8 = 0;
+    pub const ATTR_DEL: u8 = 1;
+    pub const NODE_AA_INSTALL: u8 = 2;
+    pub const NODE_AA_UNINSTALL: u8 = 3;
+    pub const ATTR_AA_INSTALL: u8 = 4;
+    pub const ATTR_AA_UNINSTALL: u8 = 5;
+    pub const SUB_ADD: u8 = 6;
+    pub const SUB_REMOVE: u8 = 7;
+    pub const COMMIT: u8 = 8;
+    pub const RELEASE: u8 = 9;
+}
+
+impl WalRecord {
+    /// Short name for obs counters and trace lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::AttrPut { .. } => "attr_put",
+            WalRecord::AttrDel { .. } => "attr_del",
+            WalRecord::NodeAaInstall { .. } => "node_aa_install",
+            WalRecord::NodeAaUninstall => "node_aa_uninstall",
+            WalRecord::AttrAaInstall { .. } => "attr_aa_install",
+            WalRecord::AttrAaUninstall { .. } => "attr_aa_uninstall",
+            WalRecord::SubAdd { .. } => "sub_add",
+            WalRecord::SubRemove { .. } => "sub_remove",
+            WalRecord::Commit { .. } => "commit",
+            WalRecord::Release { .. } => "release",
+        }
+    }
+}
+
+fn encode_scope(scope: &Option<SiteId>, out: &mut Vec<u8>) {
+    match scope {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            s.encode_into(out);
+        }
+    }
+}
+
+fn decode_scope(r: &mut Reader<'_>) -> Result<Option<SiteId>, WireError> {
+    match r.byte()? {
+        0 => Ok(None),
+        1 => Ok(Some(SiteId::decode(r)?)),
+        tag => Err(WireError::BadTag { what: "scope", tag }),
+    }
+}
+
+impl Wire for WalRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::AttrPut { attr, value } => {
+                out.push(tag::ATTR_PUT);
+                attr.encode_into(out);
+                value.encode_into(out);
+            }
+            WalRecord::AttrDel { attr } => {
+                out.push(tag::ATTR_DEL);
+                attr.encode_into(out);
+            }
+            WalRecord::NodeAaInstall { source } => {
+                out.push(tag::NODE_AA_INSTALL);
+                source.encode_into(out);
+            }
+            WalRecord::NodeAaUninstall => out.push(tag::NODE_AA_UNINSTALL),
+            WalRecord::AttrAaInstall { attr, source } => {
+                out.push(tag::ATTR_AA_INSTALL);
+                attr.encode_into(out);
+                source.encode_into(out);
+            }
+            WalRecord::AttrAaUninstall { attr } => {
+                out.push(tag::ATTR_AA_UNINSTALL);
+                attr.encode_into(out);
+            }
+            WalRecord::SubAdd { topic, scope } => {
+                out.push(tag::SUB_ADD);
+                topic.encode_into(out);
+                encode_scope(scope, out);
+            }
+            WalRecord::SubRemove { topic } => {
+                out.push(tag::SUB_REMOVE);
+                topic.encode_into(out);
+            }
+            WalRecord::Commit { query } => {
+                out.push(tag::COMMIT);
+                emit::varint_u64(out, *query);
+            }
+            WalRecord::Release { query } => {
+                out.push(tag::RELEASE);
+                emit::varint_u64(out, *query);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.byte()? {
+            tag::ATTR_PUT => WalRecord::AttrPut {
+                attr: String::decode(r)?,
+                value: AttrValue::decode(r)?,
+            },
+            tag::ATTR_DEL => WalRecord::AttrDel {
+                attr: String::decode(r)?,
+            },
+            tag::NODE_AA_INSTALL => WalRecord::NodeAaInstall {
+                source: String::decode(r)?,
+            },
+            tag::NODE_AA_UNINSTALL => WalRecord::NodeAaUninstall,
+            tag::ATTR_AA_INSTALL => WalRecord::AttrAaInstall {
+                attr: String::decode(r)?,
+                source: String::decode(r)?,
+            },
+            tag::ATTR_AA_UNINSTALL => WalRecord::AttrAaUninstall {
+                attr: String::decode(r)?,
+            },
+            tag::SUB_ADD => WalRecord::SubAdd {
+                topic: TopicId::decode(r)?,
+                scope: decode_scope(r)?,
+            },
+            tag::SUB_REMOVE => WalRecord::SubRemove {
+                topic: TopicId::decode(r)?,
+            },
+            tag::COMMIT => WalRecord::Commit {
+                query: r.varint_u64()?,
+            },
+            tag::RELEASE => WalRecord::Release {
+                query: r.varint_u64()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "WalRecord",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// The full durable image of one host: what a snapshot serializes and what
+/// WAL replay rebuilds. The [`Store`](crate::Store) maintains this image
+/// incrementally on every append, so snapshotting never re-reads the log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DurableState {
+    /// The resource attribute map.
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// Node-level AA source, if installed.
+    pub node_aa: Option<String>,
+    /// Per-attribute AA sources.
+    pub attr_aas: BTreeMap<String, String>,
+    /// Held tree subscriptions: topic → routing scope.
+    pub subs: BTreeMap<TopicId, Option<SiteId>>,
+    /// Queries whose reservations this node committed (raw `QueryId` bits).
+    pub committed: BTreeSet<u64>,
+    /// The query currently holding the committed reservation, if any.
+    pub reserved: Option<u64>,
+}
+
+impl DurableState {
+    /// Whether applying `rec` would leave the state unchanged. The store
+    /// skips such appends — the host re-posts subscriptions every
+    /// maintenance round and re-installs on restore, and none of that
+    /// should bloat the log.
+    pub fn is_noop(&self, rec: &WalRecord) -> bool {
+        match rec {
+            WalRecord::AttrPut { attr, value } => self.attrs.get(attr) == Some(value),
+            WalRecord::AttrDel { attr } => !self.attrs.contains_key(attr),
+            WalRecord::NodeAaInstall { source } => self.node_aa.as_ref() == Some(source),
+            WalRecord::NodeAaUninstall => self.node_aa.is_none(),
+            WalRecord::AttrAaInstall { attr, source } => self.attr_aas.get(attr) == Some(source),
+            WalRecord::AttrAaUninstall { attr } => !self.attr_aas.contains_key(attr),
+            WalRecord::SubAdd { topic, scope } => self.subs.get(topic) == Some(scope),
+            WalRecord::SubRemove { topic } => !self.subs.contains_key(topic),
+            WalRecord::Commit { query } => {
+                self.committed.contains(query) && self.reserved == Some(*query)
+            }
+            WalRecord::Release { query } => self.reserved != Some(*query),
+        }
+    }
+
+    /// Applies one record to the image.
+    pub fn apply(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::AttrPut { attr, value } => {
+                self.attrs.insert(attr.clone(), value.clone());
+            }
+            WalRecord::AttrDel { attr } => {
+                self.attrs.remove(attr);
+            }
+            WalRecord::NodeAaInstall { source } => self.node_aa = Some(source.clone()),
+            WalRecord::NodeAaUninstall => self.node_aa = None,
+            WalRecord::AttrAaInstall { attr, source } => {
+                self.attr_aas.insert(attr.clone(), source.clone());
+            }
+            WalRecord::AttrAaUninstall { attr } => {
+                self.attr_aas.remove(attr);
+            }
+            WalRecord::SubAdd { topic, scope } => {
+                self.subs.insert(*topic, *scope);
+            }
+            WalRecord::SubRemove { topic } => {
+                self.subs.remove(topic);
+            }
+            WalRecord::Commit { query } => {
+                self.committed.insert(*query);
+                self.reserved = Some(*query);
+            }
+            WalRecord::Release { query } => {
+                if self.reserved == Some(*query) {
+                    self.reserved = None;
+                }
+            }
+        }
+    }
+}
+
+impl Wire for DurableState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.attrs.len() as u64);
+        for (k, v) in &self.attrs {
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+        match &self.node_aa {
+            None => out.push(0),
+            Some(src) => {
+                out.push(1);
+                src.encode_into(out);
+            }
+        }
+        emit::varint_u64(out, self.attr_aas.len() as u64);
+        for (k, v) in &self.attr_aas {
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+        emit::varint_u64(out, self.subs.len() as u64);
+        for (t, scope) in &self.subs {
+            t.encode_into(out);
+            encode_scope(scope, out);
+        }
+        emit::varint_u64(out, self.committed.len() as u64);
+        for q in &self.committed {
+            emit::varint_u64(out, *q);
+        }
+        match self.reserved {
+            None => out.push(0),
+            Some(q) => {
+                out.push(1);
+                emit::varint_u64(out, q);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut state = DurableState::default();
+        let n = r.seq_len("DurableState.attrs", 2)?;
+        for _ in 0..n {
+            let k = String::decode(r)?;
+            let v = AttrValue::decode(r)?;
+            state.attrs.insert(k, v);
+        }
+        state.node_aa = match r.byte()? {
+            0 => None,
+            1 => Some(String::decode(r)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "DurableState.node_aa",
+                    tag,
+                })
+            }
+        };
+        let n = r.seq_len("DurableState.attr_aas", 2)?;
+        for _ in 0..n {
+            let k = String::decode(r)?;
+            let v = String::decode(r)?;
+            state.attr_aas.insert(k, v);
+        }
+        let n = r.seq_len("DurableState.subs", 17)?;
+        for _ in 0..n {
+            let t = TopicId::decode(r)?;
+            let scope = decode_scope(r)?;
+            state.subs.insert(t, scope);
+        }
+        let n = r.seq_len("DurableState.committed", 1)?;
+        for _ in 0..n {
+            state.committed.insert(r.varint_u64()?);
+        }
+        state.reserved = match r.byte()? {
+            0 => None,
+            1 => Some(r.varint_u64()?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "DurableState.reserved",
+                    tag,
+                })
+            }
+        };
+        Ok(state)
+    }
+}
+
+/// Store health counters, surfaced in `ProcStatusReply` so the cluster
+/// harness (and a rolling restart's gate) can read durability behaviour
+/// off a live daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL records appended (dedup skips excluded).
+    pub appends: u64,
+    /// Appends skipped because the record would not change state.
+    pub dedup_skips: u64,
+    /// Snapshot compactions taken.
+    pub snapshots: u64,
+    /// Records replayed at the last open.
+    pub replay_records: u64,
+    /// Wall-clock microseconds the last open spent loading snapshot + WAL.
+    pub replay_micros: u64,
+    /// Handler sources rejected by re-lint on restore (set by the host).
+    pub relint_rejects: u64,
+    /// Bytes in the live WAL generation.
+    pub wal_bytes: u64,
+    /// Records in the live WAL generation.
+    pub wal_records: u64,
+}
+
+impl StoreStats {
+    /// Accumulates another store's counters into this one (process- or
+    /// fleet-wide aggregation over packed members).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.appends += other.appends;
+        self.dedup_skips += other.dedup_skips;
+        self.snapshots += other.snapshots;
+        self.replay_records += other.replay_records;
+        self.replay_micros += other.replay_micros;
+        self.relint_rejects += other.relint_rejects;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_records += other.wal_records;
+    }
+}
+
+impl Wire for StoreStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        emit::varint_u64(out, self.appends);
+        emit::varint_u64(out, self.dedup_skips);
+        emit::varint_u64(out, self.snapshots);
+        emit::varint_u64(out, self.replay_records);
+        emit::varint_u64(out, self.replay_micros);
+        emit::varint_u64(out, self.relint_rejects);
+        emit::varint_u64(out, self.wal_bytes);
+        emit::varint_u64(out, self.wal_records);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StoreStats {
+            appends: r.varint_u64()?,
+            dedup_skips: r.varint_u64()?,
+            snapshots: r.varint_u64()?,
+            replay_records: r.varint_u64()?,
+            replay_micros: r.varint_u64()?,
+            relint_rejects: r.varint_u64()?,
+            wal_bytes: r.varint_u64()?,
+            wal_records: r.varint_u64()?,
+        })
+    }
+}

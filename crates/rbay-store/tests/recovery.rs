@@ -1,0 +1,168 @@
+//! Crash-recovery property tests for the WAL (mirrors the PR-6 frame-run
+//! proptests): a WAL image mutilated by truncation, a bit flip, or a
+//! garbage suffix must still yield every intact prefix record, and the
+//! replayer must never panic on any input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rbay_query::AttrValue;
+use rbay_store::{frame_record, replay, FsyncPolicy, Store, WalRecord};
+use scribe::TopicId;
+use simnet::SiteId;
+
+fn s_string() -> impl Strategy<Value = String> {
+    vec(0usize..6, 0..10).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| ['a', 'Z', '0', '_', 'Ω', '界'][i])
+            .collect()
+    })
+}
+
+fn s_attr_value() -> BoxedStrategy<AttrValue> {
+    prop_oneof![
+        any::<bool>().prop_map(AttrValue::Bool),
+        any::<f64>().prop_map(AttrValue::Num),
+        s_string().prop_map(AttrValue::Str),
+    ]
+    .boxed()
+}
+
+fn s_record() -> BoxedStrategy<WalRecord> {
+    fn s_topic() -> BoxedStrategy<TopicId> {
+        (s_string(), s_string())
+            .prop_map(|(n, c)| TopicId::new(&n, &c))
+            .boxed()
+    }
+    let scope = prop_oneof![Just(None), any::<u16>().prop_map(|s| Some(SiteId(s % 8))),];
+    prop_oneof![
+        (s_string(), s_attr_value()).prop_map(|(attr, value)| WalRecord::AttrPut { attr, value }),
+        s_string().prop_map(|attr| WalRecord::AttrDel { attr }),
+        s_string().prop_map(|source| WalRecord::NodeAaInstall { source }),
+        Just(WalRecord::NodeAaUninstall),
+        (s_string(), s_string())
+            .prop_map(|(attr, source)| WalRecord::AttrAaInstall { attr, source }),
+        s_string().prop_map(|attr| WalRecord::AttrAaUninstall { attr }),
+        (s_topic(), scope).prop_map(|(topic, scope)| WalRecord::SubAdd { topic, scope }),
+        s_topic().prop_map(|topic| WalRecord::SubRemove { topic }),
+        any::<u64>().prop_map(|query| WalRecord::Commit { query }),
+        any::<u64>().prop_map(|query| WalRecord::Release { query }),
+    ]
+    .boxed()
+}
+
+/// Frames `recs` into one WAL image, returning the image and each
+/// record's end offset.
+fn image_of(recs: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut buf = Vec::new();
+    let mut ends = Vec::new();
+    for r in recs {
+        frame_record(&mut buf, r);
+        ends.push(buf.len());
+    }
+    (buf, ends)
+}
+
+/// How many of `ends` lie fully within the first `cut` bytes.
+fn intact_prefix(ends: &[usize], cut: usize) -> usize {
+    ends.iter().take_while(|&&e| e <= cut).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Truncation at any byte offset recovers exactly the records whose
+    /// frames fit entirely before the cut.
+    #[test]
+    fn truncation_recovers_every_intact_prefix_record(
+        recs in vec(s_record(), 1..12),
+        cut_seed in any::<u64>(),
+    ) {
+        let (buf, ends) = image_of(&recs);
+        let cut = (cut_seed as usize) % (buf.len() + 1);
+        let expect = intact_prefix(&ends, cut);
+        let mut out = Vec::new();
+        let scan = replay(&buf[..cut], |r| out.push(r));
+        prop_assert_eq!(&out[..], &recs[..expect]);
+        prop_assert_eq!(scan.records as usize, expect);
+        // The valid prefix ends exactly at the last intact record.
+        let valid_end = if expect == 0 { 0 } else { ends[expect - 1] };
+        prop_assert_eq!(scan.valid_bytes, valid_end);
+        prop_assert_eq!(scan.torn.is_some(), cut != valid_end);
+    }
+
+    /// A single flipped bit anywhere in the image never panics, and every
+    /// record that ends before the flipped byte is recovered intact.
+    #[test]
+    fn bit_flip_preserves_records_before_the_flip(
+        recs in vec(s_record(), 1..12),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let (mut buf, ends) = image_of(&recs);
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= 1 << bit;
+        let before_flip = intact_prefix(&ends, pos);
+        let mut out = Vec::new();
+        let _ = replay(&buf, |r| out.push(r));
+        prop_assert!(out.len() >= before_flip);
+        prop_assert_eq!(&out[..before_flip], &recs[..before_flip]);
+    }
+
+    /// A garbage suffix after a valid image never hides or corrupts the
+    /// real records; replay yields all of them, then stops.
+    #[test]
+    fn garbage_suffix_recovers_all_records(
+        recs in vec(s_record(), 1..12),
+        garbage in vec(any::<u8>(), 1..64),
+    ) {
+        let (mut buf, _) = image_of(&recs);
+        let n = recs.len();
+        buf.extend_from_slice(&garbage);
+        let mut out = Vec::new();
+        let _ = replay(&buf, |r| out.push(r));
+        prop_assert!(out.len() >= n);
+        prop_assert_eq!(&out[..n], &recs[..]);
+    }
+
+    /// Pure garbage (no valid image at all) never panics the replayer.
+    #[test]
+    fn random_bytes_never_panic(bytes in vec(any::<u8>(), 0..128)) {
+        let _ = replay(&bytes, |_| {});
+    }
+}
+
+/// Replaying a 100k-record WAL must complete well under the 1 s budget
+/// the acceptance criteria set for the bench box. The hard assertion only
+/// runs for optimized builds — debug-build codec throughput is not what
+/// the budget describes.
+#[test]
+fn replay_100k_records_under_one_second() {
+    let dir = std::env::temp_dir().join(format!("rbay-store-replay100k-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let (mut s, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+        // Keep every record live (distinct attrs) and hold compaction off
+        // so the reopen replays the full 100k from the WAL.
+        s.set_snapshot_thresholds(u64::MAX, u64::MAX);
+        for i in 0..100_000u64 {
+            s.append(&WalRecord::AttrPut {
+                attr: format!("attr-{i}"),
+                value: AttrValue::Num(i as f64),
+            })
+            .unwrap();
+        }
+    }
+    let started = std::time::Instant::now();
+    let (s, report) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(report.wal_records, 100_000);
+    assert_eq!(s.state().attrs.len(), 100_000);
+    eprintln!("replay of 100k records: {elapsed:?}");
+    if !cfg!(debug_assertions) {
+        assert!(
+            elapsed.as_millis() < 1_000,
+            "100k-record replay took {elapsed:?} (budget 1s)"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -242,6 +242,13 @@ struct BusInner {
     wake_tx: UnixStream,
     /// Frames dropped on saturated or broken outbound paths, by cause.
     dropped: DropCounters,
+    /// Outbound payload frames still inside the loop (staged + write
+    /// queues), published by the event loop once per iteration; read by
+    /// [`TcpBus::flush`].
+    pending_out: AtomicU64,
+    /// Event-loop iteration counter (publishes pair with `pending_out`),
+    /// so `flush` can tell a fresh zero from a stale one.
+    loop_iters: AtomicU64,
 }
 
 /// A shared handle to one daemon's socket machinery. Cheap to clone.
@@ -277,6 +284,8 @@ impl TcpBus {
                 shared: Mutex::new(Shared::default()),
                 wake_tx,
                 dropped: DropCounters::default(),
+                pending_out: AtomicU64::new(0),
+                loop_iters: AtomicU64::new(0),
             }),
         };
         let mut ev = EventLoop {
@@ -377,10 +386,45 @@ impl TcpBus {
         self.inner.dropped.snapshot()
     }
 
-    /// Asks the event loop to exit; in-flight frames may be lost.
+    /// Asks the event loop to exit; in-flight frames may be lost. Callers
+    /// that care (graceful daemon shutdown) should [`TcpBus::flush`]
+    /// first.
     pub fn shutdown(&self) {
         self.inner.shared.lock().expect("shared lock").shutdown = true;
         self.wake();
+    }
+
+    /// Best-effort outbound barrier: blocks until every frame queued
+    /// before this call has been handed to the kernel (staging queues and
+    /// per-connection write buffers empty), or until `timeout` elapses.
+    /// Frames parked behind a connect still in backoff can hold the
+    /// barrier open — the timeout bounds that wait. Returns whether the
+    /// bus drained completely.
+    pub fn flush(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        // Only a publish that happened *after* we started observing can
+        // prove emptiness: a zero from before our last send would be
+        // stale, as frames move from `shared.out` into loop-private
+        // staging before being re-counted.
+        let mut seen = self.inner.loop_iters.load(Ordering::Acquire);
+        loop {
+            self.wake();
+            thread::sleep(std::time::Duration::from_millis(1));
+            let iters = self.inner.loop_iters.load(Ordering::Acquire);
+            let queued = {
+                let sh = self.inner.shared.lock().expect("shared lock");
+                !sh.out.is_empty() || !sh.ctrl_out.is_empty()
+            };
+            if iters > seen {
+                if !queued && self.inner.pending_out.load(Ordering::Acquire) == 0 {
+                    return true;
+                }
+                seen = iters;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
     }
 
     fn wake(&self) {
@@ -517,6 +561,17 @@ impl EventLoop {
             self.service_staged();
             self.redeliver();
             self.flush_dirty();
+            // Publish the loop-private outbound backlog for TcpBus::flush.
+            let pending = self.staged.values().map(|q| q.len()).sum::<usize>()
+                + self
+                    .conns
+                    .values()
+                    .map(|c| c.wr.unsent_frames())
+                    .sum::<usize>();
+            self.inner
+                .pending_out
+                .store(pending as u64, Ordering::Release);
+            self.inner.loop_iters.fetch_add(1, Ordering::Release);
             let timeout = if self.undelivered.is_empty() {
                 std::time::Duration::from_millis(50)
             } else {

@@ -164,6 +164,47 @@ pub enum ObsEvent {
         /// Whether the result met the requested `k`.
         satisfied: bool,
     },
+    /// A durable-store WAL append (a state mutation hit disk before its
+    /// ack).
+    StoreAppend {
+        /// Simulation time of the append.
+        at: SimTime,
+        /// The appending node.
+        node: NodeAddr,
+        /// Record kind (`attr_put`, `sub_add`, `commit`, …).
+        kind: &'static str,
+        /// Live-WAL size after the append, in records.
+        wal_records: u64,
+    },
+    /// A durable-store snapshot compaction: the WAL was folded into a new
+    /// snapshot generation.
+    StoreSnapshot {
+        /// Simulation time of the compaction.
+        at: SimTime,
+        /// The compacting node.
+        node: NodeAddr,
+        /// Snapshot generations taken so far.
+        snapshots: u64,
+    },
+    /// A restarted node replayed its snapshot + WAL on boot.
+    StoreReplay {
+        /// Simulation time of the restore.
+        at: SimTime,
+        /// The restored node.
+        node: NodeAddr,
+        /// WAL records replayed.
+        records: u64,
+        /// Wall-clock microseconds the replay took.
+        micros: u64,
+    },
+    /// A recovered handler source failed re-lint under the current policy
+    /// on restore and was quarantined instead of re-installed.
+    RestoreRelintReject {
+        /// Simulation time of the rejection.
+        at: SimTime,
+        /// The restoring node.
+        node: NodeAddr,
+    },
 }
 
 impl ObsEvent {
@@ -181,7 +222,11 @@ impl ObsEvent {
             | ObsEvent::HeartbeatExpire { at, .. }
             | ObsEvent::Unsuspect { at, .. }
             | ObsEvent::QueryAttempt { at, .. }
-            | ObsEvent::QueryDone { at, .. } => *at,
+            | ObsEvent::QueryDone { at, .. }
+            | ObsEvent::StoreAppend { at, .. }
+            | ObsEvent::StoreSnapshot { at, .. }
+            | ObsEvent::StoreReplay { at, .. }
+            | ObsEvent::RestoreRelintReject { at, .. } => *at,
         }
     }
 }
@@ -269,6 +314,17 @@ impl Recorder {
             let mut core = core.borrow_mut();
             *core.counts.entry(kind).or_insert(0) += 1;
             *core.node_counts.entry((node, kind)).or_insert(0) += 1;
+        }
+    }
+
+    /// Bump the global and per-node counters for `kind` by `n` in one
+    /// call (bulk contributions like a WAL replay's record count).
+    #[inline]
+    pub fn count_n(&self, node: NodeAddr, kind: &'static str, n: u64) {
+        if let Some(core) = &self.core {
+            let mut core = core.borrow_mut();
+            *core.counts.entry(kind).or_insert(0) += n;
+            *core.node_counts.entry((node, kind)).or_insert(0) += n;
         }
     }
 
